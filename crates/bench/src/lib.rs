@@ -1,0 +1,124 @@
+//! # hovercraft-bench — the paper-reproduction harness
+//!
+//! One binary per table/figure of the HovercRaft paper's evaluation (§7),
+//! each printing the series the paper plots plus the paper's qualitative
+//! expectation, so a run can be eyeballed against the original:
+//!
+//! | Binary | Reproduces |
+//! |---|---|
+//! | `fig7_latency_throughput` | Fig. 7 — tail latency vs load, 4 setups, N=3 |
+//! | `fig8_request_size` | Fig. 8 — max kRPS under SLO vs request size |
+//! | `fig9_cluster_size` | Fig. 9 — max kRPS under SLO vs cluster size |
+//! | `fig10_reply_lb` | Fig. 10 — reply load balancing with 6 kB replies |
+//! | `fig11_readonly_lb` | Fig. 11 — JBSQ vs RANDOM, bimodal 10µs, 75 % RO |
+//! | `fig12_failover` | Fig. 12 — leader-kill timeline with flow control |
+//! | `fig13_ycsbe` | Fig. 13 — YCSB-E on the Redis-like store |
+//! | `table1_msg_counts` | Table 1 — leader Rx/Tx messages per request |
+//!
+//! Set `HC_FAST=1` for a quick smoke pass (shorter windows, coarser grids);
+//! unset it for publication-quality runs.
+
+#![warn(missing_docs)]
+
+use simnet::SimDur;
+use testbed::{run_experiment, ClusterOpts, ExpResult};
+
+/// The paper's service-level objective: 500µs at the 99th percentile.
+pub const SLO_NS: u64 = 500_000;
+
+/// True when `HC_FAST=1`: smoke-test durations.
+pub fn fast() -> bool {
+    std::env::var("HC_FAST").map(|v| v == "1").unwrap_or(false)
+}
+
+/// (warmup, measure) windows for throughput points.
+pub fn windows() -> (SimDur, SimDur) {
+    if fast() {
+        (SimDur::millis(30), SimDur::millis(120))
+    } else {
+        (SimDur::millis(100), SimDur::millis(400))
+    }
+}
+
+/// Applies the standard measurement windows to an option set.
+pub fn with_windows(mut o: ClusterOpts) -> ClusterOpts {
+    let (w, m) = windows();
+    o.warmup = w;
+    o.measure = m;
+    o.clients = 4;
+    o
+}
+
+/// Thins a load grid when in fast mode (keeps every other point plus the
+/// last).
+pub fn grid(points: Vec<f64>) -> Vec<f64> {
+    if !fast() {
+        return points;
+    }
+    let n = points.len();
+    points
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| i % 2 == 0 || *i == n - 1)
+        .map(|(_, p)| p)
+        .collect()
+}
+
+/// Runs a load sweep and returns the highest achieved throughput whose
+/// point meets the 500µs SLO, plus every point measured.
+pub fn max_under_slo(rates: &[f64], mk: impl Fn(f64) -> ClusterOpts) -> (f64, Vec<ExpResult>) {
+    let mut best = 0.0f64;
+    let mut all = Vec::new();
+    for &r in rates {
+        let res = run_experiment(mk(r));
+        if res.meets_slo(SLO_NS) {
+            best = best.max(res.achieved_rps);
+        }
+        all.push(res);
+    }
+    (best, all)
+}
+
+/// Prints one latency-throughput row.
+pub fn print_point(label: &str, r: &ExpResult) {
+    println!(
+        "{label:14} offered {:>9.0} RPS | achieved {:>9.0} RPS | p50 {:>9.1}us | p99 {:>9.1}us | nacks/s {:>8.0}",
+        r.offered_rps,
+        r.achieved_rps,
+        r.p50_ns as f64 / 1e3,
+        r.p99_ns as f64 / 1e3,
+        r.nacks as f64 / windows().1.as_secs_f64(),
+    );
+}
+
+/// Prints a standard experiment banner.
+pub fn banner(title: &str, paper_expectation: &str) {
+    println!("==========================================================================");
+    println!("{title}");
+    println!("--------------------------------------------------------------------------");
+    println!("Paper expectation: {paper_expectation}");
+    if fast() {
+        println!("(HC_FAST=1: smoke-test windows — absolute numbers are noisier)");
+    }
+    println!("==========================================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_passthrough_without_fast_mode() {
+        // The test env does not set HC_FAST, so grids pass through whole.
+        if !fast() {
+            let g = grid(vec![1.0, 2.0, 3.0, 4.0]);
+            assert_eq!(g.len(), 4);
+        }
+    }
+
+    #[test]
+    fn windows_are_nonzero() {
+        let (w, m) = windows();
+        assert!(w.as_nanos() > 0 && m.as_nanos() > 0);
+    }
+}

@@ -1,0 +1,434 @@
+//! The HovercRaft++ in-network aggregator (§4, §6.4).
+//!
+//! A model of the paper's P414 Tofino program: a line-rate packet processor
+//! that owns the leader's fan-out/fan-in. It keeps **soft state only** —
+//! per-follower `match_idx` (ingress) and `completed` (egress) registers,
+//! the current term, commit index, and a `pending` flag — and is flushed on
+//! every term change, which is what makes a failed aggregator replaceable by
+//! an empty one (§8).
+//!
+//! Dataplane behaviour (Figure 6):
+//!
+//! * **AppendEntries from the leader** → forwarded to every follower
+//!   (multicast group excluding the sender). If the announced log index does
+//!   not exceed what is already committed, the `pending` flag is set so the
+//!   next reply still triggers an `AGG_COMMIT` (keeping followers' election
+//!   timers quiet).
+//! * **Successful AppendEntries replies from followers** → absorbed into
+//!   the registers; when a quorum matches a new index the aggregator
+//!   multicasts `AGG_COMMIT` carrying the commit index and the register
+//!   snapshot; otherwise the reply is dropped (never reaching the leader —
+//!   that is the whole point).
+//! * **VoteProbe from a new leader** → flush, answer `VoteProbeRep`. The
+//!   aggregator never votes (§6.4).
+//!
+//! The struct is pure (no I/O): [`Aggregator::on_packet`] maps one incoming
+//! packet to a list of `(dst, msg)` emissions. The testbed adapts it onto
+//! the simulator's switch pipeline.
+
+use std::collections::HashMap;
+
+use raft::{LogIndex, Message, RaftId, Term};
+
+use crate::cmd::Cmd;
+use crate::msg::{AggStatus, WireMsg};
+
+/// Activity counters (test/observability only; a real ASIC has none).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AggStats {
+    /// AppendEntries requests fanned out.
+    pub fanouts: u64,
+    /// Follower replies absorbed.
+    pub replies_absorbed: u64,
+    /// AGG_COMMIT messages multicast.
+    pub commits_sent: u64,
+    /// State flushes (term changes / probes).
+    pub flushes: u64,
+}
+
+/// The in-network aggregation program.
+pub struct Aggregator {
+    /// All group members (node addresses double as Raft ids).
+    members: Vec<RaftId>,
+    /// Quorum of the full group (members / 2 + 1).
+    quorum: usize,
+    term: Term,
+    leader: Option<RaftId>,
+    /// Ingress registers: per-follower match index.
+    match_idx: HashMap<RaftId, LogIndex>,
+    /// Egress registers: per-follower applied ("completed") index.
+    completed: HashMap<RaftId, LogIndex>,
+    commit: LogIndex,
+    /// Set when the leader re-announces an already-committed index; forces
+    /// an AGG_COMMIT on the next reply (Figure 6 `set_pending`).
+    pending: bool,
+    last_target: LogIndex,
+    stats: AggStats,
+}
+
+impl Aggregator {
+    /// Creates an aggregator for a group. `members` are the node addresses
+    /// of the fault-tolerance group.
+    pub fn new(members: Vec<RaftId>) -> Aggregator {
+        let quorum = members.len() / 2 + 1;
+        Aggregator {
+            members,
+            quorum,
+            term: 0,
+            leader: None,
+            match_idx: HashMap::new(),
+            completed: HashMap::new(),
+            commit: 0,
+            pending: false,
+            last_target: 0,
+            stats: AggStats::default(),
+        }
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> AggStats {
+        self.stats
+    }
+
+    /// Current term the registers belong to.
+    pub fn term(&self) -> Term {
+        self.term
+    }
+
+    /// Current aggregated commit index.
+    pub fn commit(&self) -> LogIndex {
+        self.commit
+    }
+
+    /// Flushes all soft state (device replacement / term change).
+    pub fn flush(&mut self) {
+        self.match_idx.clear();
+        self.completed.clear();
+        self.commit = 0;
+        self.pending = false;
+        self.last_target = 0;
+        self.leader = None;
+        self.stats.flushes += 1;
+    }
+
+    /// Processes one packet addressed to the aggregator; returns the
+    /// packets to emit. `src` is the sender's network address.
+    pub fn on_packet(&mut self, src: u32, msg: WireMsg) -> Vec<(u32, WireMsg)> {
+        match msg {
+            WireMsg::Raft(m) => self.on_raft(src, m),
+            WireMsg::VoteProbe { term } => {
+                // New leader probing: flush and acknowledge (§6.4). The
+                // reply does not count as a vote.
+                self.flush();
+                self.term = term;
+                vec![(src, WireMsg::VoteProbeRep { term })]
+            }
+            // Anything else addressed to the device is dropped.
+            _ => Vec::new(),
+        }
+    }
+
+    fn on_raft(&mut self, src: u32, m: Message<Cmd>) -> Vec<(u32, WireMsg)> {
+        match m {
+            Message::AppendEntries {
+                term,
+                leader,
+                prev_log_index,
+                ref entries,
+                ..
+            } => {
+                if term > self.term {
+                    self.flush();
+                    self.term = term;
+                }
+                if term < self.term {
+                    return Vec::new(); // stale leader
+                }
+                self.leader = Some(leader);
+                let target = prev_log_index + entries.len() as u64;
+                if target <= self.commit || target == self.last_target {
+                    // Re-announcement of known ground: make sure an
+                    // AGG_COMMIT still goes out so followers hear from the
+                    // "leader" and elections stay quiet.
+                    self.pending = true;
+                }
+                self.last_target = self.last_target.max(target);
+                self.stats.fanouts += 1;
+                // Fan out to every member except the leader.
+                self.members
+                    .iter()
+                    .copied()
+                    .filter(|&n| n != leader)
+                    .map(|n| {
+                        (
+                            n,
+                            WireMsg::Raft(Message::AppendEntries {
+                                term,
+                                leader,
+                                prev_log_index,
+                                prev_log_term: match &m {
+                                    Message::AppendEntries { prev_log_term, .. } => *prev_log_term,
+                                    _ => unreachable!(),
+                                },
+                                entries: entries.clone(),
+                                leader_commit: match &m {
+                                    Message::AppendEntries { leader_commit, .. } => *leader_commit,
+                                    _ => unreachable!(),
+                                },
+                            }),
+                        )
+                    })
+                    .collect()
+            }
+            Message::AppendEntriesReply {
+                term,
+                success,
+                match_index,
+                applied_index,
+                from,
+                ..
+            } => {
+                let _ = src;
+                if term != self.term || !success || self.leader.is_none() {
+                    // Failed appends never come here (followers send them
+                    // directly to the leader), stale terms are dropped, and
+                    // a pristine device that no leader has adopted yet
+                    // absorbs nothing.
+                    return Vec::new();
+                }
+                self.stats.replies_absorbed += 1;
+                let m_ent = self.match_idx.entry(from).or_insert(0);
+                *m_ent = (*m_ent).max(match_index);
+                let c_ent = self.completed.entry(from).or_insert(0);
+                *c_ent = (*c_ent).max(applied_index);
+
+                // Quorum check: the leader trivially holds every announced
+                // entry, so `quorum - 1` follower matches suffice.
+                let mut follower_matches: Vec<LogIndex> = self
+                    .members
+                    .iter()
+                    .filter(|&&n| Some(n) != self.leader)
+                    .map(|n| self.match_idx.get(n).copied().unwrap_or(0))
+                    .collect();
+                follower_matches.sort_unstable_by(|a, b| b.cmp(a));
+                let needed = self.quorum - 1;
+                let candidate = if needed == 0 {
+                    self.last_target
+                } else {
+                    follower_matches.get(needed - 1).copied().unwrap_or(0)
+                };
+
+                if candidate > self.commit {
+                    self.commit = candidate;
+                    self.pending = false;
+                    self.stats.commits_sent += 1;
+                    self.emit_commit()
+                } else if self.pending {
+                    self.pending = false;
+                    self.stats.commits_sent += 1;
+                    self.emit_commit()
+                } else {
+                    Vec::new() // absorbed: the leader never sees it
+                }
+            }
+            // Vote traffic is never addressed to the aggregator.
+            _ => Vec::new(),
+        }
+    }
+
+    fn emit_commit(&self) -> Vec<(u32, WireMsg)> {
+        let status: Vec<AggStatus> = self
+            .members
+            .iter()
+            .filter(|&&n| Some(n) != self.leader)
+            .map(|&n| AggStatus {
+                node: n,
+                match_index: self.match_idx.get(&n).copied().unwrap_or(0),
+                applied_index: self.completed.get(&n).copied().unwrap_or(0),
+            })
+            .collect();
+        self.members
+            .iter()
+            .map(|&n| {
+                (
+                    n,
+                    WireMsg::AggCommit {
+                        term: self.term,
+                        commit: self.commit,
+                        status: status.clone(),
+                    },
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cmd::{EntryDesc, OpKind};
+    use r2p2::ReqId;
+    use raft::Entry;
+
+    fn ae(term: Term, prev: LogIndex, n: usize, commit: LogIndex) -> WireMsg {
+        let entries = (0..n)
+            .map(|i| Entry {
+                term,
+                index: prev + 1 + i as u64,
+                cmd: Cmd::meta(EntryDesc::new(
+                    ReqId::new(9, 9, (prev + 1 + i as u64) as u16),
+                    0,
+                    OpKind::ReadWrite,
+                )),
+            })
+            .collect();
+        WireMsg::Raft(Message::AppendEntries {
+            term,
+            leader: 0,
+            prev_log_index: prev,
+            prev_log_term: term,
+            entries,
+            leader_commit: commit,
+        })
+    }
+
+    fn reply(term: Term, m: LogIndex, applied: LogIndex, from: RaftId) -> WireMsg {
+        WireMsg::Raft(Message::AppendEntriesReply {
+            term,
+            success: true,
+            match_index: m,
+            conflict_index: 0,
+            applied_index: applied,
+            from,
+        })
+    }
+
+    #[test]
+    fn fans_out_to_all_followers_but_not_leader() {
+        let mut a = Aggregator::new(vec![0, 1, 2]);
+        let out = a.on_packet(0, ae(1, 0, 1, 0));
+        let dsts: Vec<u32> = out.iter().map(|(d, _)| *d).collect();
+        assert_eq!(dsts, vec![1, 2]);
+    }
+
+    #[test]
+    fn absorbs_minority_reply_and_commits_on_quorum() {
+        let mut a = Aggregator::new(vec![0, 1, 2, 3, 4]); // quorum 3: leader + 2
+        a.on_packet(0, ae(1, 0, 1, 0));
+        let out = a.on_packet(1, reply(1, 1, 0, 1));
+        assert!(out.is_empty(), "first reply absorbed");
+        let out = a.on_packet(2, reply(1, 1, 0, 2));
+        // Second follower match ⇒ quorum ⇒ AGG_COMMIT to all 5 members.
+        assert_eq!(out.len(), 5);
+        for (_, m) in &out {
+            match m {
+                WireMsg::AggCommit { commit, term, .. } => {
+                    assert_eq!(*commit, 1);
+                    assert_eq!(*term, 1);
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(a.commit(), 1);
+        // A third, late reply is silently absorbed.
+        let out = a.on_packet(3, reply(1, 1, 0, 3));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn commit_is_monotone_per_term() {
+        let mut a = Aggregator::new(vec![0, 1, 2]);
+        a.on_packet(0, ae(1, 0, 2, 0));
+        let out = a.on_packet(1, reply(1, 2, 0, 1));
+        assert!(!out.is_empty());
+        assert_eq!(a.commit(), 2);
+        // A slow follower's older match cannot regress the commit.
+        let out = a.on_packet(2, reply(1, 1, 0, 2));
+        assert!(out.is_empty());
+        assert_eq!(a.commit(), 2);
+    }
+
+    #[test]
+    fn higher_term_flushes_state() {
+        let mut a = Aggregator::new(vec![0, 1, 2]);
+        a.on_packet(0, ae(1, 0, 1, 0));
+        a.on_packet(1, reply(1, 1, 1, 1));
+        assert_eq!(a.commit(), 1);
+        a.on_packet(2, ae(2, 1, 1, 1)); // new leader, term 2
+        assert_eq!(a.commit(), 0, "registers flushed");
+        assert_eq!(a.term(), 2);
+        // Stale term-1 replies are now ignored.
+        let out = a.on_packet(1, reply(1, 2, 0, 1));
+        assert!(out.is_empty());
+        assert_eq!(a.commit(), 0);
+    }
+
+    #[test]
+    fn pending_reannouncement_triggers_commit_echo() {
+        let mut a = Aggregator::new(vec![0, 1, 2]);
+        a.on_packet(0, ae(1, 0, 1, 0));
+        a.on_packet(1, reply(1, 1, 0, 1));
+        assert_eq!(a.commit(), 1);
+        // Leader re-announces the same index (empty heartbeat at target 1).
+        a.on_packet(0, ae(1, 1, 0, 1));
+        // The next reply does not advance commit, but pending forces an
+        // AGG_COMMIT so followers keep hearing progress.
+        let out = a.on_packet(2, reply(1, 1, 0, 2));
+        assert!(
+            out.iter()
+                .any(|(_, m)| matches!(m, WireMsg::AggCommit { commit: 1, .. })),
+            "pending echo"
+        );
+    }
+
+    #[test]
+    fn vote_probe_flushes_and_answers_without_voting() {
+        let mut a = Aggregator::new(vec![0, 1, 2]);
+        a.on_packet(0, ae(1, 0, 1, 0));
+        a.on_packet(1, reply(1, 1, 0, 1));
+        let out = a.on_packet(2, WireMsg::VoteProbe { term: 5 });
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, 2);
+        assert!(matches!(out[0].1, WireMsg::VoteProbeRep { term: 5 }));
+        assert_eq!(a.commit(), 0);
+        assert_eq!(a.term(), 5);
+    }
+
+    #[test]
+    fn agg_commit_carries_register_snapshot() {
+        let mut a = Aggregator::new(vec![0, 1, 2]);
+        a.on_packet(0, ae(3, 0, 1, 0));
+        let out = a.on_packet(1, reply(3, 1, 1, 1));
+        let (_, m) = &out[0];
+        match m {
+            WireMsg::AggCommit { status, .. } => {
+                assert_eq!(status.len(), 2, "one row per follower");
+                let s1 = status.iter().find(|s| s.node == 1).unwrap();
+                assert_eq!(s1.match_index, 1);
+                assert_eq!(s1.applied_index, 1);
+                let s2 = status.iter().find(|s| s.node == 2).unwrap();
+                assert_eq!(s2.match_index, 0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn failed_replies_are_ignored() {
+        let mut a = Aggregator::new(vec![0, 1, 2]);
+        a.on_packet(0, ae(1, 0, 1, 0));
+        let out = a.on_packet(
+            1,
+            WireMsg::Raft(Message::AppendEntriesReply {
+                term: 1,
+                success: false,
+                match_index: 0,
+                conflict_index: 1,
+                applied_index: 0,
+                from: 1,
+            }),
+        );
+        assert!(out.is_empty());
+        assert_eq!(a.stats().replies_absorbed, 0);
+    }
+}

@@ -1,0 +1,180 @@
+//! The multicast flow-control middlebox (§6.3).
+//!
+//! With replication separated from ordering, overload no longer self-limits
+//! at the leader (dropping there was vanilla Raft's implicit flow control),
+//! and uncoordinated drops of multicast copies would grind the cluster into
+//! the recovery path. The paper's fix is a middlebox — run on the same
+//! programmable switch — that fronts the fault-tolerance group behind a
+//! virtual IP:
+//!
+//! * client requests to the VIP are **admitted** (destination rewritten to
+//!   the group multicast address, in-flight counter incremented) while the
+//!   counter is under the threshold, and **NACKed** back to the client
+//!   otherwise, preventing throughput collapse;
+//! * every R2P2 `FEEDBACK` from a replier decrements the counter — one is
+//!   sent per completed request.
+//!
+//! Like the aggregator, this is a pure dataplane struct the testbed adapts
+//! onto the simulated switch.
+
+use r2p2::ReqId;
+
+use crate::msg::WireMsg;
+
+/// What the middlebox decided about a packet addressed to the VIP.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FcDecision {
+    /// Forward the request, rewritten to the group address.
+    Admit {
+        /// The multicast group to deliver to.
+        rewritten_dst: u32,
+    },
+    /// Shed the request; send a NACK back to the client.
+    Nack {
+        /// Client address to NACK.
+        client: u32,
+        /// The request being refused.
+        id: ReqId,
+    },
+    /// A FEEDBACK was absorbed (counter decremented); nothing forwarded.
+    Absorbed,
+    /// Not a message the middlebox handles; forward unchanged.
+    Pass,
+}
+
+/// Counters for observability and the Figure 12 experiment.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FcStats {
+    /// Requests admitted into the group.
+    pub admitted: u64,
+    /// Requests NACKed.
+    pub nacked: u64,
+    /// Feedback messages absorbed.
+    pub feedback: u64,
+}
+
+/// The flow-control middlebox program.
+pub struct FlowControl {
+    group: u32,
+    cap: u32,
+    in_flight: u32,
+    stats: FcStats,
+}
+
+impl FlowControl {
+    /// Creates a middlebox admitting at most `cap` in-flight requests and
+    /// rewriting admitted requests to multicast address `group`.
+    pub fn new(group: u32, cap: u32) -> FlowControl {
+        FlowControl {
+            group,
+            cap,
+            in_flight: 0,
+            stats: FcStats::default(),
+        }
+    }
+
+    /// Requests currently admitted but not yet fed back.
+    pub fn in_flight(&self) -> u32 {
+        self.in_flight
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> FcStats {
+        self.stats
+    }
+
+    /// Resets the counter (device replacement).
+    pub fn reset(&mut self) {
+        self.in_flight = 0;
+    }
+
+    /// Processes one packet addressed to the VIP.
+    pub fn on_packet(&mut self, msg: &WireMsg) -> FcDecision {
+        match msg {
+            WireMsg::Request { id, .. } => {
+                if self.in_flight >= self.cap {
+                    self.stats.nacked += 1;
+                    FcDecision::Nack {
+                        client: id.src_ip,
+                        id: *id,
+                    }
+                } else {
+                    self.in_flight += 1;
+                    self.stats.admitted += 1;
+                    FcDecision::Admit {
+                        rewritten_dst: self.group,
+                    }
+                }
+            }
+            WireMsg::Feedback => {
+                self.in_flight = self.in_flight.saturating_sub(1);
+                self.stats.feedback += 1;
+                FcDecision::Absorbed
+            }
+            _ => FcDecision::Pass,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cmd::OpKind;
+    use bytes::Bytes;
+
+    fn req(n: u16) -> WireMsg {
+        WireMsg::Request {
+            id: ReqId::new(77, 1, n),
+            kind: OpKind::ReadWrite,
+            body: Bytes::from_static(b"x"),
+        }
+    }
+
+    #[test]
+    fn admits_until_cap_then_nacks() {
+        let mut fc = FlowControl::new(0x8000_0000, 2);
+        assert!(matches!(fc.on_packet(&req(1)), FcDecision::Admit { .. }));
+        assert!(matches!(fc.on_packet(&req(2)), FcDecision::Admit { .. }));
+        match fc.on_packet(&req(3)) {
+            FcDecision::Nack { client, id } => {
+                assert_eq!(client, 77);
+                assert_eq!(id.rid, 3);
+            }
+            other => panic!("expected NACK, got {other:?}"),
+        }
+        assert_eq!(fc.in_flight(), 2);
+        assert_eq!(fc.stats().nacked, 1);
+    }
+
+    #[test]
+    fn feedback_reopens_admission() {
+        let mut fc = FlowControl::new(0x8000_0000, 1);
+        assert!(matches!(fc.on_packet(&req(1)), FcDecision::Admit { .. }));
+        assert!(matches!(fc.on_packet(&req(2)), FcDecision::Nack { .. }));
+        assert_eq!(fc.on_packet(&WireMsg::Feedback), FcDecision::Absorbed);
+        assert!(matches!(fc.on_packet(&req(3)), FcDecision::Admit { .. }));
+    }
+
+    #[test]
+    fn rewrites_to_group_address() {
+        let mut fc = FlowControl::new(0x8000_0007, 8);
+        match fc.on_packet(&req(1)) {
+            FcDecision::Admit { rewritten_dst } => assert_eq!(rewritten_dst, 0x8000_0007),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn underflow_is_saturating() {
+        let mut fc = FlowControl::new(0, 1);
+        assert_eq!(fc.on_packet(&WireMsg::Feedback), FcDecision::Absorbed);
+        assert_eq!(fc.in_flight(), 0);
+    }
+
+    #[test]
+    fn other_traffic_passes() {
+        let mut fc = FlowControl::new(0, 1);
+        let m = WireMsg::VoteProbe { term: 1 };
+        assert_eq!(fc.on_packet(&m), FcDecision::Pass);
+    }
+}

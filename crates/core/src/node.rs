@@ -1,0 +1,750 @@
+//! The HovercRaft node: the SMR-aware RPC layer (§3).
+//!
+//! [`HcNode`] wraps a [`raft::RaftNode`] and implements every HovercRaft
+//! mechanism on top of it without touching the consensus core:
+//!
+//! * client requests arrive over the multicast group and are parked in the
+//!   unordered pool; the leader orders them by proposing metadata-only
+//!   commands (§3.2);
+//! * the leader stamps a designated replier into every entry before first
+//!   transmission, honouring the bounded-queue invariant, and only then
+//!   raises the raft replication ceiling (§3.3–3.4, §3.6);
+//! * committed entries are executed in log order on the application thread;
+//!   read-only entries execute only on their replier (§3.5); the replier
+//!   sends the client response and a flow-control FEEDBACK;
+//! * missing request bodies trigger the recovery protocol (§5);
+//! * in HovercRaft++ mode, AppendEntries are routed through the in-network
+//!   aggregator and `AGG_COMMIT` messages are folded back into Raft (§4).
+//!
+//! Like the raft layer, the node is sans-io: every entry point returns
+//! [`Output`]s — packets to transmit and work to schedule on the
+//! application thread. The simulation harness (or a real runtime) owns the
+//! clock and the wires.
+
+use std::collections::{HashMap, HashSet};
+
+use bytes::Bytes;
+use r2p2::{body_hash, ReqId};
+use raft::{Action, LogIndex, Message, RaftId, RaftNode, Role};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::cmd::{Cmd, EntryDesc, OpKind};
+use crate::config::{HcConfig, Mode};
+use crate::msg::{AggStatus, WireMsg};
+use crate::policy::ReplierLedger;
+use crate::pool::UnorderedPool;
+use crate::service::Service;
+
+/// An effect the driver must carry out for the node.
+#[derive(Clone, Debug)]
+pub enum Output {
+    /// Transmit `msg` to network address `dst` (a node or group address in
+    /// the deployment's address space).
+    Send {
+        /// Destination address.
+        dst: u32,
+        /// The message.
+        msg: WireMsg,
+    },
+    /// Charge `cost_ns` to the application thread, then call
+    /// [`HcNode::on_exec_done`] with `index`.
+    Execute {
+        /// The log entry being applied.
+        index: LogIndex,
+        /// Application CPU cost.
+        cost_ns: u64,
+    },
+}
+
+/// Counters a node keeps about its own protocol activity (inspected by
+/// tests and experiments).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct HcStats {
+    /// Client requests received.
+    pub requests: u64,
+    /// Client responses sent by this node.
+    pub responses: u64,
+    /// Operations executed on the application thread.
+    pub executed: u64,
+    /// Read-only operations skipped because another node is the replier.
+    pub ro_skipped: u64,
+    /// Recovery requests sent.
+    pub recoveries_sent: u64,
+    /// Recovery replies served to peers.
+    pub recoveries_served: u64,
+    /// Entries whose apply stalled on a missing body at least once.
+    pub apply_stalls: u64,
+}
+
+struct PendingReply {
+    client: u32,
+    id: ReqId,
+    reply: Option<Bytes>,
+    respond: bool,
+}
+
+/// A full HovercRaft (or VanillaRaft) server node.
+pub struct HcNode<S> {
+    cfg: HcConfig,
+    raft: RaftNode<Cmd>,
+    pool: UnorderedPool,
+    ledger: ReplierLedger,
+    service: S,
+    rng: SmallRng,
+    /// Next log index to hand to the application thread.
+    next_apply: LogIndex,
+    /// Last log index whose execution completed.
+    applied: LogIndex,
+    pending: HashMap<LogIndex, PendingReply>,
+    /// Outstanding body recoveries: id → last request time.
+    missing: HashMap<ReqId, u64>,
+    /// HovercRaft++ leader: followers being repaired over direct
+    /// point-to-point AppendEntries after a failed append (§5).
+    recovering: HashSet<RaftId>,
+    /// HovercRaft++ leader: the aggregator answered our VoteProbe.
+    agg_confirmed: bool,
+    /// HovercRaft++ follower: the last AppendEntries arrived via the
+    /// aggregator, so successful replies retrace that path.
+    last_ae_via_agg: bool,
+    stats: HcStats,
+}
+
+impl<S: Service> HcNode<S> {
+    /// Creates a node. `now` seeds the election timer of the underlying
+    /// Raft instance.
+    pub fn new(cfg: HcConfig, service: S, now: u64) -> Self {
+        let raft = RaftNode::new(cfg.raft.clone(), now);
+        let rng = SmallRng::seed_from_u64(cfg.raft.seed ^ 0x486f_7665_7263_5261);
+        HcNode {
+            cfg,
+            raft,
+            pool: UnorderedPool::new(),
+            ledger: ReplierLedger::new(),
+            service,
+            rng,
+            next_apply: 1,
+            applied: 0,
+            pending: HashMap::new(),
+            missing: HashMap::new(),
+            recovering: HashSet::new(),
+            agg_confirmed: false,
+            last_ae_via_agg: false,
+            stats: HcStats::default(),
+        }
+    }
+
+    // ---- accessors ---------------------------------------------------------
+
+    /// This node's id (== its unicast network address).
+    pub fn id(&self) -> RaftId {
+        self.raft.id()
+    }
+    /// True if this node currently leads.
+    pub fn is_leader(&self) -> bool {
+        self.raft.is_leader()
+    }
+    /// Current role.
+    pub fn role(&self) -> Role {
+        self.raft.role()
+    }
+    /// The underlying Raft instance (read-only).
+    pub fn raft(&self) -> &RaftNode<Cmd> {
+        &self.raft
+    }
+    /// Index of the last operation whose execution completed locally.
+    pub fn applied_index(&self) -> LogIndex {
+        self.applied
+    }
+    /// Protocol activity counters.
+    pub fn stats(&self) -> HcStats {
+        self.stats
+    }
+    /// The application service (e.g. to inspect state in tests).
+    pub fn service(&self) -> &S {
+        &self.service
+    }
+    /// Mutable access to the application service.
+    pub fn service_mut(&mut self) -> &mut S {
+        &mut self.service
+    }
+    /// Whether the aggregator is confirmed live for this term (HC++).
+    pub fn aggregator_confirmed(&self) -> bool {
+        self.agg_confirmed
+    }
+    /// Outstanding replier-queue depth for `node` (leader only; §3.6).
+    pub fn queue_depth(&self, node: RaftId) -> usize {
+        self.ledger.depth(node)
+    }
+
+    // ---- entry points ------------------------------------------------------
+
+    /// Handles one incoming message; `src` is the sender's network address.
+    pub fn on_message(&mut self, src: u32, msg: WireMsg, now: u64) -> Vec<Output> {
+        let mut out = Vec::new();
+        match msg {
+            WireMsg::Request { id, kind, body } => {
+                self.on_request(id, kind, body, now, &mut out);
+            }
+            WireMsg::Raft(m) => self.on_raft(src, m, now, &mut out),
+            WireMsg::RecoveryReq { id } => {
+                if let Some(r) = self.pool.get(id) {
+                    self.stats.recoveries_served += 1;
+                    out.push(Output::Send {
+                        dst: src,
+                        msg: WireMsg::RecoveryRep {
+                            id,
+                            kind: r.kind,
+                            body: r.body.clone(),
+                        },
+                    });
+                }
+            }
+            WireMsg::RecoveryRep { id, kind, body } => {
+                self.missing.remove(&id);
+                self.pool.insert_recovered(id, kind, body, now);
+                self.try_apply(now, &mut out);
+            }
+            WireMsg::AggCommit {
+                term,
+                commit,
+                status,
+            } => self.on_agg_commit(term, commit, status, now, &mut out),
+            WireMsg::VoteProbeRep { term } => {
+                if self.is_leader() && term == self.raft.term() {
+                    self.agg_confirmed = true;
+                }
+            }
+            // Servers are not the audience for these.
+            WireMsg::Response { .. }
+            | WireMsg::Nack { .. }
+            | WireMsg::Feedback
+            | WireMsg::VoteProbe { .. } => {}
+        }
+        out
+    }
+
+    /// Periodic maintenance: Raft ticks (elections/heartbeats), pool GC,
+    /// recovery retries, and announcement retries. Call a few times per
+    /// Raft heartbeat interval.
+    pub fn tick(&mut self, now: u64) -> Vec<Output> {
+        let mut out = Vec::new();
+        let actions = self.raft.tick(now);
+        self.drain(actions, now, &mut out);
+        self.pool.gc(now, self.cfg.gc_timeout_ns);
+        self.retry_recoveries(now, &mut out);
+        self.try_announce(now, &mut out);
+        out
+    }
+
+    /// The application thread finished executing entry `index`.
+    pub fn on_exec_done(&mut self, index: LogIndex, now: u64) -> Vec<Output> {
+        let mut out = Vec::new();
+        debug_assert_eq!(index, self.applied + 1, "app thread must be FIFO");
+        self.applied = index;
+        self.raft.set_applied(index);
+        if self.is_leader() {
+            self.ledger.observe_applied(self.id(), index);
+            self.try_announce(now, &mut out);
+        }
+        if let Some(p) = self.pending.remove(&index) {
+            if p.respond {
+                self.stats.responses += 1;
+                out.push(Output::Send {
+                    dst: p.client,
+                    msg: WireMsg::Response {
+                        id: p.id,
+                        body: p.reply.unwrap_or_default(),
+                    },
+                });
+                if let Some(fc) = self.cfg.flowctl_addr {
+                    out.push(Output::Send {
+                        dst: fc,
+                        msg: WireMsg::Feedback,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    // ---- client requests ---------------------------------------------------
+
+    fn on_request(
+        &mut self,
+        id: ReqId,
+        kind: OpKind,
+        body: Bytes,
+        now: u64,
+        out: &mut Vec<Output>,
+    ) {
+        self.stats.requests += 1;
+        let hash = body_hash(&body);
+        match self.cfg.mode {
+            Mode::Vanilla => {
+                if !self.is_leader() {
+                    // Clients are expected to target the leader; NACK so the
+                    // client can rediscover it.
+                    out.push(Output::Send {
+                        dst: id.src_ip,
+                        msg: WireMsg::Nack { id },
+                    });
+                    return;
+                }
+                let mut desc = EntryDesc::new(id, hash, kind);
+                // Vanilla Raft: the leader answers everything.
+                desc.replier = Some(self.id());
+                if self.raft.propose(Cmd::full(desc, body)).is_ok() {
+                    let actions = self.raft.pump(now);
+                    self.drain(actions, now, out);
+                }
+            }
+            Mode::Hovercraft | Mode::HovercraftPp => {
+                // Duplicate suppression: a request already bound to a log
+                // slot lives in the archive.
+                if self.pool.is_archived(id) {
+                    return;
+                }
+                // Every node parks the multicast request; only the leader
+                // orders it.
+                self.pool.insert(id, kind, body, now);
+                if self.is_leader() {
+                    let desc = EntryDesc::new(id, hash, kind);
+                    if self.raft.propose(Cmd::meta(desc)).is_ok() {
+                        self.pool.mark_ordered(id);
+                        self.try_announce(now, out);
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- raft plumbing ------------------------------------------------------
+
+    fn on_raft(&mut self, src: u32, m: Message<Cmd>, now: u64, out: &mut Vec<Output>) {
+        // Guard: ignore echoes of our own AppendEntries (safety against any
+        // reflected copy of a message we originated).
+        if let Message::AppendEntries { leader, .. } = &m {
+            if *leader == self.id() {
+                return;
+            }
+            // Remember the fan-out path so successful replies retrace it
+            // (aggregator vs direct, §4).
+            self.last_ae_via_agg = Some(src) == self.cfg.agg_addr;
+        }
+        // Follower side, HovercRaft modes: entries are metadata-only; check
+        // body availability and fire recovery for gaps (§3.2/§5).
+        if self.cfg.mode.is_hovercraft() {
+            if let Message::AppendEntries {
+                entries, leader, ..
+            } = &m
+            {
+                for e in entries {
+                    let id = e.cmd.desc.id;
+                    if !self.pool.mark_ordered(id) && !self.missing.contains_key(&id) {
+                        self.stats.recoveries_sent += 1;
+                        self.missing.insert(id, now);
+                        out.push(Output::Send {
+                            dst: *leader,
+                            msg: WireMsg::RecoveryReq { id },
+                        });
+                    }
+                }
+            }
+        }
+        // Leader side: fold the applied index and recovery bookkeeping out
+        // of replies before the core consumes them.
+        if let Message::AppendEntriesReply {
+            success,
+            match_index,
+            applied_index,
+            from,
+            term,
+            ..
+        } = &m
+        {
+            if self.is_leader() && *term == self.raft.term() {
+                self.ledger.observe_applied(*from, *applied_index);
+                if self.cfg.mode == Mode::HovercraftPp {
+                    if !*success {
+                        self.recovering.insert(*from);
+                    } else if *match_index >= self.raft.announced_index() {
+                        self.recovering.remove(from);
+                    }
+                }
+            }
+        }
+        let from = Self::raft_peer_of(src, &m);
+        let actions = self.raft.step(from, m, now);
+        self.drain(actions, now, out);
+        self.try_announce(now, out);
+    }
+
+    /// The Raft-level peer a message is from. Replies carry an explicit
+    /// `from` (they may arrive via the aggregator); requests are attributed
+    /// to their protocol-level originator.
+    fn raft_peer_of(src: u32, m: &Message<Cmd>) -> RaftId {
+        match m {
+            Message::AppendEntriesReply { from, .. } => *from,
+            Message::AppendEntries { leader, .. } => *leader,
+            Message::RequestVote { candidate, .. } => *candidate,
+            Message::RequestVoteReply { .. } => src,
+        }
+    }
+
+    fn on_agg_commit(
+        &mut self,
+        term: u64,
+        commit: LogIndex,
+        status: Vec<AggStatus>,
+        now: u64,
+        out: &mut Vec<Output>,
+    ) {
+        if term != self.raft.term() {
+            return;
+        }
+        if self.is_leader() {
+            // Fold the register snapshot back into Raft as the per-follower
+            // replies the aggregator absorbed (§6.4: the aggregator is part
+            // of the leader; this reconstruction costs no wire messages).
+            for s in status {
+                self.ledger.observe_applied(s.node, s.applied_index);
+                let synthetic: Message<Cmd> = Message::AppendEntriesReply {
+                    term,
+                    success: true,
+                    match_index: s.match_index,
+                    conflict_index: 0,
+                    applied_index: s.applied_index,
+                    from: s.node,
+                };
+                let actions = self.raft.step(s.node, synthetic, now);
+                self.drain(actions, now, out);
+            }
+            self.try_announce(now, out);
+        } else {
+            let actions = self.raft.observe_commit(commit);
+            self.drain(actions, now, out);
+        }
+    }
+
+    /// Applies raft actions: routes sends (aggregator vs point-to-point),
+    /// reacts to commits and role changes.
+    fn drain(&mut self, actions: Vec<Action<Cmd>>, now: u64, out: &mut Vec<Output>) {
+        // Collect AppendEntries so HC++ can deduplicate the fan-out.
+        let mut appends: Vec<(RaftId, Message<Cmd>)> = Vec::new();
+        for a in actions {
+            match a {
+                Action::Send { to, msg } => match &msg {
+                    Message::AppendEntries { .. } if self.use_aggregator(to) => {
+                        appends.push((to, msg));
+                    }
+                    Message::AppendEntriesReply { success, .. }
+                        if self.reply_via_aggregator(*success) =>
+                    {
+                        out.push(Output::Send {
+                            dst: self.cfg.agg_addr.expect("checked by predicate"),
+                            msg: WireMsg::Raft(msg),
+                        });
+                    }
+                    _ => out.push(Output::Send {
+                        dst: to,
+                        msg: WireMsg::Raft(msg),
+                    }),
+                },
+                Action::Commit { .. } => {
+                    self.try_apply(now, out);
+                }
+                Action::BecameLeader { .. } => {
+                    self.on_became_leader(now, out);
+                }
+                Action::BecameFollower { .. } => {
+                    self.ledger.reset();
+                    self.recovering.clear();
+                    self.agg_confirmed = false;
+                }
+                Action::SaveHardState { .. } => {}
+            }
+        }
+        self.route_appends(appends, out);
+    }
+
+    /// True when an AppendEntries to `to` should go through the aggregator.
+    fn use_aggregator(&self, to: RaftId) -> bool {
+        self.cfg.mode == Mode::HovercraftPp
+            && self.agg_confirmed
+            && self.cfg.agg_addr.is_some()
+            && !self.recovering.contains(&to)
+            && self.commit_settled_in_term()
+    }
+
+    /// Aggregator safety gate: the device commits by counting matches and
+    /// cannot see entry terms, so the leader only routes through it once its
+    /// commit index points at an entry of its own term (or the log is
+    /// empty). Above such a point every entry is current-term, which makes
+    /// match-counting equivalent to Raft's commit rule (§5.4.2 restriction).
+    fn commit_settled_in_term(&self) -> bool {
+        let c = self.raft.commit_index();
+        (c == 0 && self.raft.log().last_index() == 0)
+            || self.raft.log().term_at(c) == Some(self.raft.term())
+    }
+
+    /// Followers return successful AppendEntries replies to whatever device
+    /// fanned the request out; failures always go straight to the leader so
+    /// it can repair us point-to-point (§5).
+    fn reply_via_aggregator(&self, success: bool) -> bool {
+        self.cfg.mode == Mode::HovercraftPp
+            && success
+            && self.last_ae_via_agg
+            && self.cfg.agg_addr.is_some()
+    }
+
+    /// Sends collected AppendEntries: one aggregator copy when every healthy
+    /// follower would receive an identical message, individual unicasts
+    /// otherwise (divergent followers fail the append and enter recovery,
+    /// which is safe — appends are idempotent).
+    fn route_appends(&mut self, appends: Vec<(RaftId, Message<Cmd>)>, out: &mut Vec<Output>) {
+        if appends.is_empty() {
+            return;
+        }
+        let identical = appends.windows(2).all(|w| w[0].1 == w[1].1);
+        if identical {
+            let (_, msg) = appends.into_iter().next().expect("nonempty");
+            out.push(Output::Send {
+                dst: self.cfg.agg_addr.expect("HC++ mode"),
+                msg: WireMsg::Raft(msg),
+            });
+        } else {
+            for (to, msg) in appends {
+                out.push(Output::Send {
+                    dst: to,
+                    msg: WireMsg::Raft(msg),
+                });
+            }
+        }
+    }
+
+    fn on_became_leader(&mut self, now: u64, out: &mut Vec<Output>) {
+        self.ledger.reset();
+        self.recovering.clear();
+        self.agg_confirmed = false;
+        if self.cfg.mode.is_hovercraft() {
+            // Entries inherited from previous terms keep their immutable
+            // replier assignment; rebuild the ledger from them (§5).
+            let last = self.raft.log().last_index();
+            for idx in (self.applied + 1)..=last {
+                if let Some(e) = self.raft.log().get(idx) {
+                    if let Some(r) = e.cmd.desc.replier {
+                        self.ledger.assign(r, idx);
+                    }
+                }
+            }
+            // Freeze announcements at the inherited horizon; entries above
+            // it (our own un-announced proposals, if any) go through
+            // replier assignment first.
+            self.raft.set_ceiling(self.last_assigned_index());
+            // §5: requests the failed leader received but never ordered are
+            // still parked in our unordered set (the multicast reached us
+            // directly). Order them now, deterministically.
+            for id in self.pool.unordered_ids() {
+                let (kind, hash) = {
+                    let r = self.pool.get(id).expect("listed id present");
+                    (r.kind, body_hash(&r.body))
+                };
+                let desc = EntryDesc::new(id, hash, kind);
+                if self.raft.propose(Cmd::meta(desc)).is_ok() {
+                    self.pool.mark_ordered(id);
+                }
+            }
+        }
+        if self.cfg.mode == Mode::HovercraftPp {
+            if let Some(agg) = self.cfg.agg_addr {
+                out.push(Output::Send {
+                    dst: agg,
+                    msg: WireMsg::VoteProbe {
+                        term: self.raft.term(),
+                    },
+                });
+            }
+        }
+        self.try_announce(now, out);
+    }
+
+    /// Highest contiguous log index whose replier is already assigned.
+    fn last_assigned_index(&self) -> LogIndex {
+        let mut idx = self.raft.log().last_index();
+        while idx >= self.raft.log().first_index() {
+            match self.raft.log().get(idx) {
+                Some(e) if e.cmd.desc.replier.is_none() => idx -= 1,
+                _ => break,
+            }
+        }
+        idx
+    }
+
+    /// §3.3–3.4: stamp repliers into fresh entries (bounded queues + policy)
+    /// and raise the replication ceiling over them, then ship.
+    fn try_announce(&mut self, now: u64, out: &mut Vec<Output>) {
+        if !self.is_leader() {
+            return;
+        }
+        if !self.cfg.mode.is_hovercraft() {
+            // Vanilla mode replicates unconditionally (infinite ceiling).
+            let actions = self.raft.pump(now);
+            self.drain(actions, now, out);
+            return;
+        }
+        let last = self.raft.log().last_index();
+        let mut ceiling = self.raft.ceiling().min(last);
+        let members: Vec<RaftId> = self.cfg.raft.members.clone();
+        let me = self.id();
+        let mut advanced = false;
+        while ceiling < last {
+            let idx = ceiling + 1;
+            let needs_assignment = self
+                .raft
+                .log()
+                .get(idx)
+                .map(|e| e.cmd.desc.replier.is_none())
+                .unwrap_or(false);
+            if needs_assignment {
+                let candidates: Vec<RaftId> = if self.cfg.lb_replies {
+                    members.clone()
+                } else {
+                    vec![me]
+                };
+                let Some(r) =
+                    self.ledger
+                        .pick(&candidates, self.cfg.bound, self.cfg.policy, &mut self.rng)
+                else {
+                    break; // no eligible node: wait (§3.4 — liveness preserved)
+                };
+                if let Some(e) = self.raft.log_mut().get_mut(idx) {
+                    e.cmd.desc.replier = Some(r);
+                }
+                self.ledger.assign(r, idx);
+            }
+            ceiling = idx;
+            advanced = true;
+        }
+        if advanced {
+            self.raft.set_ceiling(ceiling);
+        }
+        let actions = self.raft.pump(now);
+        self.drain(actions, now, out);
+    }
+
+    // ---- apply path ---------------------------------------------------------
+
+    /// Hands committed entries to the application thread in log order,
+    /// stopping at the first entry whose body is still missing.
+    fn try_apply(&mut self, now: u64, out: &mut Vec<Output>) {
+        while self.next_apply <= self.raft.commit_index() {
+            let idx = self.next_apply;
+            let Some(entry) = self.raft.log().get(idx) else {
+                break;
+            };
+            let desc = entry.cmd.desc;
+            let inline_body = entry.cmd.body.clone();
+            let body = match inline_body {
+                Some(b) => b,
+                None => match self.pool.get(desc.id) {
+                    Some(r) => r.body.clone(),
+                    None => {
+                        // Committed but body still in flight: recovery is
+                        // already running (or starts now); apply stalls.
+                        self.stats.apply_stalls += 1;
+                        if let std::collections::hash_map::Entry::Vacant(slot) =
+                            self.missing.entry(desc.id)
+                        {
+                            slot.insert(now);
+                            if let Some(leader) = self.raft.leader_hint() {
+                                if leader != self.id() {
+                                    self.stats.recoveries_sent += 1;
+                                    out.push(Output::Send {
+                                        dst: leader,
+                                        msg: WireMsg::RecoveryReq { id: desc.id },
+                                    });
+                                }
+                            }
+                        }
+                        return;
+                    }
+                },
+            };
+            // Committed entries were always announced, hence assigned; fall
+            // back to the leader for defence in depth.
+            let replier = desc
+                .replier
+                .or(self.raft.leader_hint())
+                .unwrap_or_else(|| self.id());
+            let am_replier = replier == self.id();
+            let execute = match desc.kind {
+                OpKind::ReadWrite => true,
+                OpKind::ReadOnly => {
+                    if self.cfg.lb_reads && self.cfg.mode.is_hovercraft() {
+                        am_replier
+                    } else {
+                        true
+                    }
+                }
+            };
+            let (reply, cost) = if execute {
+                self.stats.executed += 1;
+                let r = self.service.execute(&body, desc.kind.is_read_only());
+                (Some(r.reply), r.cost_ns)
+            } else {
+                self.stats.ro_skipped += 1;
+                (None, 0)
+            };
+            self.pending.insert(
+                idx,
+                PendingReply {
+                    client: desc.id.src_ip,
+                    id: desc.id,
+                    reply,
+                    respond: am_replier && execute,
+                },
+            );
+            out.push(Output::Execute {
+                index: idx,
+                cost_ns: cost,
+            });
+            self.next_apply += 1;
+        }
+    }
+
+    fn retry_recoveries(&mut self, now: u64, out: &mut Vec<Output>) {
+        if self.missing.is_empty() {
+            return;
+        }
+        let retry = self.cfg.recovery_retry_ns;
+        let leader = self.raft.leader_hint();
+        let members = self.cfg.raft.members.clone();
+        let me = self.id();
+        let mut sent = 0u64;
+        for (id, last) in self.missing.iter_mut() {
+            if now.saturating_sub(*last) >= retry {
+                *last = now;
+                // Prefer the leader; fall back to a random other member —
+                // any node that saw the multicast can serve it (§5).
+                let dst = match leader {
+                    Some(l) if l != me => l,
+                    _ => {
+                        let others: Vec<RaftId> =
+                            members.iter().copied().filter(|m| *m != me).collect();
+                        if others.is_empty() {
+                            continue;
+                        }
+                        others[self.rng.gen_range(0..others.len())]
+                    }
+                };
+                sent += 1;
+                out.push(Output::Send {
+                    dst,
+                    msg: WireMsg::RecoveryReq { id: *id },
+                });
+            }
+        }
+        self.stats.recoveries_sent += sent;
+    }
+}

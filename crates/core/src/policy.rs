@@ -1,0 +1,221 @@
+//! Replier-selection policies (§3.3, §3.6) and the bounded-queue ledger
+//! (§3.4).
+//!
+//! The leader assigns every log entry a designated replier when it advances
+//! the announced index. Eligibility is governed by the bounded-queue
+//! invariant — a node with `B` or more assigned-but-unapplied operations
+//! receives no more work, which both caps replies lost to a replica failure
+//! at `B` and keeps work away from stalled nodes. Among eligible nodes the
+//! policy picks either uniformly at random or by Join-Bounded-Shortest-Queue
+//! (JBSQ), which the paper shows wins under high service-time dispersion
+//! (Figure 11).
+
+use std::collections::{HashMap, VecDeque};
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use raft::{LogIndex, RaftId};
+
+/// Which selection rule to apply among eligible nodes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum PolicyKind {
+    /// Uniform random choice among eligible nodes.
+    Random,
+    /// Join-Bounded-Shortest-Queue: the eligible node with the fewest
+    /// outstanding assignments (ties broken randomly).
+    #[default]
+    Jbsq,
+}
+
+/// The leader's ledger of replier assignments: per node, the queue of log
+/// indices assigned to it that it has not yet applied.
+#[derive(Debug, Default)]
+pub struct ReplierLedger {
+    queues: HashMap<RaftId, VecDeque<LogIndex>>,
+}
+
+impl ReplierLedger {
+    /// An empty ledger (fresh leadership term).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that entry `idx` was assigned to `node`.
+    pub fn assign(&mut self, node: RaftId, idx: LogIndex) {
+        self.queues.entry(node).or_default().push_back(idx);
+    }
+
+    /// Updates the ledger with `node`'s reported applied index, retiring
+    /// every assignment at or below it.
+    pub fn observe_applied(&mut self, node: RaftId, applied: LogIndex) {
+        if let Some(q) = self.queues.get_mut(&node) {
+            while q.front().is_some_and(|&i| i <= applied) {
+                q.pop_front();
+            }
+        }
+    }
+
+    /// Outstanding (assigned but unapplied) operations for `node` — the
+    /// queue depth JBSQ balances on.
+    pub fn depth(&self, node: RaftId) -> usize {
+        self.queues.get(&node).map(|q| q.len()).unwrap_or(0)
+    }
+
+    /// Clears all state (leadership change).
+    pub fn reset(&mut self) {
+        self.queues.clear();
+    }
+
+    /// Picks a replier for the next entry among `candidates`, honouring the
+    /// bounded-queue invariant with bound `b` and applying `kind` among the
+    /// eligible ones. Returns `None` when no node is eligible — the caller
+    /// must *wait* (§3.4: this never affects liveness; progress on any node
+    /// re-opens eligibility).
+    pub fn pick(
+        &self,
+        candidates: &[RaftId],
+        b: usize,
+        kind: PolicyKind,
+        rng: &mut SmallRng,
+    ) -> Option<RaftId> {
+        let eligible: Vec<RaftId> = candidates
+            .iter()
+            .copied()
+            .filter(|n| self.depth(*n) < b)
+            .collect();
+        if eligible.is_empty() {
+            return None;
+        }
+        Some(match kind {
+            PolicyKind::Random => eligible[rng.gen_range(0..eligible.len())],
+            PolicyKind::Jbsq => {
+                let min = eligible
+                    .iter()
+                    .map(|n| self.depth(*n))
+                    .min()
+                    .expect("nonempty");
+                let best: Vec<RaftId> = eligible
+                    .into_iter()
+                    .filter(|n| self.depth(*n) == min)
+                    .collect();
+                best[rng.gen_range(0..best.len())]
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn depth_tracks_assign_and_applied() {
+        let mut l = ReplierLedger::new();
+        l.assign(1, 10);
+        l.assign(1, 12);
+        l.assign(2, 11);
+        assert_eq!(l.depth(1), 2);
+        assert_eq!(l.depth(2), 1);
+        assert_eq!(l.depth(3), 0);
+        l.observe_applied(1, 11);
+        assert_eq!(l.depth(1), 1, "entry 10 retired, 12 outstanding");
+        l.observe_applied(1, 12);
+        assert_eq!(l.depth(1), 0);
+    }
+
+    #[test]
+    fn bounded_queue_blocks_full_nodes() {
+        let mut l = ReplierLedger::new();
+        let mut r = rng();
+        for i in 0..4 {
+            l.assign(1, i);
+        }
+        // Node 1 is at the bound; only node 2 is eligible.
+        for _ in 0..20 {
+            assert_eq!(l.pick(&[1, 2], 4, PolicyKind::Random, &mut r), Some(2));
+        }
+    }
+
+    #[test]
+    fn no_eligible_node_returns_none() {
+        let mut l = ReplierLedger::new();
+        let mut r = rng();
+        l.assign(1, 1);
+        l.assign(2, 2);
+        assert_eq!(l.pick(&[1, 2], 1, PolicyKind::Jbsq, &mut r), None);
+    }
+
+    #[test]
+    fn jbsq_prefers_shortest_queue() {
+        let mut l = ReplierLedger::new();
+        let mut r = rng();
+        for i in 0..3 {
+            l.assign(1, i);
+        }
+        l.assign(2, 10);
+        // Depths: node1 = 3, node2 = 1, node3 = 0.
+        for _ in 0..20 {
+            assert_eq!(l.pick(&[1, 2, 3], 8, PolicyKind::Jbsq, &mut r), Some(3));
+        }
+    }
+
+    #[test]
+    fn random_spreads_over_eligible() {
+        let l = ReplierLedger::new();
+        let mut r = rng();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            seen.insert(l.pick(&[1, 2, 3], 4, PolicyKind::Random, &mut r).unwrap());
+        }
+        assert_eq!(seen.len(), 3, "all nodes chosen eventually");
+    }
+
+    #[test]
+    fn jbsq_breaks_ties_randomly() {
+        let l = ReplierLedger::new();
+        let mut r = rng();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            seen.insert(l.pick(&[1, 2], 4, PolicyKind::Jbsq, &mut r).unwrap());
+        }
+        assert_eq!(seen.len(), 2);
+    }
+
+    #[test]
+    fn reset_clears_queues() {
+        let mut l = ReplierLedger::new();
+        l.assign(1, 1);
+        l.reset();
+        assert_eq!(l.depth(1), 0);
+    }
+
+    #[test]
+    fn stalled_node_stays_blocked_forever() {
+        // A failed node's applied index never advances; after B assignments
+        // it can never be picked again — the §3.4 failure-containment story.
+        let mut l = ReplierLedger::new();
+        let mut r = rng();
+        let b = 3;
+        let mut next_idx = 1;
+        let mut dead_got = 0;
+        for _ in 0..200 {
+            // Random (not JBSQ) keeps offering work to the dead node until
+            // its bounded queue fills — the worst case the bound protects.
+            let n = l.pick(&[1, 2], b, PolicyKind::Random, &mut r).unwrap();
+            l.assign(n, next_idx);
+            next_idx += 1;
+            if n == 1 {
+                dead_got += 1; // node 1 is dead: never applies
+            } else {
+                l.observe_applied(2, next_idx - 1); // node 2 applies instantly
+            }
+        }
+        assert_eq!(dead_got, b, "dead node received exactly B assignments");
+    }
+}

@@ -1,0 +1,207 @@
+//! The unordered request pool (§3.2, §5).
+//!
+//! With replication separated from ordering, every node receives client
+//! requests directly from the multicast group and parks them here, keyed by
+//! the R2P2 3-tuple, until an `append_entries` assigns them a log position.
+//! Entries that never get ordered (e.g. the multicast reached this node but
+//! the leader dropped the request) are garbage-collected after a timeout;
+//! early GC is safe — it merely re-triggers the recovery protocol (§5).
+//!
+//! Bodies of *ordered* requests move to a retained archive so the node can
+//! serve `recovery_request`s from peers that missed the multicast, and so
+//! the applier can execute entries in log order.
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+use r2p2::ReqId;
+
+use crate::cmd::OpKind;
+
+/// A parked client request.
+#[derive(Clone, Debug)]
+pub struct PooledReq {
+    /// Operation kind from the request's POLICY field.
+    pub kind: OpKind,
+    /// Request payload.
+    pub body: Bytes,
+    /// Arrival time (ns), for GC.
+    pub arrived: u64,
+}
+
+/// The unordered set plus the ordered-body archive.
+#[derive(Default)]
+pub struct UnorderedPool {
+    unordered: HashMap<ReqId, PooledReq>,
+    archive: HashMap<ReqId, PooledReq>,
+}
+
+impl UnorderedPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Parks a client request awaiting ordering. Duplicate arrivals (e.g.
+    /// client retries) keep the first copy.
+    pub fn insert(&mut self, id: ReqId, kind: OpKind, body: Bytes, now: u64) {
+        if self.archive.contains_key(&id) {
+            return;
+        }
+        self.unordered.entry(id).or_insert(PooledReq {
+            kind,
+            body,
+            arrived: now,
+        });
+    }
+
+    /// True if the request is available (unordered or archived).
+    pub fn contains(&self, id: ReqId) -> bool {
+        self.unordered.contains_key(&id) || self.archive.contains_key(&id)
+    }
+
+    /// True if the request has already been bound to a log slot (it sits in
+    /// the archive). Used for duplicate suppression on the leader.
+    pub fn is_archived(&self, id: ReqId) -> bool {
+        self.archive.contains_key(&id)
+    }
+
+    /// Looks up a request body wherever it lives.
+    pub fn get(&self, id: ReqId) -> Option<&PooledReq> {
+        self.unordered.get(&id).or_else(|| self.archive.get(&id))
+    }
+
+    /// Marks a request as ordered: moves it from the unordered set to the
+    /// archive (it is now referenced by a log entry and must outlive GC so
+    /// peers can recover it). Returns false if the body is missing — the
+    /// caller should start recovery.
+    pub fn mark_ordered(&mut self, id: ReqId) -> bool {
+        if self.archive.contains_key(&id) {
+            return true;
+        }
+        match self.unordered.remove(&id) {
+            Some(r) => {
+                self.archive.insert(id, r);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Inserts a body recovered from a peer directly into the archive.
+    pub fn insert_recovered(&mut self, id: ReqId, kind: OpKind, body: Bytes, now: u64) {
+        self.unordered.remove(&id);
+        self.archive.entry(id).or_insert(PooledReq {
+            kind,
+            body,
+            arrived: now,
+        });
+    }
+
+    /// Garbage-collects unordered requests older than `timeout` ns.
+    /// Returns how many were collected.
+    pub fn gc(&mut self, now: u64, timeout: u64) -> usize {
+        let before = self.unordered.len();
+        self.unordered
+            .retain(|_, r| now.saturating_sub(r.arrived) < timeout);
+        before - self.unordered.len()
+    }
+
+    /// Number of requests awaiting ordering.
+    pub fn unordered_len(&self) -> usize {
+        self.unordered.len()
+    }
+
+    /// Ids of all requests awaiting ordering, sorted (deterministic across
+    /// replicas). A new leader proposes these — requests the failed leader
+    /// received but never ordered (§5).
+    pub fn unordered_ids(&self) -> Vec<ReqId> {
+        let mut ids: Vec<ReqId> = self.unordered.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Number of ordered (archived) request bodies retained.
+    pub fn archived_len(&self) -> usize {
+        self.archive.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(n: u16) -> ReqId {
+        ReqId::new(1, 1, n)
+    }
+
+    fn body() -> Bytes {
+        Bytes::from_static(b"req")
+    }
+
+    #[test]
+    fn insert_then_order() {
+        let mut p = UnorderedPool::new();
+        p.insert(id(1), OpKind::ReadWrite, body(), 0);
+        assert!(p.contains(id(1)));
+        assert_eq!(p.unordered_len(), 1);
+        assert!(p.mark_ordered(id(1)));
+        assert_eq!(p.unordered_len(), 0);
+        assert_eq!(p.archived_len(), 1);
+        assert!(p.contains(id(1)), "still serveable for recovery");
+    }
+
+    #[test]
+    fn ordering_a_missing_request_fails() {
+        let mut p = UnorderedPool::new();
+        assert!(!p.mark_ordered(id(9)));
+    }
+
+    #[test]
+    fn mark_ordered_is_idempotent() {
+        let mut p = UnorderedPool::new();
+        p.insert(id(1), OpKind::ReadOnly, body(), 0);
+        assert!(p.mark_ordered(id(1)));
+        assert!(p.mark_ordered(id(1)));
+        assert_eq!(p.archived_len(), 1);
+    }
+
+    #[test]
+    fn duplicate_insert_keeps_first() {
+        let mut p = UnorderedPool::new();
+        p.insert(id(1), OpKind::ReadWrite, Bytes::from_static(b"first"), 0);
+        p.insert(id(1), OpKind::ReadWrite, Bytes::from_static(b"second"), 5);
+        assert_eq!(&p.get(id(1)).unwrap().body[..], b"first");
+    }
+
+    #[test]
+    fn insert_after_archive_is_ignored() {
+        let mut p = UnorderedPool::new();
+        p.insert(id(1), OpKind::ReadWrite, body(), 0);
+        p.mark_ordered(id(1));
+        p.insert(id(1), OpKind::ReadWrite, Bytes::from_static(b"late dup"), 9);
+        assert_eq!(p.unordered_len(), 0);
+        assert_eq!(&p.get(id(1)).unwrap().body[..], b"req");
+    }
+
+    #[test]
+    fn gc_only_touches_unordered() {
+        let mut p = UnorderedPool::new();
+        p.insert(id(1), OpKind::ReadWrite, body(), 0);
+        p.insert(id(2), OpKind::ReadWrite, body(), 500);
+        p.mark_ordered(id(1));
+        let n = p.gc(1200, 600);
+        assert_eq!(n, 1, "only the stale unordered one");
+        assert!(p.contains(id(1)), "archived survives GC");
+        assert!(!p.contains(id(2)));
+    }
+
+    #[test]
+    fn recovered_bodies_land_in_archive() {
+        let mut p = UnorderedPool::new();
+        p.insert_recovered(id(3), OpKind::ReadOnly, body(), 7);
+        assert_eq!(p.unordered_len(), 0);
+        assert_eq!(p.archived_len(), 1);
+        assert!(p.mark_ordered(id(3)));
+    }
+}

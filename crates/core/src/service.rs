@@ -1,0 +1,80 @@
+//! The application-facing service abstraction.
+//!
+//! HovercRaft's promise (§1, §3.1) is *application-agnostic* fault
+//! tolerance: any deterministic RPC service plugs in unmodified, because the
+//! SMR machinery lives in the transport underneath it. [`Service`] is that
+//! plug point — the same trait object runs unreplicated, under VanillaRaft,
+//! or under HovercRaft/++ without changes, which is exactly the experiment
+//! of §7.5 (unmodified Redis under all four setups).
+//!
+//! Determinism contract: given the same sequence of `execute` calls with the
+//! same bodies, every replica must produce the same state and replies. The
+//! service reports the CPU cost of each operation so the testbed can charge
+//! it to the simulated application thread.
+
+use bytes::Bytes;
+
+/// Result of executing one request.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Executed {
+    /// The reply payload to return to the client.
+    pub reply: Bytes,
+    /// CPU time the operation consumed, in nanoseconds (charged to the
+    /// application thread by the simulation harness).
+    pub cost_ns: u64,
+}
+
+/// A deterministic RPC application running on top of the SMR layer.
+pub trait Service: 'static {
+    /// Executes one request against the state machine. `read_only` is the
+    /// client's POLICY claim; a well-behaved service must not mutate state
+    /// when it is set (§3.5: a wrong claim is a catastrophic application
+    /// bug, not a protocol failure).
+    fn execute(&mut self, body: &[u8], read_only: bool) -> Executed;
+}
+
+impl Service for Box<dyn Service> {
+    fn execute(&mut self, body: &[u8], read_only: bool) -> Executed {
+        (**self).execute(body, read_only)
+    }
+}
+
+/// A trivial echo service with a fixed per-op cost; used by tests.
+#[derive(Debug, Default)]
+pub struct EchoService {
+    /// Cost charged per operation, ns.
+    pub cost_ns: u64,
+    /// Number of operations executed (mutations only, to stay
+    /// deterministic under read-only skipping).
+    pub writes: u64,
+}
+
+impl Service for EchoService {
+    fn execute(&mut self, body: &[u8], read_only: bool) -> Executed {
+        if !read_only {
+            self.writes += 1;
+        }
+        Executed {
+            reply: Bytes::copy_from_slice(body),
+            cost_ns: self.cost_ns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn echo_reflects_body_and_counts_writes() {
+        let mut s = EchoService {
+            cost_ns: 100,
+            writes: 0,
+        };
+        let r = s.execute(b"ping", false);
+        assert_eq!(&r.reply[..], b"ping");
+        assert_eq!(r.cost_ns, 100);
+        s.execute(b"ro", true);
+        assert_eq!(s.writes, 1, "read-only ops do not count as writes");
+    }
+}

@@ -1,0 +1,142 @@
+//! Replies and their wire encoding.
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// A command's result.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Reply {
+    /// Generic success.
+    Ok,
+    /// Key/field/element absent.
+    Nil,
+    /// An integer result (counts, lengths, INCR).
+    Int(i64),
+    /// A single binary string.
+    Bulk(Bytes),
+    /// An ordered collection of results (LRANGE, HGETALL, SCAN).
+    Array(Vec<Reply>),
+    /// An error, e.g. WRONGTYPE.
+    Err(String),
+}
+
+impl Reply {
+    /// True for error replies.
+    pub fn is_err(&self) -> bool {
+        matches!(self, Reply::Err(_))
+    }
+
+    /// Encodes to wire bytes (a compact binary analogue of RESP).
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(16);
+        self.encode_into(&mut b);
+        b.freeze()
+    }
+
+    fn encode_into(&self, b: &mut BytesMut) {
+        match self {
+            Reply::Ok => b.put_u8(b'+'),
+            Reply::Nil => b.put_u8(b'_'),
+            Reply::Int(i) => {
+                b.put_u8(b':');
+                b.put_i64(*i);
+            }
+            Reply::Bulk(body) => {
+                b.put_u8(b'$');
+                b.put_u32(body.len() as u32);
+                b.put_slice(body);
+            }
+            Reply::Array(items) => {
+                b.put_u8(b'*');
+                b.put_u32(items.len() as u32);
+                for it in items {
+                    it.encode_into(b);
+                }
+            }
+            Reply::Err(msg) => {
+                b.put_u8(b'-');
+                b.put_u32(msg.len() as u32);
+                b.put_slice(msg.as_bytes());
+            }
+        }
+    }
+
+    /// Decodes wire bytes produced by [`Reply::encode`].
+    pub fn decode(buf: &[u8]) -> Option<Reply> {
+        let (r, rest) = Self::decode_one(buf)?;
+        rest.is_empty().then_some(r)
+    }
+
+    fn decode_one(buf: &[u8]) -> Option<(Reply, &[u8])> {
+        let (&tag, rest) = buf.split_first()?;
+        match tag {
+            b'+' => Some((Reply::Ok, rest)),
+            b'_' => Some((Reply::Nil, rest)),
+            b':' => {
+                let v = i64::from_be_bytes(rest.get(..8)?.try_into().ok()?);
+                Some((Reply::Int(v), &rest[8..]))
+            }
+            b'$' => {
+                let len = u32::from_be_bytes(rest.get(..4)?.try_into().ok()?) as usize;
+                let body = rest.get(4..4 + len)?;
+                Some((Reply::Bulk(Bytes::copy_from_slice(body)), &rest[4 + len..]))
+            }
+            b'*' => {
+                let n = u32::from_be_bytes(rest.get(..4)?.try_into().ok()?) as usize;
+                let mut cur = &rest[4..];
+                let mut items = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let (it, nxt) = Self::decode_one(cur)?;
+                    items.push(it);
+                    cur = nxt;
+                }
+                Some((Reply::Array(items), cur))
+            }
+            b'-' => {
+                let len = u32::from_be_bytes(rest.get(..4)?.try_into().ok()?) as usize;
+                let msg = rest.get(4..4 + len)?;
+                Some((
+                    Reply::Err(String::from_utf8_lossy(msg).into_owned()),
+                    &rest[4 + len..],
+                ))
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_shapes() {
+        let replies = vec![
+            Reply::Ok,
+            Reply::Nil,
+            Reply::Int(-42),
+            Reply::Bulk(Bytes::from_static(b"hello\0world")),
+            Reply::Err("WRONGTYPE expected list, found string".to_string()),
+            Reply::Array(vec![
+                Reply::Bulk(Bytes::from_static(b"k")),
+                Reply::Int(7),
+                Reply::Array(vec![Reply::Nil]),
+            ]),
+        ];
+        for r in replies {
+            assert_eq!(Reply::decode(&r.encode()), Some(r.clone()), "{r:?}");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_trailing_garbage() {
+        let mut enc = Reply::Ok.encode().to_vec();
+        enc.push(9);
+        assert_eq!(Reply::decode(&enc), None);
+    }
+
+    #[test]
+    fn err_predicate() {
+        assert!(Reply::Err("x".into()).is_err());
+        assert!(!Reply::Ok.is_err());
+    }
+}

@@ -1,0 +1,105 @@
+//! Open-loop Poisson arrival processes.
+//!
+//! Lancet (Kogias et al., ATC '19) drives systems with an *open-loop*
+//! Poisson arrival process: request send times are drawn independently of
+//! the system's responses, which is what exposes queueing behaviour and
+//! makes tail-latency measurements honest. Closed-loop generators (wait for
+//! the reply, then send) hide overload; the paper's entire evaluation is
+//! open-loop.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// An open-loop Poisson arrival schedule: an infinite iterator of absolute
+/// send times in nanoseconds.
+#[derive(Clone, Debug)]
+pub struct PoissonArrivals {
+    rate_rps: f64,
+    next_ns: f64,
+    rng: SmallRng,
+}
+
+impl PoissonArrivals {
+    /// Arrivals at `rate_rps` requests per second starting around `start_ns`.
+    ///
+    /// # Panics
+    /// Panics if the rate is not strictly positive and finite.
+    pub fn new(rate_rps: f64, start_ns: u64, seed: u64) -> PoissonArrivals {
+        assert!(rate_rps > 0.0 && rate_rps.is_finite());
+        PoissonArrivals {
+            rate_rps,
+            next_ns: start_ns as f64,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The configured mean rate.
+    pub fn rate_rps(&self) -> f64 {
+        self.rate_rps
+    }
+
+    /// Absolute time of the next arrival, ns.
+    pub fn next_arrival(&mut self) -> u64 {
+        let t = self.next_ns as u64;
+        let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        let gap_ns = -u.ln() / self.rate_rps * 1e9;
+        self.next_ns += gap_ns;
+        t
+    }
+}
+
+impl Iterator for PoissonArrivals {
+    type Item = u64;
+    fn next(&mut self) -> Option<u64> {
+        Some(self.next_arrival())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_rate_is_respected() {
+        let mut p = PoissonArrivals::new(100_000.0, 0, 7);
+        let n = 200_000;
+        let mut last = 0;
+        for _ in 0..n {
+            last = p.next_arrival();
+        }
+        let measured = n as f64 / (last as f64 / 1e9);
+        assert!(
+            (measured - 100_000.0).abs() < 2_000.0,
+            "measured rate {measured:.0}"
+        );
+    }
+
+    #[test]
+    fn arrivals_are_monotone() {
+        let mut p = PoissonArrivals::new(1_000.0, 500, 1);
+        let mut prev = 0;
+        for t in p.by_ref().take(10_000) {
+            assert!(t >= prev);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn interarrivals_are_memoryless_ish() {
+        // CV (σ/µ) of exponential inter-arrivals ≈ 1.
+        let mut p = PoissonArrivals::new(1_000_000.0, 0, 3);
+        let times: Vec<u64> = p.by_ref().take(100_000).collect();
+        let gaps: Vec<f64> = times.windows(2).map(|w| (w[1] - w[0]) as f64).collect();
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
+        let cv = var.sqrt() / mean;
+        assert!((0.95..1.05).contains(&cv), "cv = {cv}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a: Vec<u64> = PoissonArrivals::new(5_000.0, 0, 9).take(100).collect();
+        let b: Vec<u64> = PoissonArrivals::new(5_000.0, 0, 9).take(100).collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,279 @@
+//! Message packetization and reassembly (REQ0/REQN).
+//!
+//! R2P2 splits a message larger than one MTU into a first packet (REQ0) that
+//! carries the header plus the leading payload bytes, followed by REQN
+//! packets. The receiver reassembles by `(3-tuple, pkt_id)` and releases the
+//! message when all `n_pkts` fragments are present. Fragments may arrive in
+//! any order; duplicates are ignored.
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+
+use crate::header::{Header, FLAG_FIRST, FLAG_LAST, HEADER_LEN};
+use crate::id::ReqId;
+use crate::{MsgType, Policy, R2p2Error, Result};
+
+/// One wire packet: header plus its payload slice.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Fragment {
+    /// Decoded packet header.
+    pub header: Header,
+    /// This fragment's payload bytes.
+    pub payload: Bytes,
+}
+
+/// Splits `body` into fragments of at most `mtu` bytes of wire size each
+/// (header included). Always produces at least one fragment, even for an
+/// empty body.
+///
+/// # Panics
+/// Panics if `mtu` is not strictly larger than the header, or if the body
+/// needs more than `u16::MAX` fragments.
+pub fn packetize(ty: MsgType, policy: Policy, id: ReqId, body: &[u8], mtu: usize) -> Vec<Fragment> {
+    assert!(mtu > HEADER_LEN, "mtu must exceed the header size");
+    let room = mtu - HEADER_LEN;
+    let n_pkts = body.len().div_ceil(room).max(1);
+    assert!(n_pkts <= u16::MAX as usize, "message too large");
+    let mut out = Vec::with_capacity(n_pkts);
+    for i in 0..n_pkts {
+        let lo = i * room;
+        let hi = ((i + 1) * room).min(body.len());
+        let mut flags = 0;
+        if i == 0 {
+            flags |= FLAG_FIRST;
+        }
+        if i == n_pkts - 1 {
+            flags |= FLAG_LAST;
+        }
+        out.push(Fragment {
+            header: Header {
+                ty,
+                policy,
+                flags,
+                rid: id.rid,
+                pkt_id: i as u16,
+                n_pkts: n_pkts as u16,
+                src_port: id.src_port,
+            },
+            payload: Bytes::copy_from_slice(&body[lo..hi]),
+        });
+    }
+    out
+}
+
+/// A message reassembled from its fragments.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Reassembled {
+    /// Message type (from the first fragment).
+    pub ty: MsgType,
+    /// Policy (from the first fragment).
+    pub policy: Policy,
+    /// The identifying 3-tuple.
+    pub id: ReqId,
+    /// The complete message body.
+    pub body: Bytes,
+}
+
+struct Partial {
+    ty: MsgType,
+    policy: Policy,
+    n_pkts: u16,
+    have: u16,
+    parts: Vec<Option<Bytes>>,
+}
+
+/// Reassembles multi-packet messages keyed by the R2P2 3-tuple.
+#[derive(Default)]
+pub struct Reassembler {
+    partial: HashMap<ReqId, Partial>,
+}
+
+impl Reassembler {
+    /// Creates an empty reassembler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of messages currently awaiting more fragments.
+    pub fn pending(&self) -> usize {
+        self.partial.len()
+    }
+
+    /// Feeds one fragment; `src_ip` completes the 3-tuple. Returns the full
+    /// message once its last missing fragment arrives.
+    pub fn push(&mut self, src_ip: u32, frag: Fragment) -> Result<Option<Reassembled>> {
+        let h = frag.header;
+        let id = ReqId::new(src_ip, h.src_port, h.rid);
+        if h.n_pkts == 0 || h.pkt_id >= h.n_pkts {
+            return Err(R2p2Error::BadFragment {
+                pkt_id: h.pkt_id,
+                n_pkts: h.n_pkts,
+            });
+        }
+        // Fast path: single-packet message with no partial state.
+        if h.n_pkts == 1 && !self.partial.contains_key(&id) {
+            return Ok(Some(Reassembled {
+                ty: h.ty,
+                policy: h.policy,
+                id,
+                body: frag.payload,
+            }));
+        }
+        let p = self.partial.entry(id).or_insert_with(|| Partial {
+            ty: h.ty,
+            policy: h.policy,
+            n_pkts: h.n_pkts,
+            have: 0,
+            parts: vec![None; h.n_pkts as usize],
+        });
+        if h.n_pkts != p.n_pkts {
+            return Err(R2p2Error::BadFragment {
+                pkt_id: h.pkt_id,
+                n_pkts: h.n_pkts,
+            });
+        }
+        let slot = &mut p.parts[h.pkt_id as usize];
+        if slot.is_none() {
+            *slot = Some(frag.payload);
+            p.have += 1;
+        }
+        if p.have < p.n_pkts {
+            return Ok(None);
+        }
+        let p = self.partial.remove(&id).expect("just inserted");
+        let mut body = Vec::new();
+        for part in p.parts {
+            body.extend_from_slice(&part.expect("all parts present"));
+        }
+        Ok(Some(Reassembled {
+            ty: p.ty,
+            policy: p.policy,
+            id,
+            body: Bytes::from(body),
+        }))
+    }
+
+    /// Drops partial state for `id` (e.g. on timeout).
+    pub fn evict(&mut self, id: ReqId) {
+        self.partial.remove(&id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id() -> ReqId {
+        ReqId::new(3, 777, 21)
+    }
+
+    #[test]
+    fn small_message_is_single_fragment() {
+        let frags = packetize(MsgType::Request, Policy::Replicated, id(), b"abc", 1500);
+        assert_eq!(frags.len(), 1);
+        assert!(frags[0].header.is_first() && frags[0].header.is_last());
+        assert_eq!(frags[0].header.n_pkts, 1);
+    }
+
+    #[test]
+    fn empty_body_still_sends_one_packet() {
+        let frags = packetize(MsgType::Request, Policy::Unrestricted, id(), b"", 1500);
+        assert_eq!(frags.len(), 1);
+        assert!(frags[0].payload.is_empty());
+    }
+
+    #[test]
+    fn large_message_fragments_and_reassembles_in_order() {
+        let body: Vec<u8> = (0..5000u32).map(|i| i as u8).collect();
+        let frags = packetize(MsgType::Response, Policy::Unrestricted, id(), &body, 1500);
+        assert_eq!(frags.len(), 4); // ceil(5000 / 1484)
+        assert!(frags[0].header.is_first());
+        assert!(frags.last().unwrap().header.is_last());
+        let mut r = Reassembler::new();
+        let mut done = None;
+        for f in frags {
+            done = r.push(3, f).unwrap();
+        }
+        let m = done.expect("complete");
+        assert_eq!(&m.body[..], &body[..]);
+        assert_eq!(m.id, id());
+        assert_eq!(r.pending(), 0);
+    }
+
+    #[test]
+    fn out_of_order_and_duplicate_fragments() {
+        let body: Vec<u8> = (0..4000u32).map(|i| (i * 7) as u8).collect();
+        let mut frags = packetize(MsgType::Request, Policy::Replicated, id(), &body, 1500);
+        frags.reverse();
+        let dup = frags[1].clone();
+        frags.insert(1, dup);
+        let mut r = Reassembler::new();
+        let mut done = None;
+        for f in frags {
+            if let Some(m) = r.push(3, f).unwrap() {
+                assert!(done.is_none(), "delivered twice");
+                done = Some(m);
+            }
+        }
+        assert_eq!(&done.expect("complete").body[..], &body[..]);
+    }
+
+    #[test]
+    fn interleaved_messages_from_different_clients() {
+        let body_a: Vec<u8> = vec![0xaa; 3000];
+        let body_b: Vec<u8> = vec![0xbb; 3000];
+        let fa = packetize(MsgType::Request, Policy::Replicated, id(), &body_a, 1500);
+        let fb = packetize(MsgType::Request, Policy::Replicated, id(), &body_b, 1500);
+        let mut r = Reassembler::new();
+        let mut done = Vec::new();
+        // Same (port, rid) but different src ips — must not mix.
+        for (ip, f) in fa
+            .into_iter()
+            .map(|f| (1, f))
+            .chain(fb.into_iter().map(|f| (2, f)))
+        {
+            if let Some(m) = r.push(ip, f).unwrap() {
+                done.push(m);
+            }
+        }
+        assert_eq!(done.len(), 2);
+        assert!(done.iter().any(|m| m.id.src_ip == 1 && m.body[0] == 0xaa));
+        assert!(done.iter().any(|m| m.id.src_ip == 2 && m.body[0] == 0xbb));
+    }
+
+    #[test]
+    fn rejects_inconsistent_fragment() {
+        let mut r = Reassembler::new();
+        let h = Header {
+            ty: MsgType::Request,
+            policy: Policy::Unrestricted,
+            flags: FLAG_FIRST,
+            rid: 1,
+            pkt_id: 5,
+            n_pkts: 3,
+            src_port: 1,
+        };
+        let err = r
+            .push(
+                1,
+                Fragment {
+                    header: h,
+                    payload: Bytes::new(),
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, R2p2Error::BadFragment { .. }));
+    }
+
+    #[test]
+    fn evict_discards_partial_state() {
+        let body = vec![1u8; 3000];
+        let frags = packetize(MsgType::Request, Policy::Replicated, id(), &body, 1500);
+        let mut r = Reassembler::new();
+        assert!(r.push(3, frags[0].clone()).unwrap().is_none());
+        assert_eq!(r.pending(), 1);
+        r.evict(id());
+        assert_eq!(r.pending(), 0);
+    }
+}

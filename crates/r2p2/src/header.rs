@@ -1,0 +1,297 @@
+//! The R2P2 packet header and its wire format.
+//!
+//! R2P2 (Kogias et al., ATC '19) is a UDP-based transport that exposes
+//! request/response semantics to the network so that policies can be
+//! enforced *inside* it. HovercRaft (§6.1) extends two header fields:
+//!
+//! * the **POLICY** field gains `REPLICATED_REQ` and `REPLICATED_REQ_R`,
+//!   with which clients mark requests that must be totally ordered by the
+//!   SMR layer (read-write and read-only respectively);
+//! * the **message type** field gains Raft request/response types so that
+//!   consensus messages — which are themselves RPCs — can be classified by
+//!   both endpoints and in-network devices (the aggregator keys off these).
+//!
+//! The header is 16 bytes, fixed:
+//!
+//! ```text
+//!  0      1      2      3      4      6      8     10     12     16
+//!  +------+------+------+------+------+------+------+------+------+
+//!  |magic |type/ |flags |rsvd  |rid   |pkt_id|n_pkts|src_port     |
+//!  |      |policy|      |      |      |      |      | + seed      |
+//!  +------+------+------+------+------+------+------+------+------+
+//! ```
+//!
+//! (`rid`, `pkt_id`, `n_pkts` are u16 big-endian; the final 4 bytes carry
+//! the 16-bit source port used in the request-identifying 3-tuple plus a
+//! 16-bit checksum-seed we keep reserved.)
+
+use crate::{R2p2Error, Result};
+
+/// Protocol magic byte (first header byte of every R2P2 packet).
+pub const MAGIC: u8 = 0x52; // ASCII 'R'
+
+/// Fixed header length in bytes.
+pub const HEADER_LEN: usize = 16;
+
+/// R2P2 message types, including the Raft extensions of HovercRaft §6.1.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[repr(u8)]
+pub enum MsgType {
+    /// First (or only) packet of a client request.
+    Request = 0,
+    /// First (or only) packet of a server response.
+    Response = 1,
+    /// Flow-control / scheduling feedback (repurposable, §6.3).
+    Feedback = 2,
+    /// Negative acknowledgement: the request was rejected (e.g. flow
+    /// control shed it); the client should back off and retry.
+    Nack = 3,
+    /// Acknowledgement used by request-expecting-feedback exchanges.
+    Ack = 4,
+    /// A consensus-protocol request (append_entries, request_vote, ...).
+    RaftReq = 5,
+    /// A consensus-protocol response.
+    RaftRep = 6,
+    /// HovercRaft recovery: ask a peer for a missing client request (§3.2).
+    RecoveryReq = 7,
+    /// HovercRaft recovery: carry a recovered client request.
+    RecoveryRep = 8,
+}
+
+impl MsgType {
+    /// Decodes a message type from its 4-bit wire value.
+    pub fn from_wire(v: u8) -> Result<MsgType> {
+        Ok(match v {
+            0 => MsgType::Request,
+            1 => MsgType::Response,
+            2 => MsgType::Feedback,
+            3 => MsgType::Nack,
+            4 => MsgType::Ack,
+            5 => MsgType::RaftReq,
+            6 => MsgType::RaftRep,
+            7 => MsgType::RecoveryReq,
+            8 => MsgType::RecoveryRep,
+            _ => return Err(R2p2Error::BadMsgType(v)),
+        })
+    }
+
+    /// True for the two consensus message types, which in-network devices
+    /// (the HovercRaft++ aggregator) treat specially.
+    pub fn is_consensus(self) -> bool {
+        matches!(self, MsgType::RaftReq | MsgType::RaftRep)
+    }
+}
+
+/// Request routing/consistency policies carried in the POLICY field.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+#[repr(u8)]
+pub enum Policy {
+    /// Any server may answer; no ordering (plain R2P2 load balancing).
+    #[default]
+    Unrestricted = 0,
+    /// Stick to the server the router picked (JBSQ bookkeeping).
+    Sticky = 1,
+    /// HovercRaft: totally ordered read-write request (`REPLICATED_REQ`).
+    Replicated = 2,
+    /// HovercRaft: totally ordered read-only request (`REPLICATED_REQ_R`);
+    /// ordered in the log but executed only by the designated replier §3.5.
+    ReplicatedRo = 3,
+}
+
+impl Policy {
+    /// Decodes a policy from its 4-bit wire value.
+    pub fn from_wire(v: u8) -> Result<Policy> {
+        Ok(match v {
+            0 => Policy::Unrestricted,
+            1 => Policy::Sticky,
+            2 => Policy::Replicated,
+            3 => Policy::ReplicatedRo,
+            _ => return Err(R2p2Error::BadPolicy(v)),
+        })
+    }
+
+    /// True if the request must be totally ordered by the SMR layer.
+    pub fn is_replicated(self) -> bool {
+        matches!(self, Policy::Replicated | Policy::ReplicatedRo)
+    }
+
+    /// True if the request is read-only (never modifies the state machine).
+    pub fn is_read_only(self) -> bool {
+        self == Policy::ReplicatedRo
+    }
+}
+
+/// Decoded R2P2 packet header.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Header {
+    /// Message type.
+    pub ty: MsgType,
+    /// Routing/consistency policy.
+    pub policy: Policy,
+    /// Flags (bit 0: FIRST, bit 1: LAST — both set for single-packet
+    /// messages).
+    pub flags: u8,
+    /// Per-(client, port) request identifier; with the source ip/port it
+    /// forms the unique 3-tuple of §3.2.
+    pub rid: u16,
+    /// Index of this packet within the message (0 = REQ0).
+    pub pkt_id: u16,
+    /// Total number of packets in the message.
+    pub n_pkts: u16,
+    /// Client-chosen source port, part of the identifying 3-tuple.
+    pub src_port: u16,
+}
+
+/// FIRST flag: this is the opening packet of a message.
+pub const FLAG_FIRST: u8 = 0x01;
+/// LAST flag: this is the final packet of a message.
+pub const FLAG_LAST: u8 = 0x02;
+
+impl Header {
+    /// Builds a header for a single-packet message.
+    pub fn single(ty: MsgType, policy: Policy, rid: u16, src_port: u16) -> Header {
+        Header {
+            ty,
+            policy,
+            flags: FLAG_FIRST | FLAG_LAST,
+            rid,
+            pkt_id: 0,
+            n_pkts: 1,
+            src_port,
+        }
+    }
+
+    /// Encodes into the fixed 16-byte wire representation.
+    pub fn encode(&self) -> [u8; HEADER_LEN] {
+        let mut b = [0u8; HEADER_LEN];
+        b[0] = MAGIC;
+        b[1] = ((self.ty as u8) << 4) | (self.policy as u8);
+        b[2] = self.flags;
+        b[3] = 0; // reserved
+        b[4..6].copy_from_slice(&self.rid.to_be_bytes());
+        b[6..8].copy_from_slice(&self.pkt_id.to_be_bytes());
+        b[8..10].copy_from_slice(&self.n_pkts.to_be_bytes());
+        b[10..12].copy_from_slice(&self.src_port.to_be_bytes());
+        // b[12..16] reserved (checksum seed).
+        b
+    }
+
+    /// Decodes from wire bytes; `buf` must hold at least [`HEADER_LEN`].
+    pub fn decode(buf: &[u8]) -> Result<Header> {
+        if buf.len() < HEADER_LEN {
+            return Err(R2p2Error::Truncated {
+                need: HEADER_LEN,
+                have: buf.len(),
+            });
+        }
+        if buf[0] != MAGIC {
+            return Err(R2p2Error::BadMagic(buf[0]));
+        }
+        let ty = MsgType::from_wire(buf[1] >> 4)?;
+        let policy = Policy::from_wire(buf[1] & 0x0f)?;
+        Ok(Header {
+            ty,
+            policy,
+            flags: buf[2],
+            rid: u16::from_be_bytes([buf[4], buf[5]]),
+            pkt_id: u16::from_be_bytes([buf[6], buf[7]]),
+            n_pkts: u16::from_be_bytes([buf[8], buf[9]]),
+            src_port: u16::from_be_bytes([buf[10], buf[11]]),
+        })
+    }
+
+    /// True if the FIRST flag is set.
+    pub fn is_first(&self) -> bool {
+        self.flags & FLAG_FIRST != 0
+    }
+
+    /// True if the LAST flag is set.
+    pub fn is_last(&self) -> bool {
+        self.flags & FLAG_LAST != 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_packet_header_roundtrip() {
+        let h = Header::single(MsgType::Request, Policy::Replicated, 42, 9000);
+        let d = Header::decode(&h.encode()).unwrap();
+        assert_eq!(h, d);
+        assert!(d.is_first() && d.is_last());
+    }
+
+    #[test]
+    fn all_types_and_policies_roundtrip() {
+        for ty in [
+            MsgType::Request,
+            MsgType::Response,
+            MsgType::Feedback,
+            MsgType::Nack,
+            MsgType::Ack,
+            MsgType::RaftReq,
+            MsgType::RaftRep,
+            MsgType::RecoveryReq,
+            MsgType::RecoveryRep,
+        ] {
+            for pol in [
+                Policy::Unrestricted,
+                Policy::Sticky,
+                Policy::Replicated,
+                Policy::ReplicatedRo,
+            ] {
+                let h = Header {
+                    ty,
+                    policy: pol,
+                    flags: FLAG_FIRST,
+                    rid: 7,
+                    pkt_id: 3,
+                    n_pkts: 9,
+                    src_port: 555,
+                };
+                assert_eq!(Header::decode(&h.encode()).unwrap(), h);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let h = Header::single(MsgType::Request, Policy::Unrestricted, 1, 2);
+        let mut b = h.encode();
+        b[0] = 0x00;
+        assert!(matches!(Header::decode(&b), Err(R2p2Error::BadMagic(0))));
+    }
+
+    #[test]
+    fn rejects_truncated_buffer() {
+        let h = Header::single(MsgType::Request, Policy::Unrestricted, 1, 2);
+        let b = h.encode();
+        assert!(matches!(
+            Header::decode(&b[..10]),
+            Err(R2p2Error::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_unknown_type_and_policy() {
+        let h = Header::single(MsgType::Request, Policy::Unrestricted, 1, 2);
+        let mut b = h.encode();
+        b[1] = 0xf0; // type nibble 15
+        assert!(matches!(Header::decode(&b), Err(R2p2Error::BadMsgType(15))));
+        b[1] = 0x0f; // policy nibble 15
+        assert!(matches!(Header::decode(&b), Err(R2p2Error::BadPolicy(15))));
+    }
+
+    #[test]
+    fn policy_predicates() {
+        assert!(Policy::Replicated.is_replicated());
+        assert!(Policy::ReplicatedRo.is_replicated());
+        assert!(Policy::ReplicatedRo.is_read_only());
+        assert!(!Policy::Replicated.is_read_only());
+        assert!(!Policy::Unrestricted.is_replicated());
+        assert!(MsgType::RaftReq.is_consensus());
+        assert!(!MsgType::Request.is_consensus());
+    }
+}

@@ -1,0 +1,46 @@
+//! Wire-size accounting helpers.
+//!
+//! The simulator carries whole messages (the NIC model fragments them for
+//! cost accounting), so protocol layers need a single answer to "how many
+//! bytes does this message occupy on the wire?". Centralizing the arithmetic
+//! here keeps every component — clients, servers, the aggregator — charging
+//! identical sizes for identical messages.
+
+use crate::header::HEADER_LEN;
+
+/// Wire size of an R2P2 message with `body_len` bytes of payload: one R2P2
+/// header per fragment. `mtu` bounds the per-fragment wire size.
+pub fn msg_wire_size(body_len: usize, mtu: usize) -> u32 {
+    assert!(mtu > HEADER_LEN);
+    let room = mtu - HEADER_LEN;
+    let n_pkts = body_len.div_ceil(room).max(1);
+    (body_len + n_pkts * HEADER_LEN) as u32
+}
+
+/// Wire size of a minimal control message (FEEDBACK, NACK, ACK): just the
+/// header.
+pub fn control_wire_size() -> u32 {
+    HEADER_LEN as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_message_is_header_plus_body() {
+        assert_eq!(msg_wire_size(24, 1500), 24 + 16);
+        assert_eq!(msg_wire_size(0, 1500), 16);
+    }
+
+    #[test]
+    fn multi_fragment_pays_one_header_per_fragment() {
+        // 6000 bytes with 1484 of room per fragment → 5 fragments.
+        assert_eq!(msg_wire_size(6000, 1500), (6000 + 5 * 16) as u32);
+    }
+
+    #[test]
+    fn control_is_bare_header() {
+        assert_eq!(control_wire_size(), 16);
+    }
+}

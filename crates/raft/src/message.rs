@@ -1,0 +1,135 @@
+//! Raft RPC messages.
+//!
+//! Two RPCs as in the Raft paper (Ongaro & Ousterhout, ATC '14):
+//! RequestVote and AppendEntries, each with a reply. Following HovercRaft
+//! §6.2, the AppendEntries *reply* additionally carries the follower's
+//! `applied_index`, which the leader's bounded-queue and load-balancing
+//! logic consume; vanilla Raft simply ignores the field.
+
+use crate::log::Entry;
+use crate::types::{LogIndex, RaftId, Term};
+
+/// A Raft protocol message, generic over the log command type `C`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Message<C> {
+    /// Candidate solicits a vote.
+    RequestVote {
+        /// Candidate's term.
+        term: Term,
+        /// Candidate requesting the vote.
+        candidate: RaftId,
+        /// Index of the candidate's last log entry.
+        last_log_index: LogIndex,
+        /// Term of the candidate's last log entry.
+        last_log_term: Term,
+    },
+    /// Reply to [`Message::RequestVote`].
+    RequestVoteReply {
+        /// Voter's current term.
+        term: Term,
+        /// Whether the vote was granted.
+        granted: bool,
+    },
+    /// Leader replicates entries / sends heartbeats.
+    AppendEntries {
+        /// Leader's term.
+        term: Term,
+        /// Leader id, so followers can redirect clients.
+        leader: RaftId,
+        /// Index of the entry immediately preceding `entries`.
+        prev_log_index: LogIndex,
+        /// Term of the `prev_log_index` entry.
+        prev_log_term: Term,
+        /// New entries to append (empty for pure heartbeats).
+        entries: Vec<Entry<C>>,
+        /// Leader's commit index.
+        leader_commit: LogIndex,
+    },
+    /// Reply to [`Message::AppendEntries`].
+    AppendEntriesReply {
+        /// Follower's current term.
+        term: Term,
+        /// Whether the append matched.
+        success: bool,
+        /// On success: index of the last entry known to match the leader.
+        match_index: LogIndex,
+        /// On failure: a hint for the leader to rewind `next_index`
+        /// (first index of the conflicting term, or last+1 when the
+        /// follower's log is simply short).
+        conflict_index: LogIndex,
+        /// HovercRaft extension (§6.2): the follower's applied index, used
+        /// for bounded queues and reply load balancing.
+        applied_index: LogIndex,
+        /// Responder id (needed because replies may be aggregated in the
+        /// network and arrive from a different source address).
+        from: RaftId,
+    },
+}
+
+impl<C> Message<C> {
+    /// The term carried by this message.
+    pub fn term(&self) -> Term {
+        match self {
+            Message::RequestVote { term, .. }
+            | Message::RequestVoteReply { term, .. }
+            | Message::AppendEntries { term, .. }
+            | Message::AppendEntriesReply { term, .. } => *term,
+        }
+    }
+
+    /// True for AppendEntries with no entries (pure heartbeat/commit bump).
+    pub fn is_heartbeat(&self) -> bool {
+        matches!(self, Message::AppendEntries { entries, .. } if entries.is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn term_extraction() {
+        let m: Message<u8> = Message::RequestVote {
+            term: 7,
+            candidate: 1,
+            last_log_index: 0,
+            last_log_term: 0,
+        };
+        assert_eq!(m.term(), 7);
+        let m: Message<u8> = Message::AppendEntriesReply {
+            term: 9,
+            success: true,
+            match_index: 4,
+            conflict_index: 0,
+            applied_index: 2,
+            from: 3,
+        };
+        assert_eq!(m.term(), 9);
+    }
+
+    #[test]
+    fn heartbeat_detection() {
+        let hb: Message<u8> = Message::AppendEntries {
+            term: 1,
+            leader: 0,
+            prev_log_index: 0,
+            prev_log_term: 0,
+            entries: vec![],
+            leader_commit: 0,
+        };
+        assert!(hb.is_heartbeat());
+        let ae: Message<u8> = Message::AppendEntries {
+            term: 1,
+            leader: 0,
+            prev_log_index: 0,
+            prev_log_term: 0,
+            entries: vec![Entry {
+                term: 1,
+                index: 1,
+                cmd: 9,
+            }],
+            leader_commit: 0,
+        };
+        assert!(!ae.is_heartbeat());
+    }
+}

@@ -1,0 +1,733 @@
+//! The Raft state machine: elections, replication, and commit.
+//!
+//! [`RaftNode`] is sans-io and deterministic. Drivers feed it messages
+//! ([`RaftNode::step`]) and clock readings ([`RaftNode::tick`]), and it
+//! returns [`Action`]s — messages to transmit and state transitions to act
+//! on. It never blocks, sleeps, or reads a clock.
+//!
+//! The implementation follows the Raft paper (Ongaro & Ousterhout, ATC '14)
+//! with the standard industrial refinements: conflict-hint fast backtracking
+//! for `next_index`, pipelined (optimistically advanced) replication, and
+//! batched AppendEntries. Two deliberate extension points exist for
+//! HovercRaft, neither of which alters the consensus core (paper §5):
+//!
+//! * a **replication ceiling** ([`RaftNode::set_ceiling`]): the leader never
+//!   sends entries above the ceiling, which is how HovercRaft withholds
+//!   entries until a designated replier has been stamped into them and the
+//!   bounded-queue invariant holds (§3.4). A ceiling of `u64::MAX` (the
+//!   default) yields vanilla Raft.
+//! * the AppendEntries **reply carries `applied_index`** (§6.2), which
+//!   vanilla Raft ignores.
+
+use std::collections::HashMap;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::config::Config;
+use crate::log::{Entry, RaftLog};
+use crate::message::Message;
+use crate::progress::Progress;
+use crate::types::{LogIndex, RaftId, Role, Term};
+
+/// An effect the driver must carry out.
+#[derive(Clone, Debug)]
+pub enum Action<C> {
+    /// Transmit `msg` to peer `to`.
+    Send {
+        /// Destination peer.
+        to: RaftId,
+        /// The message.
+        msg: Message<C>,
+    },
+    /// The commit index advanced; entries up to `upto` are now durable and
+    /// may be applied in order.
+    Commit {
+        /// New commit index.
+        upto: LogIndex,
+    },
+    /// This node won an election.
+    BecameLeader {
+        /// The term it leads.
+        term: Term,
+    },
+    /// This node (re)entered the follower role.
+    BecameFollower {
+        /// Its current term.
+        term: Term,
+    },
+    /// Durable state changed; a persistent deployment must sync this before
+    /// transmitting any message produced by the same call.
+    SaveHardState {
+        /// Current term.
+        term: Term,
+        /// Vote cast in `term`, if any.
+        voted_for: Option<RaftId>,
+    },
+}
+
+/// Error returned by [`RaftNode::propose`] on a non-leader.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NotLeader {
+    /// Best-known current leader, if any.
+    pub hint: Option<RaftId>,
+}
+
+impl std::fmt::Display for NotLeader {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "not the leader (hint: {:?})", self.hint)
+    }
+}
+impl std::error::Error for NotLeader {}
+
+/// A deterministic, sans-io Raft node.
+pub struct RaftNode<C> {
+    cfg: Config,
+    log: RaftLog<C>,
+    role: Role,
+    term: Term,
+    voted_for: Option<RaftId>,
+    leader_id: Option<RaftId>,
+    commit: LogIndex,
+    applied: LogIndex,
+    progress: HashMap<RaftId, Progress>,
+    votes: usize,
+    voters: Vec<RaftId>,
+    election_deadline: u64,
+    heartbeat_due: u64,
+    ceiling: LogIndex,
+    announced: LogIndex,
+    rng: SmallRng,
+}
+
+impl<C: Clone + std::fmt::Debug> RaftNode<C> {
+    /// Creates a node at term 0 with an empty log. `now` seeds the first
+    /// election deadline.
+    pub fn new(cfg: Config, now: u64) -> Self {
+        cfg.validate();
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let election_deadline =
+            now + rng.gen_range(cfg.election_timeout_min..cfg.election_timeout_max);
+        RaftNode {
+            cfg,
+            log: RaftLog::new(),
+            role: Role::Follower,
+            term: 0,
+            voted_for: None,
+            leader_id: None,
+            commit: 0,
+            applied: 0,
+            progress: HashMap::new(),
+            votes: 0,
+            voters: Vec::new(),
+            election_deadline,
+            heartbeat_due: 0,
+            ceiling: LogIndex::MAX,
+            announced: 0,
+            rng,
+        }
+    }
+
+    // ---- accessors --------------------------------------------------------
+
+    /// This node's id.
+    pub fn id(&self) -> RaftId {
+        self.cfg.id
+    }
+    /// Current role.
+    pub fn role(&self) -> Role {
+        self.role
+    }
+    /// True if this node is the leader of its current term.
+    pub fn is_leader(&self) -> bool {
+        self.role.is_leader()
+    }
+    /// Current term.
+    pub fn term(&self) -> Term {
+        self.term
+    }
+    /// Best-known leader, if any.
+    pub fn leader_hint(&self) -> Option<RaftId> {
+        self.leader_id
+    }
+    /// Current commit index.
+    pub fn commit_index(&self) -> LogIndex {
+        self.commit
+    }
+    /// Index the driver has reported applied via [`RaftNode::set_applied`].
+    pub fn applied_index(&self) -> LogIndex {
+        self.applied
+    }
+    /// Borrow the log.
+    pub fn log(&self) -> &RaftLog<C> {
+        &self.log
+    }
+    /// Mutably borrow the log. HovercRaft stamps replier fields through
+    /// this; entries at or below the announced index must not be modified.
+    pub fn log_mut(&mut self) -> &mut RaftLog<C> {
+        &mut self.log
+    }
+    /// Leader-side progress for `peer` (None on non-leaders).
+    pub fn progress(&self, peer: RaftId) -> Option<&Progress> {
+        self.progress.get(&peer)
+    }
+    /// Highest index ever shipped in an AppendEntries this term.
+    pub fn announced_index(&self) -> LogIndex {
+        self.announced
+    }
+    /// Current replication ceiling.
+    pub fn ceiling(&self) -> LogIndex {
+        self.ceiling
+    }
+    /// The static configuration.
+    pub fn config(&self) -> &Config {
+        &self.cfg
+    }
+
+    /// Sets the replication ceiling: the leader will not ship entries above
+    /// `idx`. Monotone per term; HovercRaft advances it as repliers are
+    /// assigned (§3.4).
+    pub fn set_ceiling(&mut self, idx: LogIndex) {
+        self.ceiling = idx;
+    }
+
+    /// Driver feedback: entries up to `idx` have been applied to the local
+    /// state machine. Reported to the leader in AppendEntries replies.
+    pub fn set_applied(&mut self, idx: LogIndex) {
+        debug_assert!(idx <= self.commit);
+        self.applied = self.applied.max(idx);
+    }
+
+    /// HovercRaft++ hook (§4): a follower advances its commit index on an
+    /// `AGG_COMMIT` from the in-network aggregator. The aggregator is an
+    /// extension of the leader, so this is the moral equivalent of learning
+    /// `leader_commit` from an AppendEntries; the caller must have verified
+    /// the message's term. Only locally present entries can commit. No-op
+    /// on a leader (its commit comes from quorum accounting).
+    pub fn observe_commit(&mut self, upto: LogIndex) -> Vec<Action<C>> {
+        let mut out = Vec::new();
+        if self.is_leader() {
+            return out;
+        }
+        let new = upto.min(self.log.last_index());
+        if new > self.commit {
+            self.commit = new;
+            out.push(Action::Commit { upto: new });
+        }
+        out
+    }
+
+    // ---- client interface --------------------------------------------------
+
+    /// Appends a command to the leader's log. Returns its index; the entry
+    /// is shipped by the next [`RaftNode::pump`] (subject to the ceiling).
+    pub fn propose(&mut self, cmd: C) -> Result<LogIndex, NotLeader> {
+        if !self.is_leader() {
+            return Err(NotLeader {
+                hint: self.leader_id,
+            });
+        }
+        let idx = self.log.append(self.term, cmd);
+        // Single-node cluster: quorum is 1, commit immediately.
+        Ok(idx)
+    }
+
+    /// Ships pending entries (up to the ceiling, batched) to all followers,
+    /// and on a single-node cluster advances the commit index directly.
+    pub fn pump(&mut self, now: u64) -> Vec<Action<C>> {
+        let mut out = Vec::new();
+        if !self.is_leader() {
+            return out;
+        }
+        let target = self.log.last_index().min(self.ceiling);
+        for peer in self.cfg.peers().collect::<Vec<_>>() {
+            self.send_append(peer, target, false, &mut out);
+        }
+        if target > self.announced {
+            self.announced = target;
+        }
+        if self.cfg.cluster_size() == 1 {
+            self.maybe_commit(&mut out);
+        }
+        let _ = now;
+        out
+    }
+
+    // ---- time --------------------------------------------------------------
+
+    /// Drives elections and heartbeats; call at least a few times per
+    /// heartbeat interval.
+    pub fn tick(&mut self, now: u64) -> Vec<Action<C>> {
+        let mut out = Vec::new();
+        match self.role {
+            Role::Follower | Role::Candidate => {
+                if now >= self.election_deadline {
+                    self.start_election(now, &mut out);
+                }
+            }
+            Role::Leader => {
+                if now >= self.heartbeat_due {
+                    self.heartbeat_due = now + self.cfg.heartbeat_interval;
+                    let target = self.log.last_index().min(self.ceiling);
+                    for peer in self.cfg.peers().collect::<Vec<_>>() {
+                        self.send_append(peer, target, true, &mut out);
+                    }
+                    if target > self.announced {
+                        self.announced = target;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    // ---- message handling ----------------------------------------------------
+
+    /// Processes one incoming message from `from`.
+    pub fn step(&mut self, from: RaftId, msg: Message<C>, now: u64) -> Vec<Action<C>> {
+        let mut out = Vec::new();
+        if msg.term() > self.term {
+            let leader = match &msg {
+                Message::AppendEntries { leader, .. } => Some(*leader),
+                _ => None,
+            };
+            self.become_follower(msg.term(), leader, now, &mut out);
+        }
+        match msg {
+            Message::RequestVote {
+                term,
+                candidate,
+                last_log_index,
+                last_log_term,
+            } => self.on_request_vote(
+                term,
+                candidate,
+                last_log_index,
+                last_log_term,
+                now,
+                &mut out,
+            ),
+            Message::RequestVoteReply { term, granted } => {
+                self.on_vote_reply(from, term, granted, now, &mut out)
+            }
+            Message::AppendEntries {
+                term,
+                leader,
+                prev_log_index,
+                prev_log_term,
+                entries,
+                leader_commit,
+            } => self.on_append(
+                term,
+                leader,
+                prev_log_index,
+                prev_log_term,
+                entries,
+                leader_commit,
+                now,
+                &mut out,
+            ),
+            Message::AppendEntriesReply {
+                term,
+                success,
+                match_index,
+                conflict_index,
+                applied_index,
+                from: responder,
+            } => self.on_append_reply(
+                responder,
+                term,
+                success,
+                match_index,
+                conflict_index,
+                applied_index,
+                now,
+                &mut out,
+            ),
+        }
+        out
+    }
+
+    // ---- internals -------------------------------------------------------
+
+    fn reset_election_deadline(&mut self, now: u64) {
+        self.election_deadline = now
+            + self
+                .rng
+                .gen_range(self.cfg.election_timeout_min..self.cfg.election_timeout_max);
+    }
+
+    fn become_follower(
+        &mut self,
+        term: Term,
+        leader: Option<RaftId>,
+        now: u64,
+        out: &mut Vec<Action<C>>,
+    ) {
+        let was_leader = self.is_leader();
+        let term_bumped = term > self.term;
+        if term_bumped {
+            self.term = term;
+            self.voted_for = None;
+            out.push(Action::SaveHardState {
+                term: self.term,
+                voted_for: self.voted_for,
+            });
+        }
+        self.role = Role::Follower;
+        self.leader_id = leader;
+        self.progress.clear();
+        self.votes = 0;
+        self.voters.clear();
+        self.reset_election_deadline(now);
+        if was_leader || term_bumped {
+            out.push(Action::BecameFollower { term: self.term });
+        }
+    }
+
+    fn start_election(&mut self, now: u64, out: &mut Vec<Action<C>>) {
+        self.term += 1;
+        self.role = Role::Candidate;
+        self.voted_for = Some(self.cfg.id);
+        self.leader_id = None;
+        self.votes = 1;
+        self.voters = vec![self.cfg.id];
+        self.reset_election_deadline(now);
+        out.push(Action::SaveHardState {
+            term: self.term,
+            voted_for: self.voted_for,
+        });
+        if self.votes >= self.cfg.quorum() {
+            self.become_leader(now, out);
+            return;
+        }
+        let msg = Message::RequestVote {
+            term: self.term,
+            candidate: self.cfg.id,
+            last_log_index: self.log.last_index(),
+            last_log_term: self.log.last_term(),
+        };
+        for peer in self.cfg.peers().collect::<Vec<_>>() {
+            out.push(Action::Send {
+                to: peer,
+                msg: msg.clone(),
+            });
+        }
+    }
+
+    fn become_leader(&mut self, now: u64, out: &mut Vec<Action<C>>) {
+        self.role = Role::Leader;
+        self.leader_id = Some(self.cfg.id);
+        self.heartbeat_due = now; // assert leadership immediately
+        let last = self.log.last_index();
+        self.progress = self.cfg.peers().map(|p| (p, Progress::new(last))).collect();
+        // A new term starts with a fresh announcement horizon: HovercRaft
+        // re-announces (and re-assigns repliers for) entries the old leader
+        // had shipped but the new one has not.
+        self.announced = 0;
+        self.ceiling = LogIndex::MAX;
+        out.push(Action::BecameLeader { term: self.term });
+        if self.cfg.cluster_size() == 1 {
+            self.maybe_commit(out);
+        }
+    }
+
+    /// Builds and emits one AppendEntries to `peer`, shipping entries
+    /// `[next, target]` (batched). When `force` is set an empty heartbeat is
+    /// sent even if there is nothing new.
+    fn send_append(
+        &mut self,
+        peer: RaftId,
+        target: LogIndex,
+        force: bool,
+        out: &mut Vec<Action<C>>,
+    ) {
+        let Some(p) = self.progress.get(&peer) else {
+            return;
+        };
+        let next = p.next;
+        let has_new = next <= target;
+        if !has_new && !force {
+            return;
+        }
+        let hi = if has_new {
+            target.min(next + self.cfg.max_batch as u64 - 1)
+        } else {
+            0
+        };
+        let prev = next - 1;
+        let Some(prev_term) = self.log.term_at(prev) else {
+            // Peer is behind the compaction horizon; a full implementation
+            // would send InstallSnapshot here. The testbed never compacts
+            // below a live follower's match index.
+            return;
+        };
+        let entries: Vec<Entry<C>> = if has_new {
+            self.log.range(next, hi).to_vec()
+        } else {
+            Vec::new()
+        };
+        let n = entries.len() as u64;
+        let msg = Message::AppendEntries {
+            term: self.term,
+            leader: self.cfg.id,
+            prev_log_index: prev,
+            prev_log_term: prev_term,
+            entries,
+            leader_commit: self.commit,
+        };
+        if let Some(p) = self.progress.get_mut(&peer) {
+            if n > 0 {
+                p.next = next + n; // optimistic pipelining
+            }
+            p.commit_told = p.commit_told.max(self.commit);
+        }
+        out.push(Action::Send { to: peer, msg });
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_request_vote(
+        &mut self,
+        term: Term,
+        candidate: RaftId,
+        last_log_index: LogIndex,
+        last_log_term: Term,
+        now: u64,
+        out: &mut Vec<Action<C>>,
+    ) {
+        let up_to_date = last_log_term > self.log.last_term()
+            || (last_log_term == self.log.last_term() && last_log_index >= self.log.last_index());
+        let can_vote = self.voted_for.is_none() || self.voted_for == Some(candidate);
+        let granted = term == self.term && up_to_date && can_vote;
+        if granted {
+            self.voted_for = Some(candidate);
+            self.reset_election_deadline(now);
+            out.push(Action::SaveHardState {
+                term: self.term,
+                voted_for: self.voted_for,
+            });
+        }
+        out.push(Action::Send {
+            to: candidate,
+            msg: Message::RequestVoteReply {
+                term: self.term,
+                granted,
+            },
+        });
+    }
+
+    fn on_vote_reply(
+        &mut self,
+        from: RaftId,
+        term: Term,
+        granted: bool,
+        now: u64,
+        out: &mut Vec<Action<C>>,
+    ) {
+        if self.role != Role::Candidate || term != self.term || !granted {
+            return;
+        }
+        if !self.voters.contains(&from) {
+            self.voters.push(from);
+            self.votes += 1;
+        }
+        if self.votes >= self.cfg.quorum() {
+            self.become_leader(now, out);
+            // Announce immediately with empty appends.
+            for peer in self.cfg.peers().collect::<Vec<_>>() {
+                self.send_append(peer, 0, true, out);
+            }
+            self.heartbeat_due = now + self.cfg.heartbeat_interval;
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_append(
+        &mut self,
+        term: Term,
+        leader: RaftId,
+        prev_log_index: LogIndex,
+        prev_log_term: Term,
+        entries: Vec<Entry<C>>,
+        leader_commit: LogIndex,
+        now: u64,
+        out: &mut Vec<Action<C>>,
+    ) {
+        if term < self.term {
+            out.push(Action::Send {
+                to: leader,
+                msg: Message::AppendEntriesReply {
+                    term: self.term,
+                    success: false,
+                    match_index: 0,
+                    conflict_index: 0,
+                    applied_index: self.applied,
+                    from: self.cfg.id,
+                },
+            });
+            return;
+        }
+        // A valid AppendEntries from the current term's leader.
+        if self.role != Role::Follower {
+            self.become_follower(term, Some(leader), now, out);
+        }
+        self.leader_id = Some(leader);
+        self.reset_election_deadline(now);
+
+        // Consistency check on the previous entry.
+        match self.log.term_at(prev_log_index) {
+            Some(t) if t == prev_log_term => {}
+            Some(t) => {
+                // Conflicting term: hint the first index of that term.
+                let mut ci = prev_log_index;
+                while ci > self.log.first_index() && self.log.term_at(ci - 1) == Some(t) {
+                    ci -= 1;
+                }
+                out.push(Action::Send {
+                    to: leader,
+                    msg: Message::AppendEntriesReply {
+                        term: self.term,
+                        success: false,
+                        match_index: 0,
+                        conflict_index: ci,
+                        applied_index: self.applied,
+                        from: self.cfg.id,
+                    },
+                });
+                return;
+            }
+            None => {
+                out.push(Action::Send {
+                    to: leader,
+                    msg: Message::AppendEntriesReply {
+                        term: self.term,
+                        success: false,
+                        match_index: 0,
+                        conflict_index: self.log.last_index() + 1,
+                        applied_index: self.applied,
+                        from: self.cfg.id,
+                    },
+                });
+                return;
+            }
+        }
+
+        // Append, truncating conflicts.
+        let mut last_new = prev_log_index;
+        for e in entries {
+            match self.log.term_at(e.index) {
+                Some(t) if t == e.term => {
+                    last_new = e.index;
+                }
+                Some(_) => {
+                    assert!(
+                        e.index > self.commit,
+                        "protocol violation: truncating a committed entry"
+                    );
+                    self.log.truncate_from(e.index);
+                    last_new = e.index;
+                    self.log.push(e);
+                }
+                None => {
+                    if e.index == self.log.last_index() + 1 {
+                        last_new = e.index;
+                        self.log.push(e);
+                    }
+                    // else: gap (stale out-of-order AE) — ignore the rest.
+                }
+            }
+        }
+
+        if leader_commit > self.commit {
+            let new_commit = leader_commit.min(last_new);
+            if new_commit > self.commit {
+                self.commit = new_commit;
+                out.push(Action::Commit { upto: self.commit });
+            }
+        }
+
+        out.push(Action::Send {
+            to: leader,
+            msg: Message::AppendEntriesReply {
+                term: self.term,
+                success: true,
+                match_index: last_new,
+                conflict_index: 0,
+                applied_index: self.applied,
+                from: self.cfg.id,
+            },
+        });
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_append_reply(
+        &mut self,
+        from: RaftId,
+        term: Term,
+        success: bool,
+        match_index: LogIndex,
+        conflict_index: LogIndex,
+        applied_index: LogIndex,
+        now: u64,
+        out: &mut Vec<Action<C>>,
+    ) {
+        if !self.is_leader() || term != self.term {
+            return;
+        }
+        let Some(p) = self.progress.get_mut(&from) else {
+            return;
+        };
+        if success {
+            p.on_success(match_index, applied_index);
+            self.maybe_commit(out);
+            // A follower that is fully caught up on entries but was last
+            // told a stale commit index would otherwise not learn the
+            // commit until the next heartbeat — fatal for the latency of
+            // load-balanced repliers (§3.7's 2.5-RTT path). Nudge it now.
+            if let Some(p) = self.progress.get(&from) {
+                let target = self.log.last_index().min(self.ceiling);
+                if p.matched + 1 == p.next && p.next > target && p.commit_told < self.commit {
+                    self.send_append(from, target, true, out);
+                }
+            }
+        } else {
+            p.on_conflict(conflict_index);
+            // Resend immediately from the rewound position.
+            let target = self.log.last_index().min(self.ceiling);
+            self.send_append(from, target, true, out);
+        }
+        let _ = now;
+    }
+
+    /// Advances the commit index if a quorum matches, restricted to entries
+    /// of the current term (Raft §5.4.2), and on advance optionally
+    /// broadcasts the new commit index eagerly.
+    fn maybe_commit(&mut self, out: &mut Vec<Action<C>>) {
+        let mut matches: Vec<LogIndex> = self.progress.values().map(|p| p.matched).collect();
+        matches.push(self.log.last_index().min(self.ceiling)); // self
+        matches.sort_unstable_by(|a, b| b.cmp(a));
+        let candidate = matches[self.cfg.quorum() - 1];
+        if candidate > self.commit && self.log.term_at(candidate) == Some(self.term) {
+            self.commit = candidate;
+            out.push(Action::Commit { upto: self.commit });
+            if self.cfg.eager_commit_notify {
+                // Tell followers about the new commit index right away —
+                // but only the ones with nothing in flight. A busy pipeline
+                // delivers the commit index on its next data-carrying
+                // AppendEntries anyway, and forcing empty appends at high
+                // load would double the leader's packet rate.
+                let target = self.log.last_index().min(self.ceiling);
+                for peer in self.cfg.peers().collect::<Vec<_>>() {
+                    let caught_up = self
+                        .progress
+                        .get(&peer)
+                        .map(|p| p.matched + 1 == p.next && p.next > target)
+                        .unwrap_or(false);
+                    if caught_up {
+                        self.send_append(peer, target, true, out);
+                    }
+                }
+            }
+        }
+    }
+}

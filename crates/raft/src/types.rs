@@ -1,0 +1,42 @@
+//! Core identifiers and roles.
+
+/// A Raft peer identifier. In the testbed this equals the node's network
+/// address, but the library itself attaches no meaning to the value.
+pub type RaftId = u32;
+
+/// A Raft term (monotonically increasing election epoch).
+pub type Term = u64;
+
+/// An index into the replicated log; the first real entry has index 1 and
+/// index 0 denotes "before the log".
+pub type LogIndex = u64;
+
+/// The role a node currently plays in the consensus group.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Role {
+    /// Passive replica: answers RPCs from candidates and the leader.
+    Follower,
+    /// Trying to get elected after an election timeout.
+    Candidate,
+    /// Strong leader: the single serialization point for client requests.
+    Leader,
+}
+
+impl Role {
+    /// True if this node believes itself the leader.
+    pub fn is_leader(self) -> bool {
+        self == Role::Leader
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn role_predicates() {
+        assert!(Role::Leader.is_leader());
+        assert!(!Role::Follower.is_leader());
+        assert!(!Role::Candidate.is_leader());
+    }
+}

@@ -1,0 +1,554 @@
+//! The discrete-event simulation engine.
+//!
+//! [`Sim`] owns the nodes (agents plus their NIC/CPU resources), the switch
+//! (multicast groups, loss model, programmable pipeline), and the event
+//! queue. Time advances only by processing events; everything is
+//! deterministic given the configuration and the seed.
+//!
+//! # Resource model
+//!
+//! Each node has four serial resources, matching the two-thread DPDK design
+//! of the paper's §6:
+//!
+//! * **network thread CPU** — charged per fragment for both RX processing and
+//!   TX enqueueing of packets sent from protocol handlers;
+//! * **application thread CPU** — runs [`Ctx::exec_app`] work items in FIFO
+//!   order; packets sent from `on_app_done` (e.g. client replies) charge this
+//!   thread, not the network thread (each thread has its own TX queue);
+//! * **TX wire** — one serialization of `size` bytes per send, even for
+//!   multicast (the switch replicates);
+//! * **RX wire** — one serialization per delivered copy.
+//!
+//! A packet sent at `t` therefore reaches a receiving agent at
+//! `t + tx_cpu + tx_wire + prop + switch + prop + rx_wire + rx_cpu`, with
+//! each stage additionally waiting for its resource to free up. Arrivals
+//! beyond the RX ring capacity are dropped — this is what makes overload
+//! behave like overload instead of an unbounded queue.
+
+use std::collections::{BinaryHeap, HashSet, VecDeque};
+use std::fmt::Debug;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::agent::{Agent, Ctx, Effect, ThreadClass, TimerId};
+use crate::counters::Counters;
+use crate::packet::{Addr, NodeId, Packet};
+use crate::params::{FabricParams, NicParams};
+use crate::switch::{GroupTable, SwitchEmit, SwitchProgram, Verdict};
+use crate::time::{SimDur, SimTime};
+
+/// Predicate deciding whether a particular delivered copy is dropped;
+/// used by tests to inject targeted, deterministic loss.
+pub type DropFilter<M> = Box<dyn FnMut(&Packet<M>, NodeId, SimTime) -> bool>;
+
+enum Ev<M> {
+    PktAtSwitch(Packet<M>),
+    PktArrive {
+        node: NodeId,
+        pkt: Packet<M>,
+    },
+    PktDeliver {
+        node: NodeId,
+        pkt: Packet<M>,
+    },
+    Timer {
+        node: NodeId,
+        id: TimerId,
+        kind: u64,
+    },
+    AppDone {
+        node: NodeId,
+        token: u64,
+    },
+    Start {
+        node: NodeId,
+    },
+    Kill {
+        node: NodeId,
+    },
+}
+
+struct Scheduled<M> {
+    at: SimTime,
+    seq: u64,
+    ev: Ev<M>,
+}
+
+impl<M> PartialEq for Scheduled<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Scheduled<M> {}
+impl<M> PartialOrd for Scheduled<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Scheduled<M> {
+    // Reversed so the `BinaryHeap` pops the earliest (time, seq) first.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+struct AppState {
+    queue: VecDeque<(SimDur, u64)>,
+    busy: bool,
+}
+
+struct NodeSlot<M> {
+    agent: Option<Box<dyn Agent<M>>>,
+    nic: NicParams,
+    alive: bool,
+    net_busy: SimTime,
+    tx_wire_busy: SimTime,
+    rx_wire_busy: SimTime,
+    net_backlog: u32,
+    app: AppState,
+    counters: Counters,
+    rng: SmallRng,
+    next_timer: u64,
+    active_timers: HashSet<TimerId>,
+    effects: Vec<Effect<M>>,
+}
+
+/// The simulator: nodes, switch, and the event loop.
+pub struct Sim<M> {
+    now: SimTime,
+    seq: u64,
+    fabric: FabricParams,
+    nodes: Vec<NodeSlot<M>>,
+    groups: GroupTable,
+    programs: Vec<Box<dyn SwitchProgram<M>>>,
+    queue: BinaryHeap<Scheduled<M>>,
+    switch_rng: SmallRng,
+    drop_filter: Option<DropFilter<M>>,
+    seed: u64,
+}
+
+impl<M: Clone + Debug + 'static> Sim<M> {
+    /// Creates an empty simulation with the given fabric parameters and
+    /// master seed. All per-node RNGs derive deterministically from the seed.
+    pub fn new(fabric: FabricParams, seed: u64) -> Self {
+        Sim {
+            now: SimTime::ZERO,
+            seq: 0,
+            fabric,
+            nodes: Vec::new(),
+            groups: GroupTable::default(),
+            programs: Vec::new(),
+            queue: BinaryHeap::new(),
+            switch_rng: SmallRng::seed_from_u64(seed ^ 0x5151_5151_dead_beef),
+            drop_filter: None,
+            seed,
+        }
+    }
+
+    /// Adds a node with explicit NIC parameters; returns its id (also its
+    /// unicast address value). The agent's `on_start` runs at the current
+    /// simulated time.
+    pub fn add_node_with(&mut self, agent: Box<dyn Agent<M>>, nic: NicParams) -> NodeId {
+        let id = self.nodes.len() as NodeId;
+        let rng =
+            SmallRng::seed_from_u64(self.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ id as u64);
+        self.nodes.push(NodeSlot {
+            agent: Some(agent),
+            nic,
+            alive: true,
+            net_busy: self.now,
+            tx_wire_busy: self.now,
+            rx_wire_busy: self.now,
+            net_backlog: 0,
+            app: AppState {
+                queue: VecDeque::new(),
+                busy: false,
+            },
+            counters: Counters::default(),
+            rng,
+            next_timer: 0,
+            active_timers: HashSet::new(),
+            effects: Vec::new(),
+        });
+        self.push(self.now, Ev::Start { node: id });
+        id
+    }
+
+    /// Adds a node with the default NIC parameters.
+    pub fn add_node(&mut self, agent: Box<dyn Agent<M>>) -> NodeId {
+        self.add_node_with(agent, NicParams::default())
+    }
+
+    /// Registers (or replaces) a multicast group.
+    pub fn add_group(&mut self, addr: Addr, members: Vec<NodeId>) {
+        self.groups.set(addr, members);
+    }
+
+    /// Appends a program to the switch pipeline; returns its index. Programs
+    /// see every packet entering the switch, in registration order. Packets
+    /// *emitted* by a program bypass the pipeline (a P4 program does not
+    /// recirculate by default).
+    pub fn add_switch_program(&mut self, prog: Box<dyn SwitchProgram<M>>) -> usize {
+        self.programs.push(prog);
+        self.programs.len() - 1
+    }
+
+    /// Downcasts a switch program for test inspection.
+    ///
+    /// # Panics
+    /// Panics if the index is out of range or the type does not match.
+    pub fn switch_program_mut<T: 'static>(&mut self, idx: usize) -> &mut T {
+        self.programs[idx]
+            .as_any_mut()
+            .downcast_mut::<T>()
+            .expect("switch program type mismatch")
+    }
+
+    /// Flushes soft state in every switch program (device reboot).
+    pub fn reset_switch_programs(&mut self) {
+        for p in &mut self.programs {
+            p.reset();
+        }
+    }
+
+    /// Sets the independent per-copy loss probability at the switch output.
+    pub fn set_loss_rate(&mut self, p: f64) {
+        self.fabric.loss_rate = p;
+    }
+
+    /// Installs (or clears) a targeted drop filter; the filter sees each
+    /// about-to-be-delivered copy and returns `true` to drop it.
+    pub fn set_drop_filter(&mut self, f: Option<DropFilter<M>>) {
+        self.drop_filter = f;
+    }
+
+    /// Schedules a fail-stop of `node` at time `at`. From that instant the
+    /// node neither receives, sends, executes, nor fires timers.
+    pub fn kill_at(&mut self, node: NodeId, at: SimTime) {
+        assert!(at >= self.now, "cannot kill in the past");
+        self.push(at, Ev::Kill { node });
+    }
+
+    /// Immediately fail-stops `node`.
+    pub fn kill_now(&mut self, node: NodeId) {
+        self.nodes[node as usize].alive = false;
+    }
+
+    /// Whether `node` is still alive.
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        self.nodes[node as usize].alive
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of nodes added so far.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Traffic counters of `node`.
+    pub fn counters(&self, node: NodeId) -> Counters {
+        self.nodes[node as usize].counters
+    }
+
+    /// Zeroes all nodes' traffic counters (e.g. after warm-up).
+    pub fn reset_counters(&mut self) {
+        for n in &mut self.nodes {
+            n.counters.reset();
+        }
+    }
+
+    /// Borrows the agent of `node`, downcast to its concrete type.
+    ///
+    /// # Panics
+    /// Panics if the type does not match or the agent is mid-callback.
+    pub fn agent<T: 'static>(&self, node: NodeId) -> &T {
+        self.nodes[node as usize]
+            .agent
+            .as_ref()
+            .expect("agent is mid-callback")
+            .as_any()
+            .downcast_ref::<T>()
+            .expect("agent type mismatch")
+    }
+
+    /// Mutably borrows the agent of `node`, downcast to its concrete type.
+    ///
+    /// # Panics
+    /// Panics if the type does not match or the agent is mid-callback.
+    pub fn agent_mut<T: 'static>(&mut self, node: NodeId) -> &mut T {
+        self.nodes[node as usize]
+            .agent
+            .as_mut()
+            .expect("agent is mid-callback")
+            .as_any_mut()
+            .downcast_mut::<T>()
+            .expect("agent type mismatch")
+    }
+
+    /// Injects a packet into the fabric as if `from` had just transmitted
+    /// it, charging the sender's normal TX CPU and wire costs. Useful for
+    /// scripting scenarios from outside the agent callbacks (tests,
+    /// examples).
+    pub fn inject(&mut self, from: NodeId, dst: Addr, size: u32, payload: M) {
+        let mut effects = vec![Effect::Send {
+            dst,
+            size,
+            payload,
+            thread: ThreadClass::Net,
+        }];
+        self.apply_effects(from, &mut effects);
+    }
+
+    /// Runs the event loop until the clock reaches `t` (all events strictly
+    /// before or at `t` are processed); the clock then reads `t`.
+    pub fn run_until(&mut self, t: SimTime) {
+        while let Some(head) = self.queue.peek() {
+            if head.at > t {
+                break;
+            }
+            let ev = self.queue.pop().expect("peeked");
+            self.now = ev.at;
+            self.dispatch(ev.ev);
+        }
+        self.now = t;
+    }
+
+    /// Runs the event loop for `d` of simulated time.
+    pub fn run_for(&mut self, d: SimDur) {
+        let t = self.now + d;
+        self.run_until(t);
+    }
+
+    // ---- internals -------------------------------------------------------
+
+    fn push(&mut self, at: SimTime, ev: Ev<M>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Scheduled { at, seq, ev });
+    }
+
+    fn dispatch(&mut self, ev: Ev<M>) {
+        match ev {
+            Ev::Start { node } => {
+                self.invoke(node, ThreadClass::Net, |a, ctx| a.on_start(ctx));
+            }
+            Ev::Kill { node } => self.nodes[node as usize].alive = false,
+            Ev::PktAtSwitch(pkt) => self.at_switch(pkt),
+            Ev::PktArrive { node, pkt } => self.arrive(node, pkt),
+            Ev::PktDeliver { node, pkt } => {
+                let slot = &mut self.nodes[node as usize];
+                slot.net_backlog = slot.net_backlog.saturating_sub(1);
+                if !slot.alive {
+                    slot.counters.dropped_dead += 1;
+                    return;
+                }
+                slot.counters.rx_msgs += 1;
+                slot.counters.rx_bytes += pkt.size as u64;
+                self.invoke(node, ThreadClass::Net, move |a, ctx| a.on_packet(pkt, ctx));
+            }
+            Ev::Timer { node, id, kind } => {
+                let slot = &mut self.nodes[node as usize];
+                if !slot.alive || !slot.active_timers.remove(&id) {
+                    return;
+                }
+                self.invoke(node, ThreadClass::Net, move |a, ctx| {
+                    a.on_timer(id, kind, ctx)
+                });
+            }
+            Ev::AppDone { node, token } => {
+                if !self.nodes[node as usize].alive {
+                    return;
+                }
+                let extra = self.invoke(node, ThreadClass::App, move |a, ctx| {
+                    a.on_app_done(token, ctx)
+                });
+                let slot = &mut self.nodes[node as usize];
+                slot.app.busy = false;
+                if let Some((cost, token)) = slot.app.queue.pop_front() {
+                    slot.app.busy = true;
+                    let at = self.now + extra + cost;
+                    self.push(at, Ev::AppDone { node, token });
+                }
+            }
+        }
+    }
+
+    /// Runs one agent callback and applies its effects. Returns the extra
+    /// app-thread CPU time consumed by sends issued from an app callback.
+    fn invoke(
+        &mut self,
+        node: NodeId,
+        thread: ThreadClass,
+        f: impl FnOnce(&mut dyn Agent<M>, &mut Ctx<'_, M>),
+    ) -> SimDur {
+        let slot = &mut self.nodes[node as usize];
+        if !slot.alive {
+            return SimDur::ZERO;
+        }
+        let mut agent = slot.agent.take().expect("re-entrant agent callback");
+        let mut effects = std::mem::take(&mut slot.effects);
+        {
+            let mut ctx = Ctx {
+                now: self.now,
+                node,
+                thread,
+                effects: &mut effects,
+                rng: &mut slot.rng,
+                next_timer: &mut slot.next_timer,
+            };
+            f(agent.as_mut(), &mut ctx);
+        }
+        let slot = &mut self.nodes[node as usize];
+        slot.agent = Some(agent);
+        let extra = self.apply_effects(node, &mut effects);
+        effects.clear();
+        self.nodes[node as usize].effects = effects;
+        extra
+    }
+
+    fn apply_effects(&mut self, node: NodeId, effects: &mut Vec<Effect<M>>) -> SimDur {
+        let now = self.now;
+        let mut app_extra = SimDur::ZERO;
+        for eff in effects.drain(..) {
+            match eff {
+                Effect::Send {
+                    dst,
+                    size,
+                    payload,
+                    thread: charge,
+                } => {
+                    let slot = &mut self.nodes[node as usize];
+                    let frags = slot.nic.frags(size) as u64;
+                    let tx_cpu = slot.nic.tx_cpu_per_frag * frags;
+                    // CPU stage: charged to the thread that owns the send
+                    // (usually the calling thread; see `Ctx::send_from`).
+                    let cpu_done = match charge {
+                        ThreadClass::Net => {
+                            let t = slot.net_busy.max(now) + tx_cpu;
+                            slot.net_busy = t;
+                            t
+                        }
+                        ThreadClass::App => {
+                            app_extra += tx_cpu;
+                            now + app_extra
+                        }
+                    };
+                    // Wire stage: one serialization regardless of fan-out.
+                    let t2 = slot.tx_wire_busy.max(cpu_done) + slot.nic.wire_time(size);
+                    slot.tx_wire_busy = t2;
+                    slot.counters.tx_msgs += 1;
+                    slot.counters.tx_bytes += size as u64;
+                    let pkt = Packet {
+                        src: Addr::node(node),
+                        dst,
+                        size,
+                        payload,
+                        sent_at: now,
+                    };
+                    let at = t2 + self.fabric.prop_delay;
+                    self.push(at, Ev::PktAtSwitch(pkt));
+                }
+                Effect::Timer { delay, kind, id } => {
+                    self.nodes[node as usize].active_timers.insert(id);
+                    self.push(now + delay, Ev::Timer { node, id, kind });
+                }
+                Effect::CancelTimer { id } => {
+                    self.nodes[node as usize].active_timers.remove(&id);
+                }
+                Effect::AppWork { cost, token } => {
+                    let slot = &mut self.nodes[node as usize];
+                    if slot.app.busy {
+                        slot.app.queue.push_back((cost, token));
+                    } else {
+                        slot.app.busy = true;
+                        self.push(now + cost, Ev::AppDone { node, token });
+                    }
+                }
+                Effect::Burn { cost, thread: t } => {
+                    let slot = &mut self.nodes[node as usize];
+                    match t {
+                        ThreadClass::Net => {
+                            slot.net_busy = slot.net_busy.max(now) + cost;
+                        }
+                        ThreadClass::App => {
+                            app_extra += cost;
+                        }
+                    }
+                }
+            }
+        }
+        app_extra
+    }
+
+    fn at_switch(&mut self, pkt: Packet<M>) {
+        // Pipeline: programs may rewrite, consume, or emit packets.
+        let mut emit = SwitchEmit::new();
+        let mut cursor = Some(pkt);
+        for prog in &mut self.programs {
+            match cursor {
+                Some(p) => match prog.process(p, self.now, &mut emit) {
+                    Verdict::Forward(p2) => cursor = Some(p2),
+                    Verdict::Consume => cursor = None,
+                },
+                None => break,
+            }
+        }
+        let mut to_forward = emit.packets;
+        if let Some(p) = cursor {
+            to_forward.push(p);
+        }
+        for mut p in to_forward {
+            if p.sent_at == SimTime::ZERO {
+                p.sent_at = self.now;
+            }
+            let sender = p.src.as_node();
+            let members = self.groups.resolve(p.dst, sender);
+            for m in members {
+                // Independent loss per delivered copy.
+                let lost = (self.fabric.loss_rate > 0.0
+                    && self.switch_rng.gen::<f64>() < self.fabric.loss_rate)
+                    || self
+                        .drop_filter
+                        .as_mut()
+                        .map(|f| f(&p, m, self.now))
+                        .unwrap_or(false);
+                if lost {
+                    self.nodes[m as usize].counters.dropped_loss += 1;
+                    continue;
+                }
+                let at = self.now + self.fabric.switch_delay + self.fabric.prop_delay;
+                self.push(
+                    at,
+                    Ev::PktArrive {
+                        node: m,
+                        pkt: p.clone(),
+                    },
+                );
+            }
+        }
+    }
+
+    fn arrive(&mut self, node: NodeId, pkt: Packet<M>) {
+        let slot = &mut self.nodes[node as usize];
+        if !slot.alive {
+            slot.counters.dropped_dead += 1;
+            return;
+        }
+        if slot.net_backlog >= slot.nic.rx_ring {
+            slot.counters.rx_dropped_backlog += 1;
+            return;
+        }
+        let frags = slot.nic.frags(pkt.size) as u64;
+        let t5 = slot.rx_wire_busy.max(self.now) + slot.nic.wire_time(pkt.size);
+        slot.rx_wire_busy = t5;
+        let t6 = slot.net_busy.max(t5) + slot.nic.rx_cpu_per_frag * frags;
+        slot.net_busy = t6;
+        slot.net_backlog += 1;
+        self.push(t6, Ev::PktDeliver { node, pkt });
+    }
+}

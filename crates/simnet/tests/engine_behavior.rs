@@ -1,0 +1,533 @@
+//! Behavioral tests of the simulation engine: latency composition, resource
+//! serialization, multicast semantics, loss, failure, timers, and the
+//! app-thread model.
+
+use std::any::Any;
+
+use simnet::{
+    Addr, Agent, Ctx, FabricParams, NicParams, Packet, Sim, SimDur, SimTime, SwitchEmit,
+    SwitchProgram, ThreadClass, TimerId, Verdict,
+};
+
+#[derive(Clone, Debug, PartialEq)]
+enum Msg {
+    Ping(u64),
+    Pong(u64),
+}
+
+/// Replies to every ping with a pong of the same size.
+struct Echo;
+impl Agent<Msg> for Echo {
+    fn on_packet(&mut self, pkt: Packet<Msg>, ctx: &mut Ctx<'_, Msg>) {
+        if let Msg::Ping(x) = pkt.payload {
+            ctx.send(pkt.src, pkt.size, Msg::Pong(x));
+        }
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Sends `n` pings of `size` bytes at configurable spacing and records the
+/// arrival time of each pong.
+struct Pinger {
+    server: Addr,
+    n: u64,
+    size: u32,
+    spacing: SimDur,
+    replies: Vec<(u64, SimTime)>,
+}
+impl Pinger {
+    fn new(server: Addr, n: u64, size: u32, spacing: SimDur) -> Self {
+        Pinger {
+            server,
+            n,
+            size,
+            spacing,
+            replies: Vec::new(),
+        }
+    }
+}
+impl Agent<Msg> for Pinger {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        for i in 0..self.n {
+            ctx.set_timer(self.spacing * i, i);
+        }
+    }
+    fn on_timer(&mut self, _id: TimerId, kind: u64, ctx: &mut Ctx<'_, Msg>) {
+        ctx.send(self.server, self.size, Msg::Ping(kind));
+    }
+    fn on_packet(&mut self, pkt: Packet<Msg>, ctx: &mut Ctx<'_, Msg>) {
+        if let Msg::Pong(x) = pkt.payload {
+            self.replies.push((x, ctx.now()));
+        }
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Counts every packet delivered, remembering payloads.
+struct Sink {
+    got: Vec<(Msg, SimTime)>,
+}
+impl Agent<Msg> for Sink {
+    fn on_packet(&mut self, pkt: Packet<Msg>, ctx: &mut Ctx<'_, Msg>) {
+        self.got.push((pkt.payload, ctx.now()));
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+fn sim() -> Sim<Msg> {
+    Sim::new(FabricParams::default(), 42)
+}
+
+#[test]
+fn round_trip_is_microsecond_scale() {
+    let mut s = sim();
+    let srv = s.add_node(Box::new(Echo));
+    let cli = s.add_node(Box::new(Pinger::new(
+        Addr::node(srv),
+        1,
+        64,
+        SimDur::micros(1),
+    )));
+    s.run_for(SimDur::millis(1));
+    let p = s.agent::<Pinger>(cli);
+    assert_eq!(p.replies.len(), 1);
+    let rtt = p.replies[0].1 - SimTime::ZERO;
+    // §2.3: any two NICs communicate in ≤10µs; a full RTT of two small
+    // messages through our model must land well inside 2×10µs.
+    assert!(
+        rtt > SimDur::micros(2) && rtt < SimDur::micros(15),
+        "rtt = {rtt}"
+    );
+}
+
+#[test]
+fn unloaded_latency_is_deterministic_across_runs() {
+    let run = || {
+        let mut s = sim();
+        let srv = s.add_node(Box::new(Echo));
+        let cli = s.add_node(Box::new(Pinger::new(
+            Addr::node(srv),
+            100,
+            64,
+            SimDur::micros(5),
+        )));
+        s.run_for(SimDur::millis(10));
+        s.agent::<Pinger>(cli).replies.clone()
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn large_messages_pay_serialization() {
+    let mut s = sim();
+    let srv = s.add_node(Box::new(Echo));
+    let small = s.add_node(Box::new(Pinger::new(
+        Addr::node(srv),
+        1,
+        64,
+        SimDur::micros(1),
+    )));
+    s.run_for(SimDur::millis(1));
+    let rtt_small = s.agent::<Pinger>(small).replies[0].1 - SimTime::ZERO;
+
+    let mut s2 = sim();
+    let srv2 = s2.add_node(Box::new(Echo));
+    let big = s2.add_node(Box::new(Pinger::new(
+        Addr::node(srv2),
+        1,
+        9000,
+        SimDur::micros(1),
+    )));
+    s2.run_for(SimDur::millis(1));
+    let rtt_big = s2.agent::<Pinger>(big).replies[0].1 - SimTime::ZERO;
+
+    // 9kB each way = ~14.4µs of extra wire time vs 64B.
+    assert!(
+        rtt_big > rtt_small + SimDur::micros(10),
+        "small {rtt_small} big {rtt_big}"
+    );
+}
+
+#[test]
+fn wire_serializes_back_to_back_sends() {
+    // Two 6kB pings sent at the same instant: the second pong must trail the
+    // first by at least one 6kB serialization (~5µs at 10G).
+    let mut s = sim();
+    let srv = s.add_node(Box::new(Echo));
+    let cli = s.add_node(Box::new(Pinger::new(
+        Addr::node(srv),
+        2,
+        6000,
+        SimDur::ZERO,
+    )));
+    s.run_for(SimDur::millis(1));
+    let r = &s.agent::<Pinger>(cli).replies;
+    assert_eq!(r.len(), 2);
+    let gap = r[1].1 - r[0].1;
+    assert!(gap > SimDur::micros(4), "gap = {gap}");
+}
+
+#[test]
+fn multicast_delivers_to_all_members_but_not_sender() {
+    let mut s = sim();
+    let a = s.add_node(Box::new(Sink { got: Vec::new() }));
+    let b = s.add_node(Box::new(Sink { got: Vec::new() }));
+    let c = s.add_node(Box::new(Sink { got: Vec::new() }));
+    let g = Addr::group(0);
+    s.add_group(g, vec![a, b, c]);
+    // Node a multicasts into its own group.
+    struct Caster {
+        group: Addr,
+    }
+    impl Agent<Msg> for Caster {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+            ctx.send(self.group, 100, Msg::Ping(9));
+        }
+        fn on_packet(&mut self, _p: Packet<Msg>, _c: &mut Ctx<'_, Msg>) {}
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+    let caster = s.add_node(Box::new(Caster { group: g }));
+    let _ = caster;
+    s.run_for(SimDur::millis(1));
+    for n in [a, b, c] {
+        assert_eq!(s.agent::<Sink>(n).got.len(), 1, "node {n}");
+    }
+    // Sender transmitted exactly once (switch does the replication).
+    assert_eq!(s.counters(caster).tx_msgs, 1);
+}
+
+#[test]
+fn multicast_from_member_excludes_itself() {
+    let mut s = sim();
+    struct SelfCaster {
+        group: Addr,
+        got: u32,
+    }
+    impl Agent<Msg> for SelfCaster {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+            ctx.send(self.group, 100, Msg::Ping(1));
+        }
+        fn on_packet(&mut self, _p: Packet<Msg>, _c: &mut Ctx<'_, Msg>) {
+            self.got += 1;
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+    let g = Addr::group(0);
+    let a = s.add_node(Box::new(SelfCaster { group: g, got: 0 }));
+    let b = s.add_node(Box::new(Sink { got: Vec::new() }));
+    s.add_group(g, vec![a, b]);
+    s.run_for(SimDur::millis(1));
+    assert_eq!(s.agent::<SelfCaster>(a).got, 0, "no self-delivery");
+    assert_eq!(s.agent::<Sink>(b).got.len(), 1);
+}
+
+#[test]
+fn loss_rate_drops_copies_independently() {
+    let mut s = sim();
+    s.set_loss_rate(0.5);
+    let srv = s.add_node(Box::new(Echo));
+    let cli = s.add_node(Box::new(Pinger::new(
+        Addr::node(srv),
+        1000,
+        64,
+        SimDur::micros(2),
+    )));
+    s.run_for(SimDur::millis(10));
+    let replies = s.agent::<Pinger>(cli).replies.len();
+    // Each RTT survives with p = 0.25; with 1000 trials expect ~250.
+    assert!(
+        (150..400).contains(&replies),
+        "{replies} replies survived at 50% loss"
+    );
+    assert!(s.counters(srv).dropped_loss + s.counters(cli).dropped_loss > 500);
+}
+
+#[test]
+fn drop_filter_targets_specific_copies() {
+    let mut s = sim();
+    // Drop every ping with an even sequence number.
+    s.set_drop_filter(Some(Box::new(
+        |pkt, _node, _now| matches!(pkt.payload, Msg::Ping(x) if x % 2 == 0),
+    )));
+    let srv = s.add_node(Box::new(Echo));
+    let cli = s.add_node(Box::new(Pinger::new(
+        Addr::node(srv),
+        10,
+        64,
+        SimDur::micros(5),
+    )));
+    s.run_for(SimDur::millis(1));
+    let got: Vec<u64> = s.agent::<Pinger>(cli).replies.iter().map(|r| r.0).collect();
+    assert_eq!(got, vec![1, 3, 5, 7, 9]);
+}
+
+#[test]
+fn killed_node_goes_silent() {
+    let mut s = sim();
+    let srv = s.add_node(Box::new(Echo));
+    let cli = s.add_node(Box::new(Pinger::new(
+        Addr::node(srv),
+        10,
+        64,
+        SimDur::micros(100),
+    )));
+    s.kill_at(srv, SimTime::ZERO + SimDur::micros(450));
+    s.run_for(SimDur::millis(2));
+    // Pings 0..=4 go out before the kill takes effect; later ones are eaten.
+    let replies = s.agent::<Pinger>(cli).replies.len();
+    assert!(replies <= 5, "{replies}");
+    assert!(replies >= 4, "{replies}");
+    assert!(s.counters(srv).dropped_dead >= 5);
+    assert!(!s.is_alive(srv));
+}
+
+#[test]
+fn rx_ring_overflow_drops_arrivals() {
+    let mut s = Sim::new(FabricParams::default(), 7);
+    let nic = NicParams {
+        rx_ring: 4,
+        // Make RX processing glacial so the ring fills.
+        rx_cpu_per_frag: SimDur::micros(100),
+        ..NicParams::default()
+    };
+    let srv = s.add_node_with(Box::new(Echo), nic);
+    let cli = s.add_node(Box::new(Pinger::new(
+        Addr::node(srv),
+        64,
+        64,
+        SimDur::micros(1),
+    )));
+    let _ = cli;
+    s.run_for(SimDur::millis(20));
+    let c = s.counters(srv);
+    assert!(c.rx_dropped_backlog > 0, "{c:?}");
+    assert!(c.rx_msgs < 64);
+}
+
+#[test]
+fn app_thread_serializes_work_and_replies_from_app() {
+    // A server that defers each request to the app thread for 10µs and
+    // replies from `on_app_done`: two simultaneous requests must complete
+    // 10µs apart, demonstrating app-thread FIFO serialization.
+    struct AppServer {
+        pending: Vec<(Addr, u64)>,
+    }
+    impl Agent<Msg> for AppServer {
+        fn on_packet(&mut self, pkt: Packet<Msg>, ctx: &mut Ctx<'_, Msg>) {
+            if let Msg::Ping(x) = pkt.payload {
+                self.pending.push((pkt.src, x));
+                ctx.exec_app(SimDur::micros(10), self.pending.len() as u64 - 1);
+            }
+        }
+        fn on_app_done(&mut self, token: u64, ctx: &mut Ctx<'_, Msg>) {
+            assert_eq!(ctx.thread(), ThreadClass::App);
+            let (dst, x) = self.pending[token as usize];
+            ctx.send(dst, 8, Msg::Pong(x));
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+    let mut s = sim();
+    let srv = s.add_node(Box::new(AppServer {
+        pending: Vec::new(),
+    }));
+    let cli = s.add_node(Box::new(Pinger::new(Addr::node(srv), 2, 64, SimDur::ZERO)));
+    s.run_for(SimDur::millis(1));
+    let r = &s.agent::<Pinger>(cli).replies;
+    assert_eq!(r.len(), 2);
+    let gap = r[1].1 - r[0].1;
+    assert!(
+        gap >= SimDur::micros(10) && gap < SimDur::micros(12),
+        "gap = {gap}"
+    );
+}
+
+#[test]
+fn cancelled_timer_does_not_fire() {
+    struct T {
+        fired: u32,
+    }
+    impl Agent<Msg> for T {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+            let id = ctx.set_timer(SimDur::micros(10), 1);
+            ctx.set_timer(SimDur::micros(20), 2);
+            ctx.cancel_timer(id);
+        }
+        fn on_timer(&mut self, _id: TimerId, kind: u64, _ctx: &mut Ctx<'_, Msg>) {
+            assert_eq!(kind, 2, "cancelled timer fired");
+            self.fired += 1;
+        }
+        fn on_packet(&mut self, _p: Packet<Msg>, _c: &mut Ctx<'_, Msg>) {}
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+    let mut s = sim();
+    let n = s.add_node(Box::new(T { fired: 0 }));
+    s.run_for(SimDur::millis(1));
+    assert_eq!(s.agent::<T>(n).fired, 1);
+}
+
+#[test]
+fn switch_program_can_rewrite_and_consume() {
+    /// Redirects pings addressed to a virtual address onto a group, and
+    /// swallows pongs entirely.
+    struct Redirector {
+        vip: Addr,
+        group: Addr,
+        seen: u64,
+    }
+    impl SwitchProgram<Msg> for Redirector {
+        fn process(
+            &mut self,
+            mut pkt: Packet<Msg>,
+            _now: SimTime,
+            _out: &mut SwitchEmit<Msg>,
+        ) -> Verdict<Msg> {
+            self.seen += 1;
+            match pkt.payload {
+                Msg::Ping(_) if pkt.dst == self.vip => {
+                    pkt.dst = self.group;
+                    Verdict::Forward(pkt)
+                }
+                Msg::Pong(_) => Verdict::Consume,
+                _ => Verdict::Forward(pkt),
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    let mut s = sim();
+    let vip = Addr::group(99);
+    let g = Addr::group(0);
+    let a = s.add_node(Box::new(Sink { got: Vec::new() }));
+    let b = s.add_node(Box::new(Sink { got: Vec::new() }));
+    s.add_group(g, vec![a, b]);
+    s.add_group(vip, vec![]);
+    let prog = s.add_switch_program(Box::new(Redirector {
+        vip,
+        group: g,
+        seen: 0,
+    }));
+    let cli = s.add_node(Box::new(Pinger::new(vip, 3, 64, SimDur::micros(1))));
+    s.run_for(SimDur::millis(1));
+    assert_eq!(s.agent::<Sink>(a).got.len(), 3);
+    assert_eq!(s.agent::<Sink>(b).got.len(), 3);
+    assert!(s.agent::<Pinger>(cli).replies.is_empty(), "pongs consumed");
+    assert!(s.switch_program_mut::<Redirector>(prog).seen >= 3);
+}
+
+#[test]
+fn counters_track_traffic() {
+    let mut s = sim();
+    let srv = s.add_node(Box::new(Echo));
+    let cli = s.add_node(Box::new(Pinger::new(
+        Addr::node(srv),
+        5,
+        200,
+        SimDur::micros(1),
+    )));
+    s.run_for(SimDur::millis(1));
+    let cs = s.counters(srv);
+    let cc = s.counters(cli);
+    assert_eq!(cs.rx_msgs, 5);
+    assert_eq!(cs.tx_msgs, 5);
+    assert_eq!(cs.rx_bytes, 1000);
+    assert_eq!(cc.tx_msgs, 5);
+    assert_eq!(cc.rx_msgs, 5);
+    s.reset_counters();
+    assert_eq!(s.counters(srv).rx_msgs, 0);
+}
+
+#[test]
+fn inject_sends_as_if_from_node() {
+    let mut s = sim();
+    let srv = s.add_node(Box::new(Echo));
+    let cli = s.add_node(Box::new(Sink { got: Vec::new() }));
+    // Inject a ping "from" the sink node; the echo replies to it.
+    s.inject(cli, Addr::node(srv), 64, Msg::Ping(5));
+    s.run_for(SimDur::millis(1));
+    let got = &s.agent::<Sink>(cli).got;
+    assert_eq!(got.len(), 1);
+    assert_eq!(got[0].0, Msg::Pong(5));
+    assert_eq!(s.counters(cli).tx_msgs, 1, "charged to the injecting node");
+}
+
+#[test]
+fn burn_delays_subsequent_net_work() {
+    /// Burns 50µs of net-thread time on the first packet, then echoes.
+    struct Burner {
+        first: bool,
+    }
+    impl Agent<Msg> for Burner {
+        fn on_packet(&mut self, pkt: Packet<Msg>, ctx: &mut Ctx<'_, Msg>) {
+            if self.first {
+                self.first = false;
+                ctx.burn(SimDur::micros(50), ThreadClass::Net);
+            }
+            if let Msg::Ping(x) = pkt.payload {
+                ctx.send(pkt.src, pkt.size, Msg::Pong(x));
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+    let mut s = sim();
+    let srv = s.add_node(Box::new(Burner { first: true }));
+    let cli = s.add_node(Box::new(Pinger::new(
+        Addr::node(srv),
+        2,
+        64,
+        SimDur::micros(10),
+    )));
+    s.run_for(SimDur::millis(1));
+    let r = &s.agent::<Pinger>(cli).replies;
+    assert_eq!(r.len(), 2);
+    // The burn occupies the network thread before the reply send in the
+    // same handler, so even the first reply leaves after ~50µs — and the
+    // second ping's processing queues behind it as well.
+    let t0 = r[0].1 - SimTime::ZERO;
+    assert!(t0 >= SimDur::micros(50), "first reply at {t0}");
+    assert!(r[1].1 >= r[0].1, "FIFO preserved");
+}

@@ -1,0 +1,218 @@
+//! The load-generating client agent: an open-loop Poisson source with
+//! Lancet-style latency accounting.
+//!
+//! A client models one Lancet generator machine: it fires requests at the
+//! configured rate regardless of responses (open loop), matches responses
+//! back to requests by the R2P2 3-tuple, and records per-request latency.
+//! Several clients are typically deployed per experiment and their samples
+//! merged, like the paper's multi-machine client pool.
+
+use std::any::Any;
+use std::collections::HashMap;
+
+use bytes::Bytes;
+use hovercraft::{OpKind, WireMsg};
+use lancet::{LatencyRecorder, PoissonArrivals, WindowedSeries};
+use r2p2::{ReqId, ReqIdAlloc};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use simnet::{Addr, Agent, Ctx, Packet, SimDur, SimTime, TimerId};
+use workload::{SynthSpec, YcsbGen};
+
+const BEGIN: u64 = 1;
+const SEND: u64 = 2;
+
+/// What the client sends.
+pub enum ClientWorkload {
+    /// The synthetic microbenchmark service.
+    Synth(SynthSpec),
+    /// A YCSB operation stream.
+    Ycsb(Box<YcsbGen>),
+}
+
+impl ClientWorkload {
+    fn next(&mut self, rng: &mut SmallRng) -> (Bytes, bool) {
+        match self {
+            ClientWorkload::Synth(spec) => spec.sample(rng),
+            ClientWorkload::Ycsb(g) => {
+                let op = g.next_op();
+                (op.body, op.read_only)
+            }
+        }
+    }
+}
+
+/// Counters and samples harvested after a run.
+#[derive(Debug, Default, Clone)]
+pub struct ClientResults {
+    /// Requests sent after the measurement start.
+    pub sent: u64,
+    /// Responses received for measured requests.
+    pub responses: u64,
+    /// NACKs received (flow control sheds).
+    pub nacks: u64,
+    /// Latency samples of measured requests, ns.
+    pub latencies: Vec<u64>,
+}
+
+/// The open-loop client agent.
+pub struct ClientAgent {
+    target: Addr,
+    rate_rps: f64,
+    start_at: SimTime,
+    end_at: SimTime,
+    measure_from: SimTime,
+    workload: ClientWorkload,
+    seed: u64,
+    arrivals: Option<PoissonArrivals>,
+    rng: SmallRng,
+    alloc: Option<ReqIdAlloc>,
+    outstanding: HashMap<ReqId, u64>,
+    recorder: LatencyRecorder,
+    /// Completion time series (1 ms windows) — Figure 12's instrument.
+    pub series: WindowedSeries,
+    /// NACK time series.
+    pub nack_series: WindowedSeries,
+    results: ClientResults,
+}
+
+impl ClientAgent {
+    /// Builds a client that starts loading at `start_at`, stops at
+    /// `end_at`, and counts only requests sent at or after `measure_from`.
+    pub fn new(
+        target: Addr,
+        rate_rps: f64,
+        start_at: SimTime,
+        end_at: SimTime,
+        measure_from: SimTime,
+        workload: ClientWorkload,
+        seed: u64,
+    ) -> ClientAgent {
+        ClientAgent {
+            target,
+            rate_rps,
+            start_at,
+            end_at,
+            measure_from,
+            workload,
+            seed,
+            arrivals: None,
+            rng: SmallRng::seed_from_u64(seed ^ 0xc11e),
+            alloc: None,
+            outstanding: HashMap::new(),
+            recorder: LatencyRecorder::new(),
+            series: WindowedSeries::new(1_000_000_000),
+            nack_series: WindowedSeries::new(1_000_000_000),
+            results: ClientResults::default(),
+        }
+    }
+
+    /// Redirects future requests (e.g. to a newly elected leader).
+    pub fn set_target(&mut self, target: Addr) {
+        self.target = target;
+    }
+
+    /// Harvests results; call after the run (drains the latency samples).
+    pub fn results(&mut self) -> ClientResults {
+        let mut r = self.results.clone();
+        r.latencies = self.recorder.take_samples();
+        r
+    }
+
+    /// Requests still awaiting a response (lost replies under failures).
+    pub fn outstanding(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    fn fire(&mut self, ctx: &mut Ctx<'_, WireMsg>) {
+        let now = ctx.now();
+        if now >= self.end_at {
+            return;
+        }
+        let alloc = self
+            .alloc
+            .get_or_insert_with(|| ReqIdAlloc::new(ctx.node_id(), 1000));
+        let id = alloc.allocate();
+        let (body, ro) = self.workload.next(&mut self.rng);
+        let msg = WireMsg::Request {
+            id,
+            kind: if ro {
+                OpKind::ReadOnly
+            } else {
+                OpKind::ReadWrite
+            },
+            body,
+        };
+        let size = msg.wire_size();
+        ctx.send(self.target, size, msg);
+        self.outstanding.insert(id, now.as_nanos());
+        if now >= self.measure_from {
+            self.results.sent += 1;
+        }
+        // Arm the next arrival (a zero delay is fine: overdue arrivals of a
+        // bursty schedule fire back-to-back at the current instant).
+        let arr = self.arrivals.as_mut().expect("initialized at BEGIN");
+        let next = arr.next_arrival();
+        ctx.set_timer(SimDur::nanos(next.saturating_sub(now.as_nanos())), SEND);
+    }
+}
+
+impl Agent<WireMsg> for ClientAgent {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, WireMsg>) {
+        let delay = self.start_at.since(ctx.now());
+        ctx.set_timer(delay, BEGIN);
+    }
+
+    fn on_timer(&mut self, _id: TimerId, kind: u64, ctx: &mut Ctx<'_, WireMsg>) {
+        match kind {
+            BEGIN => {
+                self.arrivals = Some(PoissonArrivals::new(
+                    self.rate_rps,
+                    ctx.now().as_nanos(),
+                    self.seed,
+                ));
+                // Consume the first (immediate) arrival and fire.
+                let _ = self.arrivals.as_mut().expect("just set").next_arrival();
+                self.fire(ctx);
+            }
+            SEND => self.fire(ctx),
+            _ => unreachable!("unknown timer kind"),
+        }
+    }
+
+    fn on_packet(&mut self, pkt: Packet<WireMsg>, ctx: &mut Ctx<'_, WireMsg>) {
+        let now = ctx.now();
+        match pkt.payload {
+            WireMsg::Response { id, .. } => {
+                if let Some(sent) = self.outstanding.remove(&id) {
+                    let latency = now.as_nanos() - sent;
+                    self.series.record(now.as_nanos(), latency);
+                    // Goodput accounting is bounded by the measured window
+                    // on *both* ends: counting late completions of measured
+                    // sends would let an overloaded system report goodput
+                    // at its offered rate.
+                    if sent >= self.measure_from.as_nanos() && now <= self.end_at {
+                        self.results.responses += 1;
+                        self.recorder.record(latency);
+                    }
+                }
+            }
+            WireMsg::Nack { id } => {
+                if let Some(sent) = self.outstanding.remove(&id) {
+                    self.nack_series.record(now.as_nanos(), 0);
+                    if sent >= self.measure_from.as_nanos() && now <= self.end_at {
+                        self.results.nacks += 1;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}

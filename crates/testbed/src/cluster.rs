@@ -1,0 +1,339 @@
+//! Cluster assembly: builds a complete deployment — servers, clients,
+//! middleboxes, multicast groups — on the simulated fabric.
+
+use hovercraft::{HcConfig, Mode, WireMsg};
+use minikv::{Command, CostModel, KvService};
+use simnet::{Addr, FabricParams, NicParams, NodeId, Sim, SimDur, SimTime};
+use workload::{RecordSpec, SynthService, SynthSpec, YcsbGen, YcsbWorkload};
+
+use crate::client::{ClientAgent, ClientResults, ClientWorkload};
+use crate::programs::{AggProgram, FcProgram};
+use crate::server::{ServerAgent, UnrepAgent};
+use crate::setup::{addrs, Setup};
+
+/// Which application runs on the servers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServiceKind {
+    /// The synthetic microbenchmark service (Figures 7–12).
+    Synth,
+    /// The Redis-like store with YCSB module ops (Figure 13).
+    Kv,
+}
+
+/// What the clients send.
+#[derive(Clone, Debug)]
+pub enum WorkloadKind {
+    /// Synthetic requests with the given parameters.
+    Synth(SynthSpec),
+    /// A YCSB stream over a preloaded keyspace.
+    Ycsb {
+        /// Workload letter (E for the paper's headline experiment).
+        workload: YcsbWorkload,
+        /// Records preloaded before the run.
+        records: u64,
+    },
+}
+
+impl WorkloadKind {
+    fn instantiate(&self, seed: u64) -> ClientWorkload {
+        match self {
+            WorkloadKind::Synth(spec) => ClientWorkload::Synth(spec.clone()),
+            WorkloadKind::Ycsb { workload, records } => ClientWorkload::Ycsb(Box::new(
+                YcsbGen::new(*workload, *records, RecordSpec::default(), seed),
+            )),
+        }
+    }
+}
+
+/// Build-time options for a cluster.
+#[derive(Clone, Debug)]
+pub struct ClusterOpts {
+    /// System setup under test.
+    pub setup: Setup,
+    /// Number of servers (1 for [`Setup::Unrep`]).
+    pub n: u32,
+    /// Number of load-generating clients; the total rate is split evenly.
+    pub clients: u32,
+    /// Total offered load, requests/second.
+    pub rate_rps: f64,
+    /// Application.
+    pub service: ServiceKind,
+    /// Client workload.
+    pub workload: WorkloadKind,
+    /// Bounded-queue bound B (§3.4).
+    pub bound: usize,
+    /// Reply load balancing (None → the mode's default; Figure 7 sets
+    /// `Some(false)`).
+    pub lb_replies: Option<bool>,
+    /// Read-only load balancing override.
+    pub lb_reads: Option<bool>,
+    /// Deploy the flow-control middlebox with this in-flight cap.
+    pub flow_cap: Option<u32>,
+    /// When clients begin sending.
+    pub load_start: SimTime,
+    /// Warm-up excluded from measurement.
+    pub warmup: SimDur,
+    /// Measured window.
+    pub measure: SimDur,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl ClusterOpts {
+    /// Sensible defaults for a microbenchmark point: measurement starts
+    /// after 100 ms of load warm-up.
+    pub fn new(setup: Setup, n: u32, rate_rps: f64) -> ClusterOpts {
+        ClusterOpts {
+            setup,
+            n: if setup == Setup::Unrep { 1 } else { n },
+            clients: 2,
+            rate_rps,
+            service: ServiceKind::Synth,
+            workload: WorkloadKind::Synth(SynthSpec::baseline()),
+            bound: 128,
+            lb_replies: None,
+            lb_reads: None,
+            // HovercRaft needs explicit multicast flow control to survive
+            // overload (§6.3) — vanilla Raft's implicit leader-drop flow
+            // control disappears once clients multicast to everyone. The
+            // cap comfortably exceeds the 500µs-SLO bandwidth-delay
+            // product at 1 MRPS (≈500 requests).
+            flow_cap: setup.multicast_requests().then_some(2_000),
+            load_start: SimTime::ZERO + SimDur::millis(150),
+            warmup: SimDur::millis(100),
+            measure: SimDur::millis(500),
+            seed: 42,
+        }
+    }
+
+    /// End of the measured window.
+    pub fn load_end(&self) -> SimTime {
+        self.load_start + self.warmup + self.measure
+    }
+}
+
+/// A built cluster, ready to run.
+pub struct Cluster {
+    /// The simulator.
+    pub sim: Sim<WireMsg>,
+    /// Server node ids (== addresses == Raft ids).
+    pub servers: Vec<NodeId>,
+    /// Client node ids.
+    pub clients: Vec<NodeId>,
+    /// Pipeline index of the aggregator program, if deployed.
+    agg_prog: Option<usize>,
+    opts: ClusterOpts,
+}
+
+fn make_service(kind: ServiceKind) -> Box<dyn hovercraft::Service> {
+    match kind {
+        ServiceKind::Synth => Box::new(SynthService::default()),
+        ServiceKind::Kv => Box::new(KvService::new(CostModel::default())),
+    }
+}
+
+/// NIC profile for client generators: the paper uses a pool of Lancet
+/// machines that is never the bottleneck, so clients get a faster NIC and
+/// cheap per-packet processing.
+fn client_nic() -> NicParams {
+    NicParams {
+        link_bps: 40_000_000_000,
+        rx_cpu_per_frag: SimDur::nanos(80),
+        tx_cpu_per_frag: SimDur::nanos(80),
+        rx_ring: 8192,
+        ..NicParams::default()
+    }
+}
+
+impl Cluster {
+    /// Builds the deployment: servers, switch programs, groups, clients.
+    pub fn build(opts: ClusterOpts) -> Cluster {
+        let mut sim: Sim<WireMsg> = Sim::new(FabricParams::default(), opts.seed);
+        let n = opts.n;
+        let members: Vec<u32> = (0..n).collect();
+
+        // Servers occupy node ids 0..n so Raft ids equal addresses.
+        let mut servers = Vec::with_capacity(n as usize);
+        for id in &members {
+            let agent: Box<dyn simnet::Agent<WireMsg>> = match opts.setup.mode() {
+                None => Box::new(UnrepAgent::new(make_service(opts.service))),
+                Some(mode) => {
+                    let mut rc = raft::Config::new(*id, members.clone());
+                    rc.seed = opts.seed.wrapping_mul(31).wrapping_add(*id as u64 * 7 + 3);
+                    let mut cfg = HcConfig::new(rc, mode);
+                    cfg.bound = opts.bound;
+                    cfg.policy = opts.setup.policy();
+                    if let Some(lb) = opts.lb_replies {
+                        cfg.lb_replies = lb && mode.is_hovercraft();
+                    }
+                    if let Some(lb) = opts.lb_reads {
+                        cfg.lb_reads = lb && mode.is_hovercraft();
+                    }
+                    cfg.agg_addr = (mode == Mode::HovercraftPp).then_some(addrs::AGG.0);
+                    cfg.flowctl_addr = opts.flow_cap.map(|_| addrs::VIP.0);
+                    Box::new(ServerAgent::new(cfg, make_service(opts.service)))
+                }
+            };
+            servers.push(sim.add_node(agent));
+        }
+        sim.add_group(addrs::GROUP, servers.clone());
+
+        // Switch pipeline: flow control first, then the aggregator.
+        if let Some(cap) = opts.flow_cap {
+            sim.add_switch_program(Box::new(FcProgram::new(cap)));
+        }
+        let mut agg_prog = None;
+        if matches!(opts.setup, Setup::HovercraftPp(_)) {
+            agg_prog = Some(sim.add_switch_program(Box::new(AggProgram::new(members))));
+        }
+
+        // Preload the keyspace (identically, outside simulated time).
+        if opts.service == ServiceKind::Kv {
+            if let WorkloadKind::Ycsb { records, .. } = &opts.workload {
+                let gen = YcsbGen::new(YcsbWorkload::E, *records, RecordSpec::default(), 0);
+                let load: Vec<Command> = gen.load_phase();
+                for &s in &servers {
+                    Self::preload(&mut sim, opts.setup, s, &load);
+                }
+            }
+        }
+
+        // Clients: the target is patched after the leader settles (vanilla
+        // mode needs the elected leader's address).
+        let target = Self::default_target(&opts, servers[0]);
+        let mut clients = Vec::with_capacity(opts.clients as usize);
+        let per_client = opts.rate_rps / opts.clients as f64;
+        for c in 0..opts.clients {
+            let wl = opts.workload.instantiate(opts.seed * 1000 + c as u64);
+            let agent = ClientAgent::new(
+                target,
+                per_client,
+                opts.load_start,
+                opts.load_end(),
+                opts.load_start + opts.warmup,
+                wl,
+                opts.seed * 77 + c as u64,
+            );
+            clients.push(sim.add_node_with(Box::new(agent), client_nic()));
+        }
+
+        Cluster {
+            sim,
+            servers,
+            clients,
+            agg_prog,
+            opts,
+        }
+    }
+
+    /// Fail-stops the in-network aggregator (HovercRaft++ only): from now
+    /// on everything addressed to it is blackholed. The cluster detects
+    /// the silence through elections and falls back to point-to-point
+    /// communication (§5).
+    pub fn fail_aggregator(&mut self) {
+        let idx = self.agg_prog.expect("no aggregator in this setup");
+        self.sim.switch_program_mut::<AggProgram>(idx).failed = true;
+    }
+
+    /// Replaces the failed aggregator with a fresh (empty) device; the next
+    /// newly elected leader will adopt it after a successful VoteProbe.
+    pub fn replace_aggregator(&mut self) {
+        let idx = self.agg_prog.expect("no aggregator in this setup");
+        let prog = self.sim.switch_program_mut::<AggProgram>(idx);
+        prog.failed = false;
+        prog.agg.flush();
+    }
+
+    fn default_target(opts: &ClusterOpts, first_server: NodeId) -> Addr {
+        match opts.setup {
+            Setup::Unrep | Setup::Vanilla => Addr::node(first_server),
+            _ if opts.flow_cap.is_some() => addrs::VIP,
+            _ => addrs::GROUP,
+        }
+    }
+
+    fn preload(sim: &mut Sim<WireMsg>, setup: Setup, server: NodeId, load: &[Command]) {
+        match setup {
+            Setup::Unrep => {
+                let a = sim.agent_mut::<UnrepAgent>(server);
+                for cmd in load {
+                    a.service_mut().execute(&cmd.encode(), false);
+                }
+            }
+            _ => {
+                let a = sim.agent_mut::<ServerAgent>(server);
+                for cmd in load {
+                    a.node_mut().service_mut().execute(&cmd.encode(), false);
+                }
+            }
+        }
+    }
+
+    /// Runs until a leader is elected (replicated setups) and points every
+    /// client at the right target. Call before the load starts.
+    ///
+    /// # Panics
+    /// Panics if no leader emerges within the settle budget.
+    pub fn settle(&mut self) {
+        if self.opts.setup == Setup::Unrep {
+            return;
+        }
+        let deadline = self.opts.load_start - SimDur::millis(10);
+        while self.sim.now() < deadline {
+            self.sim.run_for(SimDur::millis(10));
+            if self.leader().is_some() {
+                break;
+            }
+        }
+        let leader = self.leader().expect("no leader elected during settle");
+        if self.opts.setup == Setup::Vanilla {
+            for &c in &self.clients.clone() {
+                self.sim
+                    .agent_mut::<ClientAgent>(c)
+                    .set_target(Addr::node(leader));
+            }
+        }
+    }
+
+    /// The current leader, if any.
+    pub fn leader(&self) -> Option<NodeId> {
+        self.servers
+            .iter()
+            .copied()
+            .filter(|&s| {
+                self.sim.is_alive(s)
+                    && self.opts.setup != Setup::Unrep
+                    && self.sim.agent::<ServerAgent>(s).node().is_leader()
+            })
+            .max_by_key(|&s| self.sim.agent::<ServerAgent>(s).node().raft().term())
+    }
+
+    /// Runs the whole load (settle → warm-up → measurement → drain).
+    pub fn run_to_completion(&mut self) {
+        self.settle();
+        let end = self.opts.load_end() + SimDur::millis(20);
+        // Reset traffic counters at the start of the measured window so
+        // Table-1 accounting covers steady state only.
+        self.sim.run_until(self.opts.load_start + self.opts.warmup);
+        self.sim.reset_counters();
+        self.sim.run_until(end);
+    }
+
+    /// Merged client results.
+    pub fn client_results(&mut self) -> ClientResults {
+        let mut merged = ClientResults::default();
+        for &c in &self.clients.clone() {
+            let r = self.sim.agent_mut::<ClientAgent>(c).results();
+            merged.sent += r.sent;
+            merged.responses += r.responses;
+            merged.nacks += r.nacks;
+            merged.latencies.extend(r.latencies);
+        }
+        merged
+    }
+
+    /// The build options.
+    pub fn opts(&self) -> &ClusterOpts {
+        &self.opts
+    }
+}

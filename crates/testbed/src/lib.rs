@@ -1,0 +1,28 @@
+//! # testbed — the simulated evaluation infrastructure
+//!
+//! Assembles complete HovercRaft deployments on the `simnet` fabric: the
+//! four system setups of §7 ([`Setup`]), server agents wrapping
+//! [`hovercraft::HcNode`] (or the plain unreplicated R2P2 server), Lancet-
+//! style open-loop clients, the flow-control middlebox, and the
+//! HovercRaft++ aggregator mounted as switch pipeline programs.
+//!
+//! The main entry point is [`run_experiment`]: configure a point with
+//! [`ClusterOpts`], get back an [`ExpResult`] with goodput and latency
+//! percentiles. For scripted scenarios (failure injection, time series),
+//! build a [`Cluster`] directly and drive `cluster.sim` by hand.
+
+#![warn(missing_docs)]
+
+mod client;
+mod cluster;
+mod programs;
+mod runner;
+mod server;
+mod setup;
+
+pub use client::{ClientAgent, ClientResults, ClientWorkload};
+pub use cluster::{Cluster, ClusterOpts, ServiceKind, WorkloadKind};
+pub use programs::{AggProgram, FcProgram};
+pub use runner::{run_experiment, summarize, ExpResult};
+pub use server::{ServerAgent, UnrepAgent};
+pub use setup::{addrs, Setup};

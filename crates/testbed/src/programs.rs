@@ -1,0 +1,115 @@
+//! Adapters mounting the HovercRaft dataplane programs (flow control and
+//! the ++ aggregator) onto the simulated switch pipeline.
+
+use hovercraft::{Aggregator, FcDecision, FlowControl, WireMsg};
+use simnet::{Addr, Packet, SimTime, SwitchEmit, SwitchProgram, Verdict};
+
+use crate::setup::addrs;
+
+/// The flow-control middlebox as a switch pipeline stage. Must be
+/// registered *before* the aggregator so admitted requests continue down
+/// the pipeline.
+pub struct FcProgram {
+    /// The middlebox state machine.
+    pub fc: FlowControl,
+}
+
+impl FcProgram {
+    /// A middlebox admitting `cap` in-flight requests into the group.
+    pub fn new(cap: u32) -> FcProgram {
+        FcProgram {
+            fc: FlowControl::new(addrs::GROUP.0, cap),
+        }
+    }
+}
+
+impl SwitchProgram<WireMsg> for FcProgram {
+    fn process(
+        &mut self,
+        mut pkt: Packet<WireMsg>,
+        _now: SimTime,
+        out: &mut SwitchEmit<WireMsg>,
+    ) -> Verdict<WireMsg> {
+        if pkt.dst != addrs::VIP {
+            return Verdict::Forward(pkt);
+        }
+        match self.fc.on_packet(&pkt.payload) {
+            FcDecision::Admit { rewritten_dst } => {
+                pkt.dst = Addr(rewritten_dst);
+                Verdict::Forward(pkt)
+            }
+            FcDecision::Nack { client, id } => {
+                let msg = WireMsg::Nack { id };
+                let size = msg.wire_size();
+                out.emit(addrs::VIP, Addr::node(client), size, msg);
+                Verdict::Consume
+            }
+            FcDecision::Absorbed | FcDecision::Pass => Verdict::Consume,
+        }
+    }
+
+    fn reset(&mut self) {
+        self.fc.reset();
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// The HovercRaft++ aggregator as a switch pipeline stage.
+pub struct AggProgram {
+    /// The aggregation state machine (soft state only).
+    pub agg: Aggregator,
+    /// Fail-stop flag: a dead device blackholes everything addressed to it
+    /// (used by failure-injection tests; §5's aggregator-failure scenario).
+    pub failed: bool,
+}
+
+impl AggProgram {
+    /// An aggregator for the given server group.
+    pub fn new(members: Vec<u32>) -> AggProgram {
+        AggProgram {
+            agg: Aggregator::new(members),
+            failed: false,
+        }
+    }
+}
+
+impl SwitchProgram<WireMsg> for AggProgram {
+    fn process(
+        &mut self,
+        pkt: Packet<WireMsg>,
+        _now: SimTime,
+        out: &mut SwitchEmit<WireMsg>,
+    ) -> Verdict<WireMsg> {
+        if pkt.dst != addrs::AGG {
+            return Verdict::Forward(pkt);
+        }
+        if self.failed {
+            return Verdict::Consume; // dead device: blackhole
+        }
+        for (dst, msg) in self.agg.on_packet(pkt.src.0, pkt.payload) {
+            let size = msg.wire_size();
+            // Emitted with the aggregator's own source address: followers
+            // use it to route successful replies back through the device.
+            out.emit(addrs::AGG, Addr::node(dst), size, msg);
+        }
+        Verdict::Consume
+    }
+
+    fn reset(&mut self) {
+        self.agg.flush();
+        self.failed = false;
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}

@@ -1,0 +1,116 @@
+//! One-shot experiment execution and result summarization.
+
+use lancet::LatencyRecorder;
+use simnet::Counters;
+
+use crate::cluster::{Cluster, ClusterOpts};
+
+/// Summary of one experiment point.
+#[derive(Clone, Debug)]
+pub struct ExpResult {
+    /// Offered load, RPS.
+    pub offered_rps: f64,
+    /// Measured goodput (responses/second over the measured window).
+    pub achieved_rps: f64,
+    /// Mean latency, ns.
+    pub mean_ns: f64,
+    /// Median latency, ns.
+    pub p50_ns: u64,
+    /// 99th-percentile latency, ns.
+    pub p99_ns: u64,
+    /// Max observed latency, ns.
+    pub max_ns: u64,
+    /// Requests sent in the measured window.
+    pub sent: u64,
+    /// Responses received for measured requests.
+    pub responses: u64,
+    /// Flow-control NACKs for measured requests.
+    pub nacks: u64,
+    /// The leader during/after the run (replicated setups).
+    pub leader: Option<u32>,
+    /// Steady-state traffic counters per server (measured window only).
+    pub server_counters: Vec<Counters>,
+}
+
+impl ExpResult {
+    /// Convenience: p99 in microseconds.
+    pub fn p99_us(&self) -> f64 {
+        self.p99_ns as f64 / 1_000.0
+    }
+
+    /// True if the point keeps up with its offered load (within 2 %) and
+    /// meets the latency SLO — the "under SLO" criterion of the paper's
+    /// throughput plots.
+    pub fn meets_slo(&self, slo_ns: u64) -> bool {
+        self.p99_ns <= slo_ns && self.achieved_rps >= self.offered_rps * 0.98
+    }
+}
+
+/// Builds, runs, and summarizes one experiment point.
+pub fn run_experiment(opts: ClusterOpts) -> ExpResult {
+    let mut cluster = Cluster::build(opts.clone());
+    cluster.run_to_completion();
+    summarize(&mut cluster)
+}
+
+/// Summarizes an already-run cluster.
+pub fn summarize(cluster: &mut Cluster) -> ExpResult {
+    let opts = cluster.opts().clone();
+    let r = cluster.client_results();
+    let mut rec = LatencyRecorder::new();
+    for &l in &r.latencies {
+        rec.record(l);
+    }
+    let measure_s = opts.measure.as_secs_f64();
+    let server_counters = cluster
+        .servers
+        .iter()
+        .map(|&s| cluster.sim.counters(s))
+        .collect();
+    ExpResult {
+        offered_rps: opts.rate_rps,
+        achieved_rps: r.responses as f64 / measure_s,
+        mean_ns: rec.mean(),
+        p50_ns: rec.percentile(50.0).unwrap_or(0),
+        p99_ns: rec.p99().unwrap_or(0),
+        max_ns: rec.max().unwrap_or(0),
+        sent: r.sent,
+        responses: r.responses,
+        nacks: r.nacks,
+        leader: cluster.leader(),
+        server_counters,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slo_criterion_requires_keeping_up() {
+        let base = ExpResult {
+            offered_rps: 100_000.0,
+            achieved_rps: 99_500.0,
+            mean_ns: 10_000.0,
+            p50_ns: 9_000,
+            p99_ns: 80_000,
+            max_ns: 200_000,
+            sent: 100,
+            responses: 99,
+            nacks: 0,
+            leader: Some(0),
+            server_counters: vec![],
+        };
+        assert!(base.meets_slo(500_000));
+        let overloaded = ExpResult {
+            achieved_rps: 50_000.0,
+            ..base.clone()
+        };
+        assert!(!overloaded.meets_slo(500_000));
+        let slow = ExpResult {
+            p99_ns: 900_000,
+            ..base
+        };
+        assert!(!slow.meets_slo(500_000));
+    }
+}

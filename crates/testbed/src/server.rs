@@ -1,0 +1,184 @@
+//! Server agents: the replicated HovercRaft node and the unreplicated
+//! baseline, adapted onto the simulator's two-thread node model.
+
+use std::any::Any;
+
+use hovercraft::{HcConfig, HcNode, Output, Service, WireMsg};
+use simnet::{Addr, Agent, Ctx, Packet, SimDur, TimerId};
+
+/// Timer kind for the periodic protocol tick.
+const TICK: u64 = 1;
+
+/// How often the network thread runs protocol maintenance (Raft ticks,
+/// GC, recovery retries). A quarter of the Raft heartbeat interval keeps
+/// heartbeat jitter well under election timeouts.
+const TICK_INTERVAL: SimDur = SimDur::micros(250);
+
+/// CPU cost per payload byte serialized into an AppendEntries message.
+/// VanillaRaft pays this once per follower per request (the leader copies
+/// the client payload through the log into per-follower consensus
+/// messages); HovercRaft ships fixed-size metadata and pays nothing —
+/// the request-size sensitivity of Figure 8 (§3.2).
+const AE_COPY_PER_BYTE_DECINS: u64 = 14; // 1.4 ns/byte
+
+/// A replicated server: a [`HcNode`] driven by the simulated network
+/// thread, with state-machine execution charged to the application thread.
+pub struct ServerAgent {
+    node: HcNode<Box<dyn Service>>,
+}
+
+impl ServerAgent {
+    /// Wraps a service under the given HovercRaft configuration.
+    pub fn new(cfg: HcConfig, service: Box<dyn Service>) -> ServerAgent {
+        ServerAgent {
+            node: HcNode::new(cfg, service, 0),
+        }
+    }
+
+    /// The protocol node (for result harvesting).
+    pub fn node(&self) -> &HcNode<Box<dyn Service>> {
+        &self.node
+    }
+
+    /// Mutable protocol node access (e.g. dataset preloading through the
+    /// service).
+    pub fn node_mut(&mut self) -> &mut HcNode<Box<dyn Service>> {
+        &mut self.node
+    }
+
+    fn run(&mut self, outs: Vec<Output>, ctx: &mut Ctx<'_, WireMsg>) {
+        for o in outs {
+            match o {
+                Output::Send { dst, msg } => {
+                    let size = msg.wire_size();
+                    // Consensus traffic always belongs to the network
+                    // thread (§6): when an application-thread completion
+                    // unblocks an announcement, the resulting
+                    // AppendEntries are picked up and transmitted by the
+                    // network thread, not the app thread. Client-visible
+                    // responses and FEEDBACK stay on the thread that
+                    // produced them (each thread has its own TX queue).
+                    match &msg {
+                        WireMsg::Raft(m) => {
+                            // Serialization cost of inline payloads (zero
+                            // for HovercRaft's metadata-only entries).
+                            if let raft::Message::AppendEntries { entries, .. } = m {
+                                let inline: u64 = entries
+                                    .iter()
+                                    .filter_map(|e| e.cmd.body.as_ref())
+                                    .map(|b| b.len() as u64)
+                                    .sum();
+                                if inline > 0 {
+                                    ctx.burn(
+                                        SimDur::nanos(inline * AE_COPY_PER_BYTE_DECINS / 10),
+                                        simnet::ThreadClass::Net,
+                                    );
+                                }
+                            }
+                            ctx.send_from(Addr(dst), size, msg, simnet::ThreadClass::Net);
+                        }
+                        WireMsg::RecoveryReq { .. }
+                        | WireMsg::RecoveryRep { .. }
+                        | WireMsg::VoteProbe { .. } => {
+                            ctx.send_from(Addr(dst), size, msg, simnet::ThreadClass::Net);
+                        }
+                        _ => ctx.send(Addr(dst), size, msg),
+                    }
+                }
+                Output::Execute { index, cost_ns } => {
+                    ctx.exec_app(SimDur::nanos(cost_ns), index);
+                }
+            }
+        }
+    }
+}
+
+impl Agent<WireMsg> for ServerAgent {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, WireMsg>) {
+        ctx.set_timer(TICK_INTERVAL, TICK);
+    }
+
+    fn on_packet(&mut self, pkt: Packet<WireMsg>, ctx: &mut Ctx<'_, WireMsg>) {
+        let outs = self
+            .node
+            .on_message(pkt.src.0, pkt.payload, ctx.now().as_nanos());
+        self.run(outs, ctx);
+    }
+
+    fn on_timer(&mut self, _id: TimerId, kind: u64, ctx: &mut Ctx<'_, WireMsg>) {
+        debug_assert_eq!(kind, TICK);
+        let outs = self.node.tick(ctx.now().as_nanos());
+        self.run(outs, ctx);
+        ctx.set_timer(TICK_INTERVAL, TICK);
+    }
+
+    fn on_app_done(&mut self, token: u64, ctx: &mut Ctx<'_, WireMsg>) {
+        let outs = self.node.on_exec_done(token, ctx.now().as_nanos());
+        self.run(outs, ctx);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// The unreplicated baseline: a plain R2P2 server with no fault tolerance.
+/// Requests are executed on the application thread and answered directly —
+/// the `UnRep` setup of §7.
+pub struct UnrepAgent {
+    service: Box<dyn Service>,
+    /// Replies pending app-thread completion, keyed by a rolling token.
+    pending: std::collections::HashMap<u64, (Addr, r2p2::ReqId, bytes::Bytes)>,
+    next_token: u64,
+    /// Requests served.
+    pub served: u64,
+}
+
+impl UnrepAgent {
+    /// Wraps a service.
+    pub fn new(service: Box<dyn Service>) -> UnrepAgent {
+        UnrepAgent {
+            service,
+            pending: std::collections::HashMap::new(),
+            next_token: 0,
+            served: 0,
+        }
+    }
+
+    /// The wrapped service.
+    pub fn service_mut(&mut self) -> &mut Box<dyn Service> {
+        &mut self.service
+    }
+}
+
+impl Agent<WireMsg> for UnrepAgent {
+    fn on_packet(&mut self, pkt: Packet<WireMsg>, ctx: &mut Ctx<'_, WireMsg>) {
+        if let WireMsg::Request { id, kind, body } = pkt.payload {
+            let r = self.service.execute(&body, kind.is_read_only());
+            let token = self.next_token;
+            self.next_token += 1;
+            self.pending
+                .insert(token, (Addr::node(id.src_ip), id, r.reply));
+            ctx.exec_app(SimDur::nanos(r.cost_ns), token);
+        }
+    }
+
+    fn on_app_done(&mut self, token: u64, ctx: &mut Ctx<'_, WireMsg>) {
+        if let Some((client, id, reply)) = self.pending.remove(&token) {
+            self.served += 1;
+            let msg = WireMsg::Response { id, body: reply };
+            let size = msg.wire_size();
+            ctx.send(client, size, msg);
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}

@@ -1,0 +1,103 @@
+//! The four evaluated system setups (§7) and the experiment address plan.
+
+use hovercraft::{Mode, PolicyKind};
+use simnet::Addr;
+
+/// The four system configurations the paper compares (§7, "Our experiments
+/// compare four different system setups, all on top of DPDK").
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Setup {
+    /// A single, unreplicated R2P2 server — fast but not fault-tolerant.
+    Unrep,
+    /// Vanilla Raft ported onto R2P2/DPDK (the paper's `VanillaRaft`).
+    Vanilla,
+    /// HovercRaft with the given replier policy.
+    Hovercraft(PolicyKind),
+    /// HovercRaft++ (in-network aggregation) with the given policy.
+    HovercraftPp(PolicyKind),
+}
+
+impl Setup {
+    /// The protocol mode servers run in (None for the unreplicated setup).
+    pub fn mode(self) -> Option<Mode> {
+        match self {
+            Setup::Unrep => None,
+            Setup::Vanilla => Some(Mode::Vanilla),
+            Setup::Hovercraft(_) => Some(Mode::Hovercraft),
+            Setup::HovercraftPp(_) => Some(Mode::HovercraftPp),
+        }
+    }
+
+    /// The replier policy (JBSQ unless configured otherwise).
+    pub fn policy(self) -> PolicyKind {
+        match self {
+            Setup::Hovercraft(p) | Setup::HovercraftPp(p) => p,
+            _ => PolicyKind::Jbsq,
+        }
+    }
+
+    /// True if clients multicast requests to the whole group.
+    pub fn multicast_requests(self) -> bool {
+        matches!(self, Setup::Hovercraft(_) | Setup::HovercraftPp(_))
+    }
+
+    /// Short display name matching the paper's figure legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            Setup::Unrep => "UnRep",
+            Setup::Vanilla => "VanillaRaft",
+            Setup::Hovercraft(_) => "HovercRaft",
+            Setup::HovercraftPp(_) => "HovercRaft++",
+        }
+    }
+}
+
+/// Address plan: servers occupy node ids `0..n`; clients follow. Group and
+/// middlebox addresses live in the multicast range so the ToR intercepts
+/// them.
+pub mod addrs {
+    use super::Addr;
+
+    /// Multicast group containing every server (the fault-tolerance group).
+    pub const GROUP: Addr = Addr::group(0);
+    /// The in-network aggregator's service address (HovercRaft++).
+    pub const AGG: Addr = Addr::group(1);
+    /// The flow-control middlebox VIP fronting the group (§6.3).
+    pub const VIP: Addr = Addr::group(2);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn modes_map_correctly() {
+        assert_eq!(Setup::Unrep.mode(), None);
+        assert_eq!(Setup::Vanilla.mode(), Some(Mode::Vanilla));
+        assert_eq!(
+            Setup::Hovercraft(PolicyKind::Jbsq).mode(),
+            Some(Mode::Hovercraft)
+        );
+        assert_eq!(
+            Setup::HovercraftPp(PolicyKind::Random).mode(),
+            Some(Mode::HovercraftPp)
+        );
+    }
+
+    #[test]
+    fn only_hovercraft_modes_multicast() {
+        assert!(!Setup::Unrep.multicast_requests());
+        assert!(!Setup::Vanilla.multicast_requests());
+        assert!(Setup::Hovercraft(PolicyKind::Jbsq).multicast_requests());
+        assert!(Setup::HovercraftPp(PolicyKind::Jbsq).multicast_requests());
+    }
+
+    #[test]
+    fn special_addresses_are_distinct_groups() {
+        assert!(addrs::GROUP.is_group());
+        assert!(addrs::AGG.is_group());
+        assert!(addrs::VIP.is_group());
+        assert_ne!(addrs::GROUP, addrs::AGG);
+        assert_ne!(addrs::AGG, addrs::VIP);
+    }
+}

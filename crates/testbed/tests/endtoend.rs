@@ -1,0 +1,110 @@
+//! End-to-end tests of the full simulated testbed: every setup serves an
+//! open-loop load with µs-scale latency and sane accounting.
+
+use hovercraft::PolicyKind;
+use simnet::SimDur;
+use testbed::{run_experiment, ClusterOpts, ServiceKind, Setup, WorkloadKind};
+use workload::{ServiceDist, SynthSpec, YcsbWorkload};
+
+fn quick(setup: Setup, n: u32, rate: f64) -> ClusterOpts {
+    let mut o = ClusterOpts::new(setup, n, rate);
+    o.warmup = SimDur::millis(50);
+    o.measure = SimDur::millis(200);
+    o
+}
+
+#[test]
+fn unrep_low_load_latency_is_microsecond_scale() {
+    let r = run_experiment(quick(Setup::Unrep, 1, 20_000.0));
+    assert!(r.responses > 3_000, "{r:?}");
+    assert!(r.achieved_rps > 19_000.0 * 0.95, "{r:?}");
+    // 1 RTT + 1µs service: well under 20µs even at p99.
+    assert!(r.p99_ns < 20_000, "p99 = {}ns", r.p99_ns);
+}
+
+#[test]
+fn vanilla_low_load_serves_with_consensus_offset() {
+    let r = run_experiment(quick(Setup::Vanilla, 3, 20_000.0));
+    assert!(r.achieved_rps > 19_000.0 * 0.95, "{r:?}");
+    // 2 RTTs + service; must stay µs-scale but above UnRep.
+    assert!(r.p99_ns < 60_000, "p99 = {}ns", r.p99_ns);
+    assert!(r.p50_ns > 5_000, "consensus adds latency: {}", r.p50_ns);
+}
+
+#[test]
+fn hovercraft_low_load_end_to_end() {
+    let r = run_experiment(quick(Setup::Hovercraft(PolicyKind::Jbsq), 3, 20_000.0));
+    assert!(r.achieved_rps > 19_000.0 * 0.95, "{r:?}");
+    assert!(r.p99_ns < 80_000, "p99 = {}ns", r.p99_ns);
+}
+
+#[test]
+fn hovercraft_pp_low_load_end_to_end() {
+    let r = run_experiment(quick(Setup::HovercraftPp(PolicyKind::Jbsq), 3, 20_000.0));
+    assert!(r.achieved_rps > 19_000.0 * 0.95, "{r:?}");
+    assert!(r.p99_ns < 80_000, "p99 = {}ns", r.p99_ns);
+}
+
+#[test]
+fn five_node_cluster_serves() {
+    let r = run_experiment(quick(Setup::HovercraftPp(PolicyKind::Jbsq), 5, 50_000.0));
+    assert!(r.achieved_rps > 50_000.0 * 0.95, "{r:?}");
+}
+
+#[test]
+fn moderate_load_all_setups_keep_up() {
+    for setup in [
+        Setup::Unrep,
+        Setup::Vanilla,
+        Setup::Hovercraft(PolicyKind::Jbsq),
+        Setup::HovercraftPp(PolicyKind::Jbsq),
+    ] {
+        let r = run_experiment(quick(setup, 3, 200_000.0));
+        assert!(
+            r.achieved_rps > 200_000.0 * 0.95,
+            "{}: {r:?}",
+            setup.label()
+        );
+        assert!(r.p99_ns < 500_000, "{}: p99 = {}", setup.label(), r.p99_ns);
+    }
+}
+
+#[test]
+fn reply_lb_shares_reply_traffic() {
+    // 6kB replies at a load past a single NIC's reply capacity: only works
+    // if followers answer clients too.
+    let mut o = quick(Setup::HovercraftPp(PolicyKind::Jbsq), 3, 300_000.0);
+    o.workload = WorkloadKind::Synth(SynthSpec {
+        dist: ServiceDist::Fixed { ns: 1_000 },
+        req_size: 24,
+        reply_size: 6_000,
+        ro_fraction: 0.0,
+    });
+    let r = run_experiment(o);
+    assert!(
+        r.achieved_rps > 300_000.0 * 0.9,
+        "reply LB lifts the 200kRPS single-link cap: {r:?}"
+    );
+}
+
+#[test]
+fn ycsbe_on_kv_store_works_end_to_end() {
+    let mut o = quick(Setup::HovercraftPp(PolicyKind::Jbsq), 3, 20_000.0);
+    o.service = ServiceKind::Kv;
+    o.workload = WorkloadKind::Ycsb {
+        workload: YcsbWorkload::E,
+        records: 1_000,
+    };
+    let r = run_experiment(o);
+    assert!(r.achieved_rps > 20_000.0 * 0.9, "{r:?}");
+    assert!(r.p99_ns < 500_000, "p99 = {}", r.p99_ns);
+}
+
+#[test]
+fn results_are_deterministic_for_a_seed() {
+    let run = || {
+        let r = run_experiment(quick(Setup::Hovercraft(PolicyKind::Jbsq), 3, 50_000.0));
+        (r.responses, r.p99_ns, r.p50_ns)
+    };
+    assert_eq!(run(), run());
+}

@@ -1,0 +1,132 @@
+//! Service-time distributions for the synthetic microbenchmarks (§7).
+//!
+//! The paper's synthetic service has a configurable CPU service time: fixed
+//! (S̄ = 1µs in §7.1–7.3), or bimodal — 10 % of requests 10× longer — for
+//! the scheduling experiments (§7.3, Figure 11). Exponential is included
+//! for completeness/ablations.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// A distribution of per-request CPU service times.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ServiceDist {
+    /// Every request takes exactly `ns`.
+    Fixed {
+        /// Service time, ns.
+        ns: u64,
+    },
+    /// A fraction of requests is `mult`× longer than the common case; the
+    /// *mean* is `mean_ns` (the paper quotes bimodal distributions by their
+    /// mean, e.g. S̄ = 10µs with 10 % of requests 10× longer).
+    Bimodal {
+        /// Mean service time, ns.
+        mean_ns: u64,
+        /// Fraction of long requests (e.g. 0.1).
+        frac_long: f64,
+        /// Length multiplier of long requests vs short ones (e.g. 10).
+        mult: u64,
+    },
+    /// Exponentially distributed with the given mean.
+    Exponential {
+        /// Mean service time, ns.
+        mean_ns: u64,
+    },
+}
+
+impl ServiceDist {
+    /// The distribution's mean, ns.
+    pub fn mean_ns(&self) -> u64 {
+        match self {
+            ServiceDist::Fixed { ns } => *ns,
+            ServiceDist::Bimodal { mean_ns, .. } | ServiceDist::Exponential { mean_ns } => *mean_ns,
+        }
+    }
+
+    /// Draws one service time.
+    pub fn sample(&self, rng: &mut SmallRng) -> u64 {
+        match self {
+            ServiceDist::Fixed { ns } => *ns,
+            ServiceDist::Bimodal {
+                mean_ns,
+                frac_long,
+                mult,
+            } => {
+                // mean = short * (1 - f) + short * mult * f
+                // → short = mean / (1 - f + mult * f)
+                let short = *mean_ns as f64 / (1.0 - frac_long + *mult as f64 * frac_long);
+                if rng.gen::<f64>() < *frac_long {
+                    (short * *mult as f64) as u64
+                } else {
+                    short as u64
+                }
+            }
+            ServiceDist::Exponential { mean_ns } => {
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                (-(u.ln()) * *mean_ns as f64) as u64
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn mean_of(d: ServiceDist, n: usize) -> f64 {
+        let mut rng = SmallRng::seed_from_u64(3);
+        (0..n).map(|_| d.sample(&mut rng) as f64).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn fixed_is_constant() {
+        let d = ServiceDist::Fixed { ns: 1_000 };
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(d.sample(&mut rng), 1_000);
+        }
+        assert_eq!(d.mean_ns(), 1_000);
+    }
+
+    #[test]
+    fn bimodal_hits_requested_mean() {
+        let d = ServiceDist::Bimodal {
+            mean_ns: 10_000,
+            frac_long: 0.1,
+            mult: 10,
+        };
+        let m = mean_of(d, 200_000);
+        assert!((m - 10_000.0).abs() < 300.0, "mean = {m}");
+    }
+
+    #[test]
+    fn bimodal_has_two_modes() {
+        let d = ServiceDist::Bimodal {
+            mean_ns: 10_000,
+            frac_long: 0.1,
+            mult: 10,
+        };
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut longs = 0;
+        let mut shorts = 0;
+        for _ in 0..10_000 {
+            let s = d.sample(&mut rng);
+            // short ≈ 5263ns, long ≈ 52631ns.
+            if s > 30_000 {
+                longs += 1;
+            } else {
+                shorts += 1;
+            }
+        }
+        assert!((800..1200).contains(&longs), "{longs} long requests");
+        assert_eq!(longs + shorts, 10_000);
+    }
+
+    #[test]
+    fn exponential_hits_mean() {
+        let d = ServiceDist::Exponential { mean_ns: 5_000 };
+        let m = mean_of(d, 200_000);
+        assert!((m - 5_000.0).abs() < 150.0, "mean = {m}");
+    }
+}

@@ -1,0 +1,154 @@
+//! The synthetic microbenchmark service (§7: "synthetic microbenchmarks
+//! depend on a synthetic service with configurable CPU service execution
+//! time, request, and reply sizes").
+//!
+//! The per-request service time and reply size are sampled *client-side*
+//! and encoded into the request body, so every replica that executes the
+//! same request spins for the same duration and produces the same reply —
+//! the SMR determinism contract, kept even for a synthetic workload.
+//!
+//! Body layout (little-endian): `[cost_ns u64][reply_size u32][padding]`,
+//! padded to the configured request size.
+
+use bytes::Bytes;
+use hovercraft::{Executed, Service};
+use rand::rngs::SmallRng;
+
+use crate::dist::ServiceDist;
+
+/// Minimum body size that still carries its parameters.
+pub const SYNTH_MIN_BODY: usize = 12;
+
+/// Builds a synthetic request body of exactly `req_size` bytes (clamped up
+/// to the 12-byte parameter header) encoding the service time and reply
+/// size.
+pub fn encode_request(cost_ns: u64, reply_size: u32, req_size: usize) -> Bytes {
+    let len = req_size.max(SYNTH_MIN_BODY);
+    let mut b = vec![0u8; len];
+    b[..8].copy_from_slice(&cost_ns.to_le_bytes());
+    b[8..12].copy_from_slice(&reply_size.to_le_bytes());
+    Bytes::from(b)
+}
+
+/// Decodes the parameters from a synthetic request body.
+pub fn decode_request(body: &[u8]) -> Option<(u64, u32)> {
+    if body.len() < SYNTH_MIN_BODY {
+        return None;
+    }
+    let cost = u64::from_le_bytes(body[..8].try_into().ok()?);
+    let reply = u32::from_le_bytes(body[8..12].try_into().ok()?);
+    Some((cost, reply))
+}
+
+/// A generator for synthetic requests with the experiment's parameters.
+#[derive(Clone, Debug)]
+pub struct SynthSpec {
+    /// Service-time distribution.
+    pub dist: ServiceDist,
+    /// Request body size, bytes (the paper's 24 B default and the 64/512 B
+    /// points of Figure 8).
+    pub req_size: usize,
+    /// Reply body size, bytes (8 B default; 6 kB in Figure 10).
+    pub reply_size: u32,
+    /// Fraction of requests that are read-only (0.75 in Figure 11).
+    pub ro_fraction: f64,
+}
+
+impl SynthSpec {
+    /// The §7.1 baseline: S = 1µs, 24-byte requests, 8-byte replies, no
+    /// read-only operations.
+    pub fn baseline() -> SynthSpec {
+        SynthSpec {
+            dist: ServiceDist::Fixed { ns: 1_000 },
+            req_size: 24,
+            reply_size: 8,
+            ro_fraction: 0.0,
+        }
+    }
+
+    /// Draws one request: `(body, read_only)`.
+    pub fn sample(&self, rng: &mut SmallRng) -> (Bytes, bool) {
+        use rand::Rng;
+        let cost = self.dist.sample(rng);
+        let ro = self.ro_fraction > 0.0 && rng.gen::<f64>() < self.ro_fraction;
+        (encode_request(cost, self.reply_size, self.req_size), ro)
+    }
+}
+
+/// The synthetic service: spins for the encoded time, returns the encoded
+/// number of bytes.
+#[derive(Debug, Default)]
+pub struct SynthService {
+    /// Operations executed.
+    pub ops: u64,
+    /// Mutating operations executed (used by replication tests).
+    pub writes: u64,
+}
+
+impl Service for SynthService {
+    fn execute(&mut self, body: &[u8], read_only: bool) -> Executed {
+        self.ops += 1;
+        if !read_only {
+            self.writes += 1;
+        }
+        let (cost_ns, reply_size) = decode_request(body).unwrap_or((1_000, 8));
+        Executed {
+            reply: Bytes::from(vec![0u8; reply_size as usize]),
+            cost_ns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn request_roundtrip() {
+        let b = encode_request(10_000, 6_000, 24);
+        assert_eq!(b.len(), 24);
+        assert_eq!(decode_request(&b), Some((10_000, 6_000)));
+    }
+
+    #[test]
+    fn tiny_request_size_is_clamped() {
+        let b = encode_request(5, 8, 1);
+        assert_eq!(b.len(), SYNTH_MIN_BODY);
+        assert_eq!(decode_request(&b), Some((5, 8)));
+    }
+
+    #[test]
+    fn service_obeys_encoded_parameters() {
+        let mut s = SynthService::default();
+        let r = s.execute(&encode_request(7_500, 100, 64), false);
+        assert_eq!(r.cost_ns, 7_500);
+        assert_eq!(r.reply.len(), 100);
+        assert_eq!(s.ops, 1);
+        assert_eq!(s.writes, 1);
+        s.execute(&encode_request(1, 8, 24), true);
+        assert_eq!(s.writes, 1, "read-only not counted as write");
+    }
+
+    #[test]
+    fn spec_samples_ro_fraction() {
+        let spec = SynthSpec {
+            dist: ServiceDist::Fixed { ns: 1_000 },
+            req_size: 24,
+            reply_size: 8,
+            ro_fraction: 0.75,
+        };
+        let mut rng = SmallRng::seed_from_u64(5);
+        let ro = (0..10_000).filter(|_| spec.sample(&mut rng).1).count();
+        assert!((7_200..7_800).contains(&ro), "{ro} read-only of 10k");
+    }
+
+    #[test]
+    fn baseline_matches_paper_parameters() {
+        let b = SynthSpec::baseline();
+        assert_eq!(b.req_size, 24);
+        assert_eq!(b.reply_size, 8);
+        assert_eq!(b.dist.mean_ns(), 1_000);
+        assert_eq!(b.ro_fraction, 0.0);
+    }
+}

@@ -1,0 +1,310 @@
+//! YCSB workload generators (Cooper et al., SoCC '10), specialized for the
+//! paper's §7.5 experiment: **YCSB-E on Redis**.
+//!
+//! Workload E models threaded conversations: 95 % `SCAN` (read the latest
+//! posts of a thread: ordered, read-only, load-balanceable) and 5 %
+//! `INSERT` (a new post: ordered read-write). Records are 1 kB — 10 fields
+//! of 100 bytes (§7.5); scans return at most 10 records. Workloads A–D are
+//! provided for extensions/ablations.
+
+use bytes::Bytes;
+use minikv::Command;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::zipf::{fnv_scramble, Zipfian};
+
+/// The standard YCSB field layout (§7.5: 1 kB records, 10 × 100 B fields).
+#[derive(Clone, Copy, Debug)]
+pub struct RecordSpec {
+    /// Fields per record.
+    pub fields: usize,
+    /// Bytes per field.
+    pub field_len: usize,
+}
+
+impl Default for RecordSpec {
+    fn default() -> Self {
+        RecordSpec {
+            fields: 10,
+            field_len: 100,
+        }
+    }
+}
+
+impl RecordSpec {
+    /// Total record payload size.
+    pub fn record_len(&self) -> usize {
+        self.fields * self.field_len
+    }
+
+    /// Builds a deterministic record for `key_rank` (field bytes derived
+    /// from the rank so replicas can be diffed).
+    pub fn build(&self, key_rank: u64) -> Bytes {
+        let mut rec = Vec::with_capacity(self.record_len());
+        for f in 0..self.fields {
+            let fill = (key_rank as u8).wrapping_add(f as u8);
+            rec.extend(std::iter::repeat_n(fill, self.field_len));
+        }
+        Bytes::from(rec)
+    }
+}
+
+/// A standard YCSB workload letter.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum YcsbWorkload {
+    /// 50 % read / 50 % update, zipfian.
+    A,
+    /// 95 % read / 5 % update, zipfian.
+    B,
+    /// 100 % read, zipfian.
+    C,
+    /// 95 % read / 5 % insert, latest.
+    D,
+    /// 95 % scan / 5 % insert, zipfian start keys — the paper's benchmark.
+    E,
+}
+
+/// One generated operation.
+#[derive(Clone, Debug)]
+pub struct YcsbOp {
+    /// The encoded store command.
+    pub body: Bytes,
+    /// Whether the op is read-only (drives the R2P2 POLICY tag).
+    pub read_only: bool,
+}
+
+/// Stateful YCSB operation generator.
+pub struct YcsbGen {
+    workload: YcsbWorkload,
+    spec: RecordSpec,
+    table: Bytes,
+    /// Keys 0..insert_cursor exist.
+    insert_cursor: u64,
+    zipf: Zipfian,
+    max_scan_len: u32,
+    rng: SmallRng,
+}
+
+/// Formats the canonical YCSB key for a rank.
+pub fn key_of(rank: u64) -> String {
+    format!("user{rank:012}")
+}
+
+impl YcsbGen {
+    /// Creates a generator over an initially loaded keyspace of
+    /// `record_count` records.
+    pub fn new(workload: YcsbWorkload, record_count: u64, spec: RecordSpec, seed: u64) -> YcsbGen {
+        use rand::SeedableRng;
+        assert!(record_count > 0);
+        YcsbGen {
+            workload,
+            spec,
+            table: Bytes::from_static(b"usertable"),
+            insert_cursor: record_count,
+            zipf: Zipfian::ycsb(record_count),
+            max_scan_len: 10,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Commands that load the initial dataset (the YCSB load phase).
+    pub fn load_phase(&self) -> Vec<Command> {
+        (0..self.zipf.n())
+            .map(|r| {
+                Command::Insert(
+                    self.table.clone(),
+                    Bytes::from(key_of(r)),
+                    self.spec.build(r),
+                )
+            })
+            .collect()
+    }
+
+    fn zipf_key(&mut self) -> u64 {
+        let rank = self.zipf.sample(&mut self.rng);
+        fnv_scramble(rank, self.zipf.n())
+    }
+
+    /// Draws the next operation.
+    pub fn next_op(&mut self) -> YcsbOp {
+        let roll: f64 = self.rng.gen();
+        match self.workload {
+            YcsbWorkload::A => {
+                if roll < 0.5 {
+                    self.read_op()
+                } else {
+                    self.update_op()
+                }
+            }
+            YcsbWorkload::B => {
+                if roll < 0.95 {
+                    self.read_op()
+                } else {
+                    self.update_op()
+                }
+            }
+            YcsbWorkload::C => self.read_op(),
+            YcsbWorkload::D => {
+                if roll < 0.95 {
+                    self.latest_read_op()
+                } else {
+                    self.insert_op()
+                }
+            }
+            YcsbWorkload::E => {
+                if roll < 0.95 {
+                    self.scan_op()
+                } else {
+                    self.insert_op()
+                }
+            }
+        }
+    }
+
+    fn read_op(&mut self) -> YcsbOp {
+        let k = self.zipf_key();
+        YcsbOp {
+            body: Command::Scan(self.table.clone(), Bytes::from(key_of(k)), 1).encode(),
+            read_only: true,
+        }
+    }
+
+    fn latest_read_op(&mut self) -> YcsbOp {
+        // "Latest": skew towards recently inserted keys.
+        let back = self.zipf.sample(&mut self.rng).min(self.insert_cursor - 1);
+        let k = self.insert_cursor - 1 - back;
+        YcsbOp {
+            body: Command::Scan(self.table.clone(), Bytes::from(key_of(k)), 1).encode(),
+            read_only: true,
+        }
+    }
+
+    fn update_op(&mut self) -> YcsbOp {
+        let k = self.zipf_key();
+        YcsbOp {
+            body: Command::Insert(
+                self.table.clone(),
+                Bytes::from(key_of(k)),
+                self.spec.build(k),
+            )
+            .encode(),
+            read_only: false,
+        }
+    }
+
+    fn insert_op(&mut self) -> YcsbOp {
+        let k = self.insert_cursor;
+        self.insert_cursor += 1;
+        self.zipf.grow(self.insert_cursor);
+        YcsbOp {
+            body: Command::Insert(
+                self.table.clone(),
+                Bytes::from(key_of(k)),
+                self.spec.build(k),
+            )
+            .encode(),
+            read_only: false,
+        }
+    }
+
+    fn scan_op(&mut self) -> YcsbOp {
+        let k = self.zipf_key();
+        let len = self.rng.gen_range(1..=self.max_scan_len);
+        YcsbOp {
+            body: Command::Scan(self.table.clone(), Bytes::from(key_of(k)), len).encode(),
+            read_only: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minikv::{Reply, Store};
+
+    #[test]
+    fn record_spec_builds_1kb_records() {
+        let spec = RecordSpec::default();
+        assert_eq!(spec.record_len(), 1_000);
+        assert_eq!(spec.build(7).len(), 1_000);
+    }
+
+    #[test]
+    fn workload_e_mix_is_95_5() {
+        let mut g = YcsbGen::new(YcsbWorkload::E, 1_000, RecordSpec::default(), 42);
+        let mut scans = 0;
+        let mut inserts = 0;
+        for _ in 0..10_000 {
+            let op = g.next_op();
+            let cmd = Command::decode(&op.body).unwrap();
+            match cmd {
+                Command::Scan(_, _, n) => {
+                    assert!(op.read_only);
+                    assert!((1..=10).contains(&n));
+                    scans += 1;
+                }
+                Command::Insert(..) => {
+                    assert!(!op.read_only);
+                    inserts += 1;
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!((9_300..9_700).contains(&scans), "{scans} scans");
+        assert_eq!(scans + inserts, 10_000);
+    }
+
+    #[test]
+    fn inserts_extend_the_keyspace_monotonically() {
+        let mut g = YcsbGen::new(YcsbWorkload::E, 10, RecordSpec::default(), 1);
+        let mut seen = Vec::new();
+        for _ in 0..2_000 {
+            if let Command::Insert(_, k, _) = Command::decode(&g.next_op().body).unwrap() {
+                seen.push(String::from_utf8_lossy(&k).into_owned());
+            }
+        }
+        assert!(!seen.is_empty());
+        let mut sorted = seen.clone();
+        sorted.sort();
+        assert_eq!(seen, sorted, "inserted keys are sequential (new posts)");
+    }
+
+    #[test]
+    fn load_phase_populates_a_store_scannable_by_ops() {
+        let spec = RecordSpec {
+            fields: 2,
+            field_len: 10,
+        };
+        let mut g = YcsbGen::new(YcsbWorkload::E, 100, spec, 5);
+        let mut store = Store::new();
+        for cmd in g.load_phase() {
+            store.execute(&cmd);
+        }
+        assert_eq!(store.len(), 100);
+        // Every generated scan hits loaded data.
+        for _ in 0..200 {
+            let op = g.next_op();
+            let cmd = Command::decode(&op.body).unwrap();
+            let (reply, _) = store.execute(&cmd);
+            match reply {
+                Reply::Array(items) => assert!(!items.is_empty(), "scan hit data"),
+                Reply::Ok => {} // insert
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn workload_a_mixes_reads_and_updates() {
+        let mut g = YcsbGen::new(YcsbWorkload::A, 100, RecordSpec::default(), 3);
+        let ro = (0..2_000).filter(|_| g.next_op().read_only).count();
+        assert!((800..1200).contains(&ro), "{ro} reads of 2000");
+    }
+
+    #[test]
+    fn workload_c_is_all_reads() {
+        let mut g = YcsbGen::new(YcsbWorkload::C, 100, RecordSpec::default(), 3);
+        assert!((0..500).all(|_| g.next_op().read_only));
+    }
+}

@@ -1,0 +1,170 @@
+//! Zipfian key-choice generators, after the YCSB reference implementation
+//! (Gray et al.'s rejection-free algorithm from "Quickly Generating
+//! Billion-Record Synthetic Databases", as used by Cooper et al.'s YCSB).
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// A Zipfian generator over `0..n` with the YCSB-standard exponent 0.99.
+#[derive(Clone, Debug)]
+pub struct Zipfian {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    zeta2: f64,
+}
+
+impl Zipfian {
+    /// Standard YCSB constant.
+    pub const YCSB_THETA: f64 = 0.99;
+
+    /// Creates a generator over `0..n` items with exponent `theta`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: u64, theta: f64) -> Zipfian {
+        assert!(n > 0, "zipfian needs at least one item");
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Zipfian {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+            zeta2,
+        }
+    }
+
+    /// YCSB defaults (`theta` = 0.99).
+    pub fn ycsb(n: u64) -> Zipfian {
+        Self::new(n, Self::YCSB_THETA)
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        // Exact for modest n; sufficient for simulation-scale keyspaces.
+        let mut s = 0.0;
+        for i in 1..=n {
+            s += 1.0 / (i as f64).powf(theta);
+        }
+        s
+    }
+
+    /// Draws an item rank in `0..n` (0 is the most popular).
+    pub fn sample(&self, rng: &mut SmallRng) -> u64 {
+        let u: f64 = rng.gen();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let v = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        v.min(self.n - 1)
+    }
+
+    /// Number of items.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Grows the item count (used by "latest"-style workloads as inserts
+    /// extend the keyspace). Cheap incremental zeta update.
+    pub fn grow(&mut self, new_n: u64) {
+        if new_n <= self.n {
+            return;
+        }
+        for i in (self.n + 1)..=new_n {
+            self.zetan += 1.0 / (i as f64).powf(self.theta);
+        }
+        self.n = new_n;
+        self.eta =
+            (1.0 - (2.0 / self.n as f64).powf(1.0 - self.theta)) / (1.0 - self.zeta2 / self.zetan);
+    }
+}
+
+/// Fowler–Noll–Vo scramble so that popular zipfian ranks spread over the
+/// keyspace (YCSB's "scrambled zipfian").
+pub fn fnv_scramble(v: u64, n: u64) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for b in v.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    h % n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn most_popular_item_dominates() {
+        let z = Zipfian::ycsb(1_000);
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut hits0 = 0;
+        let total = 100_000;
+        for _ in 0..total {
+            if z.sample(&mut rng) == 0 {
+                hits0 += 1;
+            }
+        }
+        // Rank 0 of a 1000-item zipf(0.99) carries ≈ 13% of the mass.
+        let frac = hits0 as f64 / total as f64;
+        assert!((0.08..0.20).contains(&frac), "rank-0 frac = {frac}");
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let z = Zipfian::ycsb(50);
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 50);
+        }
+    }
+
+    #[test]
+    fn heavier_theta_is_more_skewed() {
+        let hits_at = |theta: f64| {
+            let z = Zipfian::new(1_000, theta);
+            let mut rng = SmallRng::seed_from_u64(7);
+            (0..50_000).filter(|_| z.sample(&mut rng) < 10).count()
+        };
+        assert!(hits_at(0.99) > hits_at(0.5));
+    }
+
+    #[test]
+    fn grow_extends_range() {
+        let mut z = Zipfian::ycsb(10);
+        z.grow(1_000);
+        assert_eq!(z.n(), 1_000);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let saw_big = (0..200_000).any(|_| z.sample(&mut rng) >= 10);
+        assert!(saw_big, "grown range is actually sampled");
+        // Growing is consistent with building from scratch.
+        let fresh = Zipfian::ycsb(1_000);
+        assert!((z.zetan - fresh.zetan).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scramble_is_deterministic_and_in_range() {
+        for v in 0..100 {
+            let s1 = fnv_scramble(v, 1_000);
+            let s2 = fnv_scramble(v, 1_000);
+            assert_eq!(s1, s2);
+            assert!(s1 < 1_000);
+        }
+        // Adjacent ranks land far apart (no accidental identity mapping).
+        let distinct: std::collections::HashSet<u64> =
+            (0..50).map(|v| fnv_scramble(v, 1_000_000)).collect();
+        assert!(distinct.len() >= 49);
+    }
+}

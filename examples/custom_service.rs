@@ -1,0 +1,142 @@
+//! Bring your own application: replicating a custom deterministic service.
+//!
+//! The paper's SMR-aware RPC layer (§3.1) promises that *any* deterministic
+//! request/response application becomes fault-tolerant with no code
+//! changes. This example implements a small bank-ledger service against the
+//! plain `hovercraft::Service` trait — it knows nothing about Raft,
+//! multicast, or repliers — and runs it replicated, then audits that every
+//! replica holds the identical ledger.
+//!
+//! Run with: `cargo run --release --example custom_service`
+
+use bytes::Bytes;
+use hovercraft::{Executed, OpKind, PolicyKind, Service, WireMsg};
+use r2p2::ReqIdAlloc;
+use simnet::SimDur;
+use testbed::{addrs, Cluster, ClusterOpts, ServerAgent, Setup};
+
+/// A tiny bank: accounts start at 1000; transfer and inspect operations.
+///
+/// Wire format: `b"T <from> <to> <amount>"` transfers; `b"B <acct>"` reads
+/// a balance. Deterministic by construction.
+#[derive(Default)]
+struct Bank {
+    balances: std::collections::BTreeMap<String, i64>,
+    transfers: u64,
+}
+
+impl Service for Bank {
+    fn execute(&mut self, body: &[u8], read_only: bool) -> Executed {
+        let text = std::str::from_utf8(body).unwrap_or("");
+        let parts: Vec<&str> = text.split_whitespace().collect();
+        let reply = match parts.as_slice() {
+            ["T", from, to, amount] if !read_only => {
+                let amount: i64 = amount.parse().unwrap_or(0);
+                *self.balances.entry((*from).to_owned()).or_insert(1_000) -= amount;
+                *self.balances.entry((*to).to_owned()).or_insert(1_000) += amount;
+                self.transfers += 1;
+                Bytes::from_static(b"OK")
+            }
+            ["B", acct] => {
+                let bal = self.balances.get(*acct).copied().unwrap_or(1_000);
+                Bytes::from(bal.to_string())
+            }
+            _ => Bytes::from_static(b"ERR"),
+        };
+        Executed {
+            reply,
+            cost_ns: 800, // sub-µs operation
+        }
+    }
+}
+
+/// A bare-hands client that just collects responses; requests are injected
+/// through the simulator so the example stays small.
+struct HandClient {
+    replies: Vec<Bytes>,
+}
+impl simnet::Agent<WireMsg> for HandClient {
+    fn on_packet(&mut self, pkt: simnet::Packet<WireMsg>, _ctx: &mut simnet::Ctx<'_, WireMsg>) {
+        if let WireMsg::Response { body, .. } = pkt.payload {
+            self.replies.push(body);
+        }
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+fn main() {
+    let mut o = ClusterOpts::new(Setup::Hovercraft(PolicyKind::Jbsq), 3, 1_000.0);
+    // No generated load: we drive requests by hand.
+    o.clients = 0;
+    o.measure = SimDur::millis(100);
+    let mut cluster = Cluster::build(o);
+
+    // Install the Bank on every replica — this is ALL the integration the
+    // application needs.
+    for &s in &cluster.servers.clone() {
+        let agent = cluster.sim.agent_mut::<ServerAgent>(s);
+        *agent.node_mut().service_mut() = Box::new(Bank::default());
+    }
+    cluster.settle();
+    println!("3-node cluster up, Bank service installed on every replica.");
+
+    let me = cluster.sim.add_node(Box::new(HandClient {
+        replies: Vec::new(),
+    }));
+    let mut alloc = ReqIdAlloc::new(me, 5_000);
+    let mut send = |cluster: &mut Cluster, body: &str, ro: bool| {
+        let msg = WireMsg::Request {
+            id: alloc.allocate(),
+            kind: if ro {
+                OpKind::ReadOnly
+            } else {
+                OpKind::ReadWrite
+            },
+            body: Bytes::copy_from_slice(body.as_bytes()),
+        };
+        let size = msg.wire_size();
+        // Multicast to the fault-tolerance group via the flow-control VIP,
+        // exactly like a production client. The reply will come back to
+        // `me` because R2P2 addresses replies by the request's 3-tuple,
+        // not by who the request was sent to.
+        cluster.sim.inject(me, addrs::VIP, size, msg);
+        cluster.sim.run_for(SimDur::millis(5));
+    };
+
+    send(&mut cluster, "T alice bob 100", false);
+    send(&mut cluster, "T bob carol 250", false);
+    send(&mut cluster, "T carol alice 50", false);
+    send(&mut cluster, "B alice", true); // linearizable read
+    cluster.sim.run_for(SimDur::millis(10));
+
+    let replies = cluster.sim.agent::<HandClient>(me).replies.clone();
+    println!(
+        "client got {} replies; alice's balance: {}",
+        replies.len(),
+        std::str::from_utf8(replies.last().expect("read answered")).unwrap()
+    );
+    assert_eq!(replies.len(), 4);
+    assert_eq!(&replies[3][..], b"950"); // 1000 - 100 + 50
+
+    // Audit every replica's ledger through the service interface.
+    let mut states = Vec::new();
+    for &s in &cluster.servers.clone() {
+        let agent = cluster.sim.agent_mut::<ServerAgent>(s);
+        let mut view = Vec::new();
+        for acct in ["alice", "bob", "carol"] {
+            let q = format!("B {acct}");
+            let r = agent.node_mut().service_mut().execute(q.as_bytes(), true);
+            view.push(String::from_utf8_lossy(&r.reply).into_owned());
+        }
+        states.push(view);
+    }
+    println!("replica ledgers (alice, bob, carol): {states:?}");
+    assert!(states.windows(2).all(|w| w[0] == w[1]), "replicas agree");
+    assert_eq!(states[0], vec!["950", "850", "1200"]);
+    println!("all replicas hold the identical ledger — zero lines of SMR code in Bank.");
+}

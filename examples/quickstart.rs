@@ -1,0 +1,60 @@
+//! Quickstart: make an ordinary RPC service fault-tolerant with HovercRaft.
+//!
+//! Builds a 3-node HovercRaft++ cluster on the simulated fabric, drives a
+//! short open-loop load against it, and prints what happened — including
+//! which nodes answered clients, demonstrating reply load balancing.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use hovercraft::PolicyKind;
+use simnet::SimDur;
+use testbed::{run_experiment, ClusterOpts, Setup};
+
+fn main() {
+    // One line of configuration: 3 replicas, 50k requests/second of the
+    // synthetic 1µs echo workload (defaults), JBSQ replier selection.
+    let mut opts = ClusterOpts::new(Setup::HovercraftPp(PolicyKind::Jbsq), 3, 50_000.0);
+    opts.measure = SimDur::millis(300);
+
+    println!("building a 3-node HovercRaft++ cluster + 2 client generators...");
+    let result = run_experiment(opts);
+
+    println!();
+    println!(
+        "offered load       : {:>9.0} requests/s",
+        result.offered_rps
+    );
+    println!(
+        "goodput            : {:>9.0} responses/s",
+        result.achieved_rps
+    );
+    println!(
+        "median latency     : {:>9.1} µs",
+        result.p50_ns as f64 / 1e3
+    );
+    println!(
+        "99th pct latency   : {:>9.1} µs",
+        result.p99_ns as f64 / 1e3
+    );
+    println!(
+        "leader             : node {}",
+        result.leader.expect("elected")
+    );
+    println!();
+    println!("per-server traffic over the measured window:");
+    for (i, c) in result.server_counters.iter().enumerate() {
+        println!(
+            "  node {i}: rx {:>7} msgs ({:>9} B)   tx {:>7} msgs ({:>9} B)",
+            c.rx_msgs, c.rx_bytes, c.tx_msgs, c.tx_bytes
+        );
+    }
+    println!();
+    println!(
+        "every node transmits (replies are load-balanced), yet the service is\n\
+         strongly consistent: all {} responses came from a totally-ordered,\n\
+         majority-replicated log. Kill any single node and the cluster keeps\n\
+         serving — see examples/failover.rs.",
+        result.responses
+    );
+    assert!(result.p99_ns < 500_000, "within the paper's 500µs SLO");
+}

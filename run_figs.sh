@@ -1,0 +1,8 @@
+#!/bin/bash
+cd /root/repo
+for fig in fig7_latency_throughput fig8_request_size fig9_cluster_size fig10_reply_lb fig11_readonly_lb fig12_failover fig13_ycsbe table1_msg_counts; do
+  echo "=== running $fig ==="
+  ./target/release/$fig > results/$fig.txt 2>&1
+  echo "=== done $fig (rc=$?) ==="
+done
+echo ALL-FIGURES-DONE

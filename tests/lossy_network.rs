@@ -1,0 +1,91 @@
+//! Packet-loss integration tests: HovercRaft does not assume reliable
+//! multicast (§5) — lost request copies are repaired by the recovery
+//! protocol, lost consensus messages by Raft's own retransmission, and the
+//! system keeps its SMR guarantees throughout.
+
+use hovercraft::PolicyKind;
+use simnet::SimDur;
+use testbed::{summarize, Cluster, ClusterOpts, ServerAgent, Setup};
+
+fn lossy_run(setup: Setup, loss: f64, rate: f64, seed: u64) -> (testbed::ExpResult, u64, u64) {
+    let mut o = ClusterOpts::new(setup, 3, rate);
+    o.warmup = SimDur::millis(50);
+    o.measure = SimDur::millis(300);
+    o.seed = seed;
+    let mut cluster = Cluster::build(o);
+    cluster.sim.set_loss_rate(loss);
+    cluster.run_to_completion();
+    let mut recoveries = 0;
+    let mut served = 0;
+    for &s in &cluster.servers.clone() {
+        let st = cluster.sim.agent::<ServerAgent>(s).node().stats();
+        recoveries += st.recoveries_sent;
+        served += st.recoveries_served;
+    }
+    (summarize(&mut cluster), recoveries, served)
+}
+
+#[test]
+fn one_percent_loss_triggers_recovery_but_service_continues() {
+    let (r, recoveries, served) =
+        lossy_run(Setup::Hovercraft(PolicyKind::Jbsq), 0.01, 50_000.0, 31);
+    assert!(recoveries > 0, "multicast gaps must exercise recovery");
+    assert!(served > 0, "peers must serve recovered bodies");
+    // Replies themselves can be lost to the client (at-most-once), but the
+    // overwhelming majority completes.
+    assert!(
+        r.responses as f64 > 0.95 * r.sent as f64,
+        "answered {}/{} with {} recoveries",
+        r.responses,
+        r.sent,
+        recoveries
+    );
+}
+
+#[test]
+fn five_percent_loss_still_makes_progress() {
+    let (r, recoveries, _) = lossy_run(Setup::Hovercraft(PolicyKind::Jbsq), 0.05, 20_000.0, 37);
+    assert!(recoveries > 0);
+    assert!(
+        r.responses as f64 > 0.85 * r.sent as f64,
+        "answered {}/{}",
+        r.responses,
+        r.sent
+    );
+}
+
+#[test]
+fn hovercraft_pp_handles_loss_of_aggregator_traffic() {
+    // Loss hits AppendEntries to/from the aggregator and AGG_COMMITs too;
+    // heartbeat retransmission and the pending-flag path (§6.4) cover it.
+    let (r, _, _) = lossy_run(Setup::HovercraftPp(PolicyKind::Jbsq), 0.02, 30_000.0, 41);
+    assert!(
+        r.responses as f64 > 0.9 * r.sent as f64,
+        "answered {}/{}",
+        r.responses,
+        r.sent
+    );
+}
+
+#[test]
+fn replicas_converge_despite_loss() {
+    let mut o = ClusterOpts::new(Setup::Hovercraft(PolicyKind::Jbsq), 3, 30_000.0);
+    o.warmup = SimDur::millis(50);
+    o.measure = SimDur::millis(200);
+    o.seed = 43;
+    let mut cluster = Cluster::build(o);
+    cluster.sim.set_loss_rate(0.03);
+    cluster.run_to_completion();
+    // Lossless drain so everyone catches up.
+    cluster.sim.set_loss_rate(0.0);
+    cluster.sim.run_for(SimDur::millis(100));
+    let applied: Vec<u64> = cluster
+        .servers
+        .clone()
+        .into_iter()
+        .map(|s| cluster.sim.agent::<ServerAgent>(s).node().applied_index())
+        .collect();
+    assert!(applied[0] > 0);
+    assert_eq!(applied[0], applied[1], "{applied:?}");
+    assert_eq!(applied[1], applied[2], "{applied:?}");
+}

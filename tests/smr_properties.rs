@@ -1,0 +1,192 @@
+//! End-to-end state-machine-replication properties, checked through the
+//! full stack (client → flow control → multicast → HovercRaft++ →
+//! aggregator → service): uniqueness and monotonicity of a replicated
+//! counter, replica convergence, and read linearizability.
+
+use bytes::Bytes;
+use hovercraft::{Executed, OpKind, PolicyKind, Service, WireMsg};
+use r2p2::ReqIdAlloc;
+use simnet::{Agent, Ctx, Packet, SimDur};
+use testbed::{addrs, Cluster, ClusterOpts, ServerAgent, Setup};
+
+/// A replicated counter: "INC" returns the post-increment value, "GET"
+/// (read-only) returns the current value.
+#[derive(Default)]
+struct Counter {
+    value: u64,
+}
+
+impl Service for Counter {
+    fn execute(&mut self, body: &[u8], read_only: bool) -> Executed {
+        let reply = match body {
+            b"INC" if !read_only => {
+                self.value += 1;
+                self.value
+            }
+            b"GET" => self.value,
+            _ => u64::MAX,
+        };
+        Executed {
+            reply: Bytes::from(reply.to_le_bytes().to_vec()),
+            cost_ns: 500,
+        }
+    }
+}
+
+/// Client that records `(op, reply_value, completion_order)` tuples.
+struct Recorder {
+    /// (was_get, value) in completion order.
+    history: Vec<(bool, u64)>,
+    gets_inflight: std::collections::HashSet<r2p2::ReqId>,
+}
+
+impl Agent<WireMsg> for Recorder {
+    fn on_packet(&mut self, pkt: Packet<WireMsg>, _ctx: &mut Ctx<'_, WireMsg>) {
+        if let WireMsg::Response { id, body } = pkt.payload {
+            let v = u64::from_le_bytes(body[..8].try_into().expect("u64 reply"));
+            let was_get = self.gets_inflight.remove(&id);
+            self.history.push((was_get, v));
+        }
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+fn build_counter_cluster(setup: Setup, n: u32, seed: u64) -> (Cluster, simnet::NodeId) {
+    let mut o = ClusterOpts::new(setup, n, 1_000.0);
+    o.clients = 0;
+    o.seed = seed;
+    let mut cluster = Cluster::build(o);
+    for &s in &cluster.servers.clone() {
+        let agent = cluster.sim.agent_mut::<ServerAgent>(s);
+        *agent.node_mut().service_mut() = Box::new(Counter::default());
+    }
+    cluster.settle();
+    let me = cluster.sim.add_node(Box::new(Recorder {
+        history: Vec::new(),
+        gets_inflight: std::collections::HashSet::new(),
+    }));
+    (cluster, me)
+}
+
+fn drive(cluster: &mut Cluster, me: simnet::NodeId, ops: usize, get_every: usize) {
+    let mut alloc = ReqIdAlloc::new(me, 9_000);
+    for i in 0..ops {
+        let get = get_every > 0 && i % get_every == get_every - 1;
+        let id = alloc.allocate();
+        if get {
+            cluster
+                .sim
+                .agent_mut::<Recorder>(me)
+                .gets_inflight
+                .insert(id);
+        }
+        let msg = WireMsg::Request {
+            id,
+            kind: if get {
+                OpKind::ReadOnly
+            } else {
+                OpKind::ReadWrite
+            },
+            body: Bytes::from_static(if get { b"GET" } else { b"INC" }),
+        };
+        let size = msg.wire_size();
+        cluster.sim.inject(me, addrs::VIP, size, msg);
+        cluster.sim.run_for(SimDur::micros(200));
+    }
+    cluster.sim.run_for(SimDur::millis(50));
+}
+
+#[test]
+fn increment_replies_are_unique_and_dense() {
+    let (mut cluster, me) = build_counter_cluster(Setup::HovercraftPp(PolicyKind::Jbsq), 3, 7);
+    drive(&mut cluster, me, 200, 0);
+    let hist = &cluster.sim.agent::<Recorder>(me).history;
+    assert_eq!(hist.len(), 200, "every INC answered");
+    let mut values: Vec<u64> = hist.iter().map(|(_, v)| *v).collect();
+    values.sort_unstable();
+    let expect: Vec<u64> = (1..=200).collect();
+    assert_eq!(values, expect, "INC replies are exactly 1..=200");
+}
+
+#[test]
+fn reads_are_linearizable_with_interleaved_writes() {
+    // Reads are totally ordered in the log (§3.5); because this client
+    // issues operations one after another with generous spacing, each GET's
+    // reply must equal the number of INCs issued before it.
+    let (mut cluster, me) = build_counter_cluster(Setup::HovercraftPp(PolicyKind::Jbsq), 3, 21);
+    drive(&mut cluster, me, 100, 5);
+    let hist = cluster.sim.agent::<Recorder>(me).history.clone();
+    assert_eq!(hist.len(), 100);
+    let mut incs_before = 0u64;
+    for (was_get, v) in hist {
+        if was_get {
+            assert_eq!(v, incs_before, "linearizable read");
+        } else {
+            incs_before += 1;
+            assert_eq!(v, incs_before, "sequential client sees its own order");
+        }
+    }
+}
+
+#[test]
+fn replicas_converge_to_identical_state() {
+    for setup in [
+        Setup::Vanilla,
+        Setup::Hovercraft(PolicyKind::Jbsq),
+        Setup::HovercraftPp(PolicyKind::Jbsq),
+    ] {
+        let (mut cluster, me) = build_counter_cluster(setup, 3, 3);
+        if setup == Setup::Vanilla {
+            // Vanilla clients target the leader directly.
+            let leader = cluster.leader().unwrap();
+            let mut alloc = ReqIdAlloc::new(me, 9_000);
+            for _ in 0..50 {
+                let msg = WireMsg::Request {
+                    id: alloc.allocate(),
+                    kind: OpKind::ReadWrite,
+                    body: Bytes::from_static(b"INC"),
+                };
+                let size = msg.wire_size();
+                cluster
+                    .sim
+                    .inject(me, simnet::Addr::node(leader), size, msg);
+                cluster.sim.run_for(SimDur::micros(200));
+            }
+            cluster.sim.run_for(SimDur::millis(50));
+        } else {
+            drive(&mut cluster, me, 50, 0);
+        }
+        let values: Vec<u64> = cluster
+            .servers
+            .clone()
+            .into_iter()
+            .map(|s| {
+                let agent = cluster.sim.agent_mut::<ServerAgent>(s);
+                let r = agent.node_mut().service_mut().execute(b"GET", true);
+                u64::from_le_bytes(r.reply[..8].try_into().unwrap())
+            })
+            .collect();
+        assert_eq!(values, vec![50, 50, 50], "{setup:?} replicas agree");
+    }
+}
+
+#[test]
+fn read_only_ops_do_not_execute_everywhere() {
+    let (mut cluster, me) = build_counter_cluster(Setup::HovercraftPp(PolicyKind::Jbsq), 3, 5);
+    drive(&mut cluster, me, 90, 3); // 60 INC, 30 GET
+    let mut executed = 0u64;
+    let mut skipped = 0u64;
+    for &s in &cluster.servers.clone() {
+        let st = cluster.sim.agent::<ServerAgent>(s).node().stats();
+        executed += st.executed;
+        skipped += st.ro_skipped;
+    }
+    // 60 writes × 3 replicas + 30 reads × 1 replica.
+    assert_eq!(executed, 60 * 3 + 30, "reads execute exactly once");
+    assert_eq!(skipped, 30 * 2, "and are skipped on the other replicas");
+}
