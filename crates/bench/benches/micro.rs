@@ -167,8 +167,8 @@ fn bench_dataplane(c: &mut Criterion) {
             body: Bytes::from_static(b"x"),
         };
         b.iter(|| {
-            let d = fc.on_packet(black_box(&req));
-            fc.on_packet(&WireMsg::Feedback);
+            let d = fc.on_packet(black_box(&req), 0);
+            fc.on_packet(&WireMsg::Feedback, 0);
             d
         })
     });

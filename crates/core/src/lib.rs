@@ -38,13 +38,15 @@ mod node;
 mod policy;
 mod pool;
 mod service;
+mod trace;
 
 pub use aggregator::{AggStats, Aggregator};
 pub use cmd::{Cmd, EntryDesc, OpKind};
 pub use config::{HcConfig, Mode};
-pub use flowctl::{FcDecision, FcStats, FlowControl};
+pub use flowctl::{FcDecision, FcStats, FlowControl, DEFAULT_RECLAIM_NS};
 pub use msg::{AggStatus, WireMsg};
 pub use node::{HcNode, HcStats, Output};
 pub use policy::{PolicyKind, ReplierLedger};
 pub use pool::{PooledReq, UnorderedPool};
 pub use service::{EchoService, Executed, Service};
+pub use trace::{req_key, ProtoEvent};

@@ -21,7 +21,7 @@
 //! application thread. The simulation harness (or a real runtime) owns the
 //! clock and the wires.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 use bytes::Bytes;
 use r2p2::{body_hash, ReqId};
@@ -35,6 +35,13 @@ use crate::msg::{AggStatus, WireMsg};
 use crate::policy::ReplierLedger;
 use crate::pool::UnorderedPool;
 use crate::service::Service;
+use crate::trace::ProtoEvent;
+
+/// Bound on the internal protocol-event buffer. Drivers that trace drain it
+/// after every entry point, so it stays tiny; drivers that don't (unit
+/// tests, benches) must not leak memory, so the oldest events are dropped
+/// past this point.
+const EVENT_BUF_CAP: usize = 8192;
 
 /// An effect the driver must carry out for the node.
 #[derive(Clone, Debug)]
@@ -108,6 +115,11 @@ pub struct HcNode<S> {
     /// aggregator, so successful replies retrace that path.
     last_ae_via_agg: bool,
     stats: HcStats,
+    /// Protocol events since the last [`HcNode::drain_events`] call.
+    events: VecDeque<ProtoEvent>,
+    /// Term of the last election we recorded a trace event for (dedupes the
+    /// per-peer RequestVote fan-out into one event).
+    last_election_term: u64,
 }
 
 impl<S: Service> HcNode<S> {
@@ -131,7 +143,16 @@ impl<S: Service> HcNode<S> {
             agg_confirmed: false,
             last_ae_via_agg: false,
             stats: HcStats::default(),
+            events: VecDeque::new(),
+            last_election_term: 0,
         }
+    }
+
+    fn push_event(&mut self, ev: ProtoEvent) {
+        if self.events.len() == EVENT_BUF_CAP {
+            self.events.pop_front();
+        }
+        self.events.push_back(ev);
     }
 
     // ---- accessors ---------------------------------------------------------
@@ -176,6 +197,27 @@ impl<S: Service> HcNode<S> {
     pub fn queue_depth(&self, node: RaftId) -> usize {
         self.ledger.depth(node)
     }
+    /// Takes the protocol events recorded since the last call. Drivers that
+    /// trace should call this after every entry point; events past an
+    /// internal bound are dropped oldest-first.
+    pub fn drain_events(&mut self) -> Vec<ProtoEvent> {
+        self.events.drain(..).collect()
+    }
+    /// Mutable access to the underlying Raft instance.
+    ///
+    /// This exists for fault-injection and invariant-checker meta-tests
+    /// (e.g. corrupting a replier field to prove the checker fires); the
+    /// protocol itself never needs it.
+    #[doc(hidden)]
+    pub fn raft_mut(&mut self) -> &mut RaftNode<Cmd> {
+        &mut self.raft
+    }
+    /// Mutable access to the replier ledger — test support, like
+    /// [`HcNode::raft_mut`].
+    #[doc(hidden)]
+    pub fn ledger_mut(&mut self) -> &mut ReplierLedger {
+        &mut self.ledger
+    }
 
     // ---- entry points ------------------------------------------------------
 
@@ -188,20 +230,19 @@ impl<S: Service> HcNode<S> {
             }
             WireMsg::Raft(m) => self.on_raft(src, m, now, &mut out),
             WireMsg::RecoveryReq { id } => {
-                if let Some(r) = self.pool.get(id) {
+                if let Some((kind, body)) = self.pool.get(id).map(|r| (r.kind, r.body.clone())) {
                     self.stats.recoveries_served += 1;
+                    self.push_event(ProtoEvent::RecoveryServed { id, to: src });
                     out.push(Output::Send {
                         dst: src,
-                        msg: WireMsg::RecoveryRep {
-                            id,
-                            kind: r.kind,
-                            body: r.body.clone(),
-                        },
+                        msg: WireMsg::RecoveryRep { id, kind, body },
                     });
                 }
             }
             WireMsg::RecoveryRep { id, kind, body } => {
-                self.missing.remove(&id);
+                if self.missing.remove(&id).is_some() {
+                    self.push_event(ProtoEvent::RecoveryCompleted { id });
+                }
                 self.pool.insert_recovered(id, kind, body, now);
                 self.try_apply(now, &mut out);
             }
@@ -250,6 +291,11 @@ impl<S: Service> HcNode<S> {
         if let Some(p) = self.pending.remove(&index) {
             if p.respond {
                 self.stats.responses += 1;
+                self.push_event(ProtoEvent::ReplySent {
+                    index,
+                    id: p.id,
+                    to: p.client,
+                });
                 out.push(Output::Send {
                     dst: p.client,
                     msg: WireMsg::Response {
@@ -258,6 +304,7 @@ impl<S: Service> HcNode<S> {
                     },
                 });
                 if let Some(fc) = self.cfg.flowctl_addr {
+                    self.push_event(ProtoEvent::FeedbackSent { index });
                     out.push(Output::Send {
                         dst: fc,
                         msg: WireMsg::Feedback,
@@ -285,6 +332,7 @@ impl<S: Service> HcNode<S> {
                 if !self.is_leader() {
                     // Clients are expected to target the leader; NACK so the
                     // client can rediscover it.
+                    self.push_event(ProtoEvent::NackSent { id });
                     out.push(Output::Send {
                         dst: id.src_ip,
                         msg: WireMsg::Nack { id },
@@ -294,7 +342,8 @@ impl<S: Service> HcNode<S> {
                 let mut desc = EntryDesc::new(id, hash, kind);
                 // Vanilla Raft: the leader answers everything.
                 desc.replier = Some(self.id());
-                if self.raft.propose(Cmd::full(desc, body)).is_ok() {
+                if let Ok(index) = self.raft.propose(Cmd::full(desc, body)) {
+                    self.push_event(ProtoEvent::Proposed { index, id });
                     let actions = self.raft.pump(now);
                     self.drain(actions, now, out);
                 }
@@ -310,7 +359,8 @@ impl<S: Service> HcNode<S> {
                 self.pool.insert(id, kind, body, now);
                 if self.is_leader() {
                     let desc = EntryDesc::new(id, hash, kind);
-                    if self.raft.propose(Cmd::meta(desc)).is_ok() {
+                    if let Ok(index) = self.raft.propose(Cmd::meta(desc)) {
+                        self.push_event(ProtoEvent::Proposed { index, id });
                         self.pool.mark_ordered(id);
                         self.try_announce(now, out);
                     }
@@ -344,6 +394,7 @@ impl<S: Service> HcNode<S> {
                     if !self.pool.mark_ordered(id) && !self.missing.contains_key(&id) {
                         self.stats.recoveries_sent += 1;
                         self.missing.insert(id, now);
+                        self.push_event(ProtoEvent::RecoveryRequested { id, to: *leader });
                         out.push(Output::Send {
                             dst: *leader,
                             msg: WireMsg::RecoveryReq { id },
@@ -365,6 +416,11 @@ impl<S: Service> HcNode<S> {
         {
             if self.is_leader() && *term == self.raft.term() {
                 self.ledger.observe_applied(*from, *applied_index);
+                self.push_event(ProtoEvent::AppendAcked {
+                    from: *from,
+                    success: *success,
+                    match_index: *match_index,
+                });
                 if self.cfg.mode == Mode::HovercraftPp {
                     if !*success {
                         self.recovering.insert(*from);
@@ -409,6 +465,11 @@ impl<S: Service> HcNode<S> {
             // of the leader; this reconstruction costs no wire messages).
             for s in status {
                 self.ledger.observe_applied(s.node, s.applied_index);
+                self.push_event(ProtoEvent::AppendAcked {
+                    from: s.node,
+                    success: true,
+                    match_index: s.match_index,
+                });
                 let synthetic: Message<Cmd> = Message::AppendEntriesReply {
                     term,
                     success: true,
@@ -434,30 +495,54 @@ impl<S: Service> HcNode<S> {
         let mut appends: Vec<(RaftId, Message<Cmd>)> = Vec::new();
         for a in actions {
             match a {
-                Action::Send { to, msg } => match &msg {
-                    Message::AppendEntries { .. } if self.use_aggregator(to) => {
-                        appends.push((to, msg));
+                Action::Send { to, msg } => {
+                    match &msg {
+                        Message::RequestVote { term, .. } if *term != self.last_election_term => {
+                            // One event per election, not per solicited peer.
+                            self.last_election_term = *term;
+                            self.push_event(ProtoEvent::ElectionStarted { term: *term });
+                        }
+                        Message::AppendEntries {
+                            entries,
+                            leader_commit,
+                            ..
+                        } if !self.use_aggregator(to) => {
+                            self.push_event(ProtoEvent::AppendSent {
+                                dst: to,
+                                entries: entries.len() as u64,
+                                commit: *leader_commit,
+                            });
+                        }
+                        _ => {}
                     }
-                    Message::AppendEntriesReply { success, .. }
-                        if self.reply_via_aggregator(*success) =>
-                    {
-                        out.push(Output::Send {
-                            dst: self.cfg.agg_addr.expect("checked by predicate"),
+                    match &msg {
+                        Message::AppendEntries { .. } if self.use_aggregator(to) => {
+                            appends.push((to, msg));
+                        }
+                        Message::AppendEntriesReply { success, .. }
+                            if self.reply_via_aggregator(*success) =>
+                        {
+                            out.push(Output::Send {
+                                dst: self.cfg.agg_addr.expect("checked by predicate"),
+                                msg: WireMsg::Raft(msg),
+                            });
+                        }
+                        _ => out.push(Output::Send {
+                            dst: to,
                             msg: WireMsg::Raft(msg),
-                        });
+                        }),
                     }
-                    _ => out.push(Output::Send {
-                        dst: to,
-                        msg: WireMsg::Raft(msg),
-                    }),
-                },
-                Action::Commit { .. } => {
+                }
+                Action::Commit { upto } => {
+                    self.push_event(ProtoEvent::CommitAdvanced { to: upto });
                     self.try_apply(now, out);
                 }
-                Action::BecameLeader { .. } => {
+                Action::BecameLeader { term } => {
+                    self.push_event(ProtoEvent::BecameLeader { term });
                     self.on_became_leader(now, out);
                 }
-                Action::BecameFollower { .. } => {
+                Action::BecameFollower { term } => {
+                    self.push_event(ProtoEvent::BecameFollower { term });
                     self.ledger.reset();
                     self.recovering.clear();
                     self.agg_confirmed = false;
@@ -509,12 +594,37 @@ impl<S: Service> HcNode<S> {
         let identical = appends.windows(2).all(|w| w[0].1 == w[1].1);
         if identical {
             let (_, msg) = appends.into_iter().next().expect("nonempty");
+            let agg = self.cfg.agg_addr.expect("HC++ mode");
+            if let Message::AppendEntries {
+                entries,
+                leader_commit,
+                ..
+            } = &msg
+            {
+                self.push_event(ProtoEvent::AppendSent {
+                    dst: agg,
+                    entries: entries.len() as u64,
+                    commit: *leader_commit,
+                });
+            }
             out.push(Output::Send {
-                dst: self.cfg.agg_addr.expect("HC++ mode"),
+                dst: agg,
                 msg: WireMsg::Raft(msg),
             });
         } else {
             for (to, msg) in appends {
+                if let Message::AppendEntries {
+                    entries,
+                    leader_commit,
+                    ..
+                } = &msg
+                {
+                    self.push_event(ProtoEvent::AppendSent {
+                        dst: to,
+                        entries: entries.len() as u64,
+                        commit: *leader_commit,
+                    });
+                }
                 out.push(Output::Send {
                     dst: to,
                     msg: WireMsg::Raft(msg),
@@ -551,7 +661,8 @@ impl<S: Service> HcNode<S> {
                     (r.kind, body_hash(&r.body))
                 };
                 let desc = EntryDesc::new(id, hash, kind);
-                if self.raft.propose(Cmd::meta(desc)).is_ok() {
+                if let Ok(index) = self.raft.propose(Cmd::meta(desc)) {
+                    self.push_event(ProtoEvent::Proposed { index, id });
                     self.pool.mark_ordered(id);
                 }
             }
@@ -622,12 +733,17 @@ impl<S: Service> HcNode<S> {
                     e.cmd.desc.replier = Some(r);
                 }
                 self.ledger.assign(r, idx);
+                self.push_event(ProtoEvent::ReplierAssigned {
+                    index: idx,
+                    replier: r,
+                });
             }
             ceiling = idx;
             advanced = true;
         }
         if advanced {
             self.raft.set_ceiling(ceiling);
+            self.push_event(ProtoEvent::Announced { upto: ceiling });
         }
         let actions = self.raft.pump(now);
         self.drain(actions, now, out);
@@ -653,13 +769,21 @@ impl<S: Service> HcNode<S> {
                         // Committed but body still in flight: recovery is
                         // already running (or starts now); apply stalls.
                         self.stats.apply_stalls += 1;
-                        if let std::collections::hash_map::Entry::Vacant(slot) =
+                        if let std::collections::hash_map::Entry::Vacant(v) =
                             self.missing.entry(desc.id)
                         {
-                            slot.insert(now);
+                            v.insert(now);
+                            self.push_event(ProtoEvent::ApplyStalled {
+                                index: idx,
+                                id: desc.id,
+                            });
                             if let Some(leader) = self.raft.leader_hint() {
                                 if leader != self.id() {
                                     self.stats.recoveries_sent += 1;
+                                    self.push_event(ProtoEvent::RecoveryRequested {
+                                        id: desc.id,
+                                        to: leader,
+                                    });
                                     out.push(Output::Send {
                                         dst: leader,
                                         msg: WireMsg::RecoveryReq { id: desc.id },
@@ -690,10 +814,18 @@ impl<S: Service> HcNode<S> {
             };
             let (reply, cost) = if execute {
                 self.stats.executed += 1;
+                self.push_event(ProtoEvent::Executed {
+                    index: idx,
+                    id: desc.id,
+                });
                 let r = self.service.execute(&body, desc.kind.is_read_only());
                 (Some(r.reply), r.cost_ns)
             } else {
                 self.stats.ro_skipped += 1;
+                self.push_event(ProtoEvent::RoSkipped {
+                    index: idx,
+                    id: desc.id,
+                });
                 (None, 0)
             };
             self.pending.insert(
@@ -722,6 +854,7 @@ impl<S: Service> HcNode<S> {
         let members = self.cfg.raft.members.clone();
         let me = self.id();
         let mut sent = 0u64;
+        let mut evs: Vec<ProtoEvent> = Vec::new();
         for (id, last) in self.missing.iter_mut() {
             if now.saturating_sub(*last) >= retry {
                 *last = now;
@@ -739,6 +872,7 @@ impl<S: Service> HcNode<S> {
                     }
                 };
                 sent += 1;
+                evs.push(ProtoEvent::RecoveryRequested { id: *id, to: dst });
                 out.push(Output::Send {
                     dst,
                     msg: WireMsg::RecoveryReq { id: *id },
@@ -746,5 +880,8 @@ impl<S: Service> HcNode<S> {
             }
         }
         self.stats.recoveries_sent += sent;
+        for e in evs {
+            self.push_event(e);
+        }
     }
 }

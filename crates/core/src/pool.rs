@@ -98,12 +98,15 @@ impl UnorderedPool {
         });
     }
 
-    /// Garbage-collects unordered requests older than `timeout` ns.
+    /// Garbage-collects unordered requests **strictly older** than
+    /// `timeout` ns: an entry aged exactly `timeout` survives, one aged
+    /// `timeout + 1` is collected (boundary pinned by
+    /// `gc_boundary_is_strictly_older_than`).
     /// Returns how many were collected.
     pub fn gc(&mut self, now: u64, timeout: u64) -> usize {
         let before = self.unordered.len();
         self.unordered
-            .retain(|_, r| now.saturating_sub(r.arrived) < timeout);
+            .retain(|_, r| now.saturating_sub(r.arrived) <= timeout);
         before - self.unordered.len()
     }
 
@@ -194,6 +197,19 @@ mod tests {
         assert_eq!(n, 1, "only the stale unordered one");
         assert!(p.contains(id(1)), "archived survives GC");
         assert!(!p.contains(id(2)));
+    }
+
+    #[test]
+    fn gc_boundary_is_strictly_older_than() {
+        // Pins the documented boundary: "older than timeout" means an entry
+        // aged exactly `timeout` is still alive, and is collected one
+        // nanosecond later.
+        let mut p = UnorderedPool::new();
+        p.insert(id(1), OpKind::ReadWrite, body(), 1000);
+        assert_eq!(p.gc(1000 + 600, 600), 0, "age == timeout survives");
+        assert!(p.contains(id(1)));
+        assert_eq!(p.gc(1000 + 601, 600), 1, "age == timeout + 1 collected");
+        assert!(!p.contains(id(1)));
     }
 
     #[test]

@@ -1,0 +1,278 @@
+//! Structured protocol events emitted by [`HcNode`](crate::HcNode).
+//!
+//! Every externally meaningful protocol step — elections, append/ack
+//! traffic, commit advancement, replier assignment, recovery, reply and
+//! flow-control emission — is recorded as a [`ProtoEvent`] in a small
+//! internal buffer that the driver drains after each entry point
+//! ([`HcNode::drain_events`](crate::HcNode::drain_events)). The testbed
+//! forwards the drained events into a `simnet::Tracer`, stamping them with
+//! virtual time; the invariant checker consumes the same stream (e.g. the
+//! exactly-one-reply-per-request check keys on [`ProtoEvent::key`]).
+//!
+//! Events are plain data — no strings are allocated at record time; the
+//! human-readable rendering happens only when a trace is displayed or
+//! dumped.
+
+use r2p2::ReqId;
+use raft::{LogIndex, RaftId};
+
+/// Packs a request id into one `u64` trace key: `src_ip:src_port:rid`.
+pub fn req_key(id: ReqId) -> u64 {
+    ((id.src_ip as u64) << 32) | ((id.src_port as u64) << 16) | id.rid as u64
+}
+
+fn fmt_req(id: ReqId) -> String {
+    format!("{}:{}:{}", id.src_ip, id.src_port, id.rid)
+}
+
+/// One protocol-level event in the life of a node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProtoEvent {
+    /// This node started (or joined) an election for `term`.
+    ElectionStarted {
+        /// The term being campaigned for.
+        term: u64,
+    },
+    /// This node won the election for `term`.
+    BecameLeader {
+        /// The won term.
+        term: u64,
+    },
+    /// This node stepped down / learned of a higher term.
+    BecameFollower {
+        /// The new term.
+        term: u64,
+    },
+    /// Leader shipped an AppendEntries batch.
+    AppendSent {
+        /// Destination network address (follower or aggregator group).
+        dst: u32,
+        /// Number of entries in the batch (0 = heartbeat).
+        entries: u64,
+        /// Leader commit index carried by the message.
+        commit: LogIndex,
+    },
+    /// Leader observed an AppendEntries reply (direct or via aggregator).
+    AppendAcked {
+        /// Replying follower.
+        from: RaftId,
+        /// Whether the append succeeded.
+        success: bool,
+        /// The follower's match index.
+        match_index: LogIndex,
+    },
+    /// The local commit index advanced.
+    CommitAdvanced {
+        /// New commit index.
+        to: LogIndex,
+    },
+    /// Leader ordered a client request into the log.
+    Proposed {
+        /// Assigned log index.
+        index: LogIndex,
+        /// The ordered request.
+        id: ReqId,
+    },
+    /// Leader stamped a designated replier into an entry (§3.3).
+    ReplierAssigned {
+        /// The entry.
+        index: LogIndex,
+        /// The chosen replier.
+        replier: RaftId,
+    },
+    /// Leader raised the replication ceiling (§3.6): entries up to `upto`
+    /// are now announced.
+    Announced {
+        /// New announcement horizon.
+        upto: LogIndex,
+    },
+    /// This node asked a peer for a missing request body (§5).
+    RecoveryRequested {
+        /// The missing request.
+        id: ReqId,
+        /// Peer asked.
+        to: u32,
+    },
+    /// This node served a body recovery for a peer (§5).
+    RecoveryServed {
+        /// The recovered request.
+        id: ReqId,
+        /// Requesting peer.
+        to: u32,
+    },
+    /// A previously missing body arrived; recovery for `id` is complete.
+    RecoveryCompleted {
+        /// The recovered request.
+        id: ReqId,
+    },
+    /// Apply stalled: entry `index` is committed but its body is missing.
+    ApplyStalled {
+        /// The stalled entry.
+        index: LogIndex,
+        /// The missing request.
+        id: ReqId,
+    },
+    /// Entry `index` was handed to the application thread for execution.
+    Executed {
+        /// The applied entry.
+        index: LogIndex,
+        /// The request it carries.
+        id: ReqId,
+    },
+    /// Read-only entry `index` skipped locally: another node replies (§3.5).
+    RoSkipped {
+        /// The skipped entry.
+        index: LogIndex,
+        /// The request it carries.
+        id: ReqId,
+    },
+    /// This node (the designated replier) answered the client.
+    ReplySent {
+        /// The answered entry.
+        index: LogIndex,
+        /// The answered request.
+        id: ReqId,
+        /// Client address.
+        to: u32,
+    },
+    /// This node emitted a flow-control FEEDBACK after replying (§6.3).
+    FeedbackSent {
+        /// The entry whose reply freed the slot.
+        index: LogIndex,
+    },
+    /// Vanilla mode: a non-leader NACKed a misdirected client request.
+    NackSent {
+        /// The rejected request.
+        id: ReqId,
+    },
+}
+
+impl ProtoEvent {
+    /// Static tag naming the event type (stable across runs; checkers and
+    /// trace filters match on it).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ProtoEvent::ElectionStarted { .. } => "election_started",
+            ProtoEvent::BecameLeader { .. } => "became_leader",
+            ProtoEvent::BecameFollower { .. } => "became_follower",
+            ProtoEvent::AppendSent { .. } => "append_sent",
+            ProtoEvent::AppendAcked { .. } => "append_acked",
+            ProtoEvent::CommitAdvanced { .. } => "commit_advance",
+            ProtoEvent::Proposed { .. } => "proposed",
+            ProtoEvent::ReplierAssigned { .. } => "replier_assigned",
+            ProtoEvent::Announced { .. } => "announced",
+            ProtoEvent::RecoveryRequested { .. } => "recovery_req",
+            ProtoEvent::RecoveryServed { .. } => "recovery_served",
+            ProtoEvent::RecoveryCompleted { .. } => "recovery_done",
+            ProtoEvent::ApplyStalled { .. } => "apply_stalled",
+            ProtoEvent::Executed { .. } => "executed",
+            ProtoEvent::RoSkipped { .. } => "ro_skipped",
+            ProtoEvent::ReplySent { .. } => "reply",
+            ProtoEvent::FeedbackSent { .. } => "feedback",
+            ProtoEvent::NackSent { .. } => "nack",
+        }
+    }
+
+    /// Primary numeric identifier: the packed request id for request-scoped
+    /// events, the log index or term otherwise.
+    pub fn key(&self) -> u64 {
+        match *self {
+            ProtoEvent::ElectionStarted { term }
+            | ProtoEvent::BecameLeader { term }
+            | ProtoEvent::BecameFollower { term } => term,
+            ProtoEvent::AppendSent { commit, .. } => commit,
+            ProtoEvent::AppendAcked { match_index, .. } => match_index,
+            ProtoEvent::CommitAdvanced { to } => to,
+            ProtoEvent::ReplierAssigned { index, .. }
+            | ProtoEvent::Announced { upto: index }
+            | ProtoEvent::FeedbackSent { index } => index,
+            ProtoEvent::Proposed { id, .. }
+            | ProtoEvent::RecoveryRequested { id, .. }
+            | ProtoEvent::RecoveryServed { id, .. }
+            | ProtoEvent::RecoveryCompleted { id }
+            | ProtoEvent::ApplyStalled { id, .. }
+            | ProtoEvent::Executed { id, .. }
+            | ProtoEvent::RoSkipped { id, .. }
+            | ProtoEvent::ReplySent { id, .. }
+            | ProtoEvent::NackSent { id } => req_key(id),
+        }
+    }
+
+    /// Human-readable rendering of the event payload.
+    pub fn detail(&self) -> String {
+        match *self {
+            ProtoEvent::ElectionStarted { term } => format!("term={term}"),
+            ProtoEvent::BecameLeader { term } => format!("term={term}"),
+            ProtoEvent::BecameFollower { term } => format!("term={term}"),
+            ProtoEvent::AppendSent {
+                dst,
+                entries,
+                commit,
+            } => format!("dst={dst:#x} entries={entries} commit={commit}"),
+            ProtoEvent::AppendAcked {
+                from,
+                success,
+                match_index,
+            } => format!("from=n{from} success={success} match={match_index}"),
+            ProtoEvent::CommitAdvanced { to } => format!("to={to}"),
+            ProtoEvent::Proposed { index, id } => {
+                format!("index={index} id={}", fmt_req(id))
+            }
+            ProtoEvent::ReplierAssigned { index, replier } => {
+                format!("index={index} replier=n{replier}")
+            }
+            ProtoEvent::Announced { upto } => format!("upto={upto}"),
+            ProtoEvent::RecoveryRequested { id, to } => {
+                format!("id={} to=n{to}", fmt_req(id))
+            }
+            ProtoEvent::RecoveryServed { id, to } => {
+                format!("id={} to=n{to}", fmt_req(id))
+            }
+            ProtoEvent::RecoveryCompleted { id } => format!("id={}", fmt_req(id)),
+            ProtoEvent::ApplyStalled { index, id } => {
+                format!("index={index} id={}", fmt_req(id))
+            }
+            ProtoEvent::Executed { index, id } => {
+                format!("index={index} id={}", fmt_req(id))
+            }
+            ProtoEvent::RoSkipped { index, id } => {
+                format!("index={index} id={}", fmt_req(id))
+            }
+            ProtoEvent::ReplySent { index, id, to } => {
+                format!("index={index} id={} to=n{to}", fmt_req(id))
+            }
+            ProtoEvent::FeedbackSent { index } => format!("index={index}"),
+            ProtoEvent::NackSent { id } => format!("id={}", fmt_req(id)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn req_key_is_injective_over_fields() {
+        let a = req_key(ReqId::new(5, 9000, 17));
+        let b = req_key(ReqId::new(5, 9000, 18));
+        let c = req_key(ReqId::new(5, 9001, 17));
+        let d = req_key(ReqId::new(6, 9000, 17));
+        assert_eq!(a, (5u64 << 32) | (9000u64 << 16) | 17);
+        assert!(a != b && a != c && a != d && b != c);
+    }
+
+    #[test]
+    fn kinds_are_distinct_for_reply_and_execute() {
+        let id = ReqId::new(1, 2, 3);
+        let r = ProtoEvent::ReplySent {
+            index: 4,
+            id,
+            to: 1,
+        };
+        let e = ProtoEvent::Executed { index: 4, id };
+        assert_eq!(r.kind(), "reply");
+        assert_eq!(e.kind(), "executed");
+        assert_eq!(r.key(), e.key());
+        assert!(r.detail().contains("index=4"));
+    }
+}

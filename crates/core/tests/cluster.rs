@@ -155,7 +155,7 @@ impl Cluster {
                 }
                 VIP => {
                     let Some(fc) = self.fc.as_mut() else { continue };
-                    match fc.on_packet(&msg) {
+                    match fc.on_packet(&msg, self.now) {
                         FcDecision::Admit { rewritten_dst } => {
                             self.bus.send(self.now, src, rewritten_dst, msg);
                         }

@@ -1,0 +1,212 @@
+//! Vendored stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no network access to a crates registry, so the
+//! workspace vendors the subset of criterion's API that
+//! `crates/bench/benches/micro.rs` uses: `criterion_group!`/
+//! `criterion_main!`, benchmark groups with element throughput, and the
+//! `iter`/`iter_batched` timing loops. Measurement is deliberately simple —
+//! a warm-up pass followed by a timed pass, reporting mean ns/iter and
+//! derived throughput — with none of the real crate's statistics, HTML
+//! reports, or CLI. Good enough to smoke the hot paths and compare runs by
+//! eye; swap the real dependency back in for publication-grade numbers.
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost (accepted for API parity; the
+/// shim always reruns setup per batch of one).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Fresh input per iteration.
+    PerIteration,
+}
+
+/// Units of work per iteration, used to derive a rate from the mean time.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The timing loop handed to each benchmark closure.
+pub struct Bencher {
+    /// Mean wall time of one iteration from the measured pass.
+    mean_ns: f64,
+}
+
+/// Target wall time for the measured pass of each benchmark.
+const MEASURE_BUDGET: Duration = Duration::from_millis(200);
+/// Iterations used to estimate cost before sizing the measured pass.
+const PILOT_ITERS: u64 = 8;
+
+impl Bencher {
+    /// Times `routine` over a sized loop.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Pilot to size the run.
+        let t0 = Instant::now();
+        for _ in 0..PILOT_ITERS {
+            black_box(routine());
+        }
+        let per = t0.elapsed().as_nanos().max(1) as f64 / PILOT_ITERS as f64;
+        let iters =
+            ((MEASURE_BUDGET.as_nanos() as f64 / per) as u64).clamp(PILOT_ITERS, 10_000_000);
+        let t1 = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.mean_ns = t1.elapsed().as_nanos() as f64 / iters as f64;
+    }
+
+    /// Times `routine` on inputs built by `setup`, excluding setup time.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut pilot = Duration::ZERO;
+        for _ in 0..PILOT_ITERS {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            pilot += t.elapsed();
+        }
+        let per = pilot.as_nanos().max(1) as f64 / PILOT_ITERS as f64;
+        let iters = ((MEASURE_BUDGET.as_nanos() as f64 / per) as u64).clamp(PILOT_ITERS, 1_000_000);
+        let mut measured = Duration::ZERO;
+        for _ in 0..iters {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            measured += t.elapsed();
+        }
+        self.mean_ns = measured.as_nanos() as f64 / iters as f64;
+    }
+}
+
+/// A named set of related benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup {
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Sets the per-iteration work unit used for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark and prints its result.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { mean_ns: 0.0 };
+        f(&mut b);
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if b.mean_ns > 0.0 => {
+                format!(" ({:.2} Melem/s)", n as f64 * 1e3 / b.mean_ns)
+            }
+            Some(Throughput::Bytes(n)) if b.mean_ns > 0.0 => {
+                format!(
+                    " ({:.2} MiB/s)",
+                    n as f64 * 1e9 / b.mean_ns / (1024.0 * 1024.0)
+                )
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{}/{:<24} {:>12.1} ns/iter{}",
+            self.name, id, b.mean_ns, rate
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// The top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+
+    /// Runs one free-standing benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let mut g = BenchmarkGroup {
+            name: "bench".to_string(),
+            throughput: None,
+        };
+        g.bench_function(id, f);
+        self
+    }
+}
+
+/// Declares a group-runner function invoking each benchmark fn in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_measures_something() {
+        let mut b = Bencher { mean_ns: 0.0 };
+        b.iter(|| (0..100u64).sum::<u64>());
+        assert!(b.mean_ns > 0.0);
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut b = Bencher { mean_ns: 0.0 };
+        b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput);
+        assert!(b.mean_ns > 0.0);
+    }
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim");
+        g.throughput(Throughput::Elements(1));
+        g.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        g.finish();
+    }
+
+    criterion_group!(smoke, sample_bench);
+
+    #[test]
+    fn group_macro_expands_and_runs() {
+        smoke();
+    }
+}

@@ -66,6 +66,7 @@ mod packet;
 mod params;
 mod switch;
 mod time;
+mod trace;
 
 pub use agent::{Agent, Ctx, ThreadClass, TimerId};
 pub use counters::Counters;
@@ -74,3 +75,4 @@ pub use packet::{Addr, NodeId, Packet};
 pub use params::{FabricParams, NicParams};
 pub use switch::{GroupTable, SwitchEmit, SwitchProgram, Verdict};
 pub use time::{SimDur, SimTime};
+pub use trace::{TraceEvent, Tracer, DEFAULT_TRACE_CAP};

@@ -1,0 +1,230 @@
+//! Structured protocol-event tracing.
+//!
+//! A [`Tracer`] is a cheap, clonable handle to a bounded ring buffer of
+//! [`TraceEvent`]s. Protocol layers (Raft, HovercRaft nodes, the switch
+//! programs) record virtual-time-stamped events through it; the testbed's
+//! invariant checker scans the stream incrementally, and on a test failure
+//! the last few hundred events are dumped as a replayable bundle. Because
+//! the simulation is deterministic, re-running the same configuration and
+//! seed reproduces the identical stream.
+//!
+//! Events are intentionally flat: a static `kind` tag, one numeric `key`
+//! (request id, log index, term — whatever identifies the event), and a
+//! pre-rendered human-readable `detail`. Keeping the key numeric lets
+//! checkers (e.g. exactly-one-reply-per-request) scan without parsing
+//! strings.
+
+use crate::packet::{Addr, NodeId};
+use crate::time::SimTime;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::fmt;
+use std::rc::Rc;
+
+/// One protocol event, stamped with virtual time and the emitting node.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Monotone sequence number (never reused, survives ring eviction).
+    pub seq: u64,
+    /// Virtual time at which the event was recorded.
+    pub at: SimTime,
+    /// Emitting entity: a server's [`NodeId`], or a group address raw value
+    /// (high bit set) for in-network switch programs.
+    pub node: NodeId,
+    /// Static event tag, e.g. `"reply"`, `"commit_advance"`, `"fc_admit"`.
+    pub kind: &'static str,
+    /// Primary numeric identifier (request id, log index, term, ...);
+    /// `0` when the event has no natural key.
+    pub key: u64,
+    /// Pre-rendered human-readable context.
+    pub detail: String,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.at.as_nanos();
+        // Switch programs record their group address as the "node"; render
+        // those as swN to distinguish them from servers.
+        if self.node & Addr::GROUP_BASE != 0 {
+            write!(
+                f,
+                "[{:>12}ns] sw{:<3} {:<16} {}",
+                ns,
+                self.node & !Addr::GROUP_BASE,
+                self.kind,
+                self.detail
+            )
+        } else {
+            write!(
+                f,
+                "[{:>12}ns] n{:<4} {:<16} {}",
+                ns, self.node, self.kind, self.detail
+            )
+        }
+    }
+}
+
+struct Inner {
+    cap: usize,
+    next_seq: u64,
+    buf: VecDeque<TraceEvent>,
+}
+
+/// Clonable handle to a shared, bounded event ring.
+///
+/// All clones append to the same buffer; when the ring is full the oldest
+/// event is evicted (its `seq` is never reused, so incremental consumers
+/// can detect gaps).
+#[derive(Clone)]
+pub struct Tracer {
+    inner: Rc<RefCell<Inner>>,
+}
+
+/// Default ring capacity: enough to hold the interesting tail of a
+/// millisecond-scale checking window at full load.
+pub const DEFAULT_TRACE_CAP: usize = 16_384;
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Self::new(DEFAULT_TRACE_CAP)
+    }
+}
+
+impl Tracer {
+    /// Creates a tracer whose ring holds at most `cap` events.
+    pub fn new(cap: usize) -> Self {
+        Tracer {
+            inner: Rc::new(RefCell::new(Inner {
+                cap: cap.max(1),
+                next_seq: 0,
+                buf: VecDeque::new(),
+            })),
+        }
+    }
+
+    /// Appends one event, evicting the oldest if the ring is full.
+    pub fn record(&self, at: SimTime, node: NodeId, kind: &'static str, key: u64, detail: String) {
+        let mut g = self.inner.borrow_mut();
+        let seq = g.next_seq;
+        g.next_seq += 1;
+        if g.buf.len() == g.cap {
+            g.buf.pop_front();
+        }
+        g.buf.push_back(TraceEvent {
+            seq,
+            at,
+            node,
+            kind,
+            key,
+            detail,
+        });
+    }
+
+    /// Total events ever recorded (including evicted ones).
+    pub fn total_recorded(&self) -> u64 {
+        self.inner.borrow().next_seq
+    }
+
+    /// Snapshot of everything currently in the ring, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.inner.borrow().buf.iter().cloned().collect()
+    }
+
+    /// Events with `seq >= since`, oldest first. Use for incremental scans:
+    /// call with the last seen `seq + 1`. If eviction outpaced the consumer
+    /// the returned slice starts later than requested — compare the first
+    /// returned `seq` against `since` to detect the gap.
+    pub fn events_since(&self, since: u64) -> Vec<TraceEvent> {
+        self.inner
+            .borrow()
+            .buf
+            .iter()
+            .filter(|e| e.seq >= since)
+            .cloned()
+            .collect()
+    }
+
+    /// The last `n` events, oldest first.
+    pub fn tail(&self, n: usize) -> Vec<TraceEvent> {
+        let g = self.inner.borrow();
+        let skip = g.buf.len().saturating_sub(n);
+        g.buf.iter().skip(skip).cloned().collect()
+    }
+
+    /// Renders the last `n` events as one line each.
+    pub fn render_tail(&self, n: usize) -> String {
+        use fmt::Write as _;
+        let mut out = String::new();
+        for e in self.tail(n) {
+            let _ = writeln!(out, "{e}");
+        }
+        out
+    }
+
+    /// Drops all buffered events (sequence numbers keep advancing).
+    pub fn clear(&self) {
+        self.inner.borrow_mut().buf.clear();
+    }
+}
+
+impl fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let g = self.inner.borrow();
+        f.debug_struct("Tracer")
+            .field("cap", &g.cap)
+            .field("len", &g.buf.len())
+            .field("total", &g.next_seq)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_evicts_oldest_and_keeps_seq() {
+        let t = Tracer::new(3);
+        for i in 0..5u64 {
+            t.record(SimTime::ZERO, 0, "ev", i, format!("#{i}"));
+        }
+        let evs = t.events();
+        assert_eq!(evs.len(), 3);
+        assert_eq!(evs[0].seq, 2);
+        assert_eq!(evs[2].seq, 4);
+        assert_eq!(t.total_recorded(), 5);
+    }
+
+    #[test]
+    fn incremental_scan_sees_only_new_events() {
+        let t = Tracer::new(16);
+        t.record(SimTime::ZERO, 1, "a", 0, String::new());
+        t.record(SimTime::ZERO, 1, "b", 0, String::new());
+        let first = t.events_since(0);
+        assert_eq!(first.len(), 2);
+        let cursor = first.last().unwrap().seq + 1;
+        t.record(SimTime::ZERO, 2, "c", 7, String::new());
+        let fresh = t.events_since(cursor);
+        assert_eq!(fresh.len(), 1);
+        assert_eq!(fresh[0].kind, "c");
+        assert_eq!(fresh[0].key, 7);
+    }
+
+    #[test]
+    fn clones_share_the_buffer() {
+        let t = Tracer::new(8);
+        let t2 = t.clone();
+        t2.record(SimTime::ZERO, 0, "x", 0, String::new());
+        assert_eq!(t.events().len(), 1);
+    }
+
+    #[test]
+    fn tail_renders_one_line_per_event() {
+        let t = Tracer::new(8);
+        t.record(SimTime::ZERO, 0, "x", 1, "one".into());
+        t.record(SimTime::ZERO, 0, "y", 2, "two".into());
+        let s = t.render_tail(10);
+        assert_eq!(s.lines().count(), 2);
+        assert!(s.contains("one") && s.contains("two"));
+    }
+}

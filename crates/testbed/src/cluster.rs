@@ -1,15 +1,27 @@
 //! Cluster assembly: builds a complete deployment — servers, clients,
 //! middleboxes, multicast groups — on the simulated fabric.
 
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
 use hovercraft::{HcConfig, Mode, WireMsg};
 use minikv::{Command, CostModel, KvService};
-use simnet::{Addr, FabricParams, NicParams, NodeId, Sim, SimDur, SimTime};
+use simnet::{Addr, FabricParams, NicParams, NodeId, Sim, SimDur, SimTime, Tracer};
 use workload::{RecordSpec, SynthService, SynthSpec, YcsbGen, YcsbWorkload};
 
 use crate::client::{ClientAgent, ClientResults, ClientWorkload};
+use crate::invariants::{InvariantChecker, Violation};
 use crate::programs::{AggProgram, FcProgram};
 use crate::server::{ServerAgent, UnrepAgent};
 use crate::setup::{addrs, Setup};
+
+/// How often checked runs stop the simulation to evaluate the cross-node
+/// invariants. Small enough that a violation is localized to one slice of
+/// protocol activity, large enough to keep checking overhead moderate.
+const CHECK_STEP: SimDur = SimDur::millis(1);
+
+/// How many trailing trace events a replay bundle includes.
+const BUNDLE_TAIL: usize = 512;
 
 /// Which application runs on the servers.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -122,6 +134,12 @@ pub struct Cluster {
     pub clients: Vec<NodeId>,
     /// Pipeline index of the aggregator program, if deployed.
     agg_prog: Option<usize>,
+    /// Pipeline index of the flow-control program, if deployed.
+    fc_prog: Option<usize>,
+    /// Shared protocol-event trace (servers and switch programs feed it).
+    tracer: Tracer,
+    /// Cross-node invariant checker driven by the checked run methods.
+    checker: InvariantChecker,
     opts: ClusterOpts,
 }
 
@@ -178,13 +196,29 @@ impl Cluster {
         }
         sim.add_group(addrs::GROUP, servers.clone());
 
+        // One shared trace: every server and switch program records into
+        // it, the invariant checker and failure dumps read from it.
+        let tracer = Tracer::default();
+        if opts.setup != Setup::Unrep {
+            for &s in &servers {
+                sim.agent_mut::<ServerAgent>(s).set_tracer(tracer.clone());
+            }
+        }
+
         // Switch pipeline: flow control first, then the aggregator.
+        let mut fc_prog = None;
         if let Some(cap) = opts.flow_cap {
-            sim.add_switch_program(Box::new(FcProgram::new(cap)));
+            let idx = sim.add_switch_program(Box::new(FcProgram::new(cap)));
+            sim.switch_program_mut::<FcProgram>(idx)
+                .set_tracer(tracer.clone());
+            fc_prog = Some(idx);
         }
         let mut agg_prog = None;
         if matches!(opts.setup, Setup::HovercraftPp(_)) {
-            agg_prog = Some(sim.add_switch_program(Box::new(AggProgram::new(members))));
+            let idx = sim.add_switch_program(Box::new(AggProgram::new(members)));
+            sim.switch_program_mut::<AggProgram>(idx)
+                .set_tracer(tracer.clone());
+            agg_prog = Some(idx);
         }
 
         // Preload the keyspace (identically, outside simulated time).
@@ -222,6 +256,9 @@ impl Cluster {
             servers,
             clients,
             agg_prog,
+            fc_prog,
+            tracer,
+            checker: InvariantChecker::new(),
             opts,
         }
     }
@@ -317,6 +354,131 @@ impl Cluster {
         self.sim.run_until(self.opts.load_start + self.opts.warmup);
         self.sim.reset_counters();
         self.sim.run_until(end);
+    }
+
+    /// The shared protocol-event trace.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Pipeline index of the flow-control program, if deployed.
+    pub fn fc_prog_index(&self) -> Option<usize> {
+        self.fc_prog
+    }
+
+    /// Evaluates every cross-node invariant once, returning the first
+    /// violation. Prefer the `*_checked` run methods, which call this
+    /// after every simulation step and panic with a replay bundle.
+    pub fn check_invariants(&mut self) -> Result<(), Violation> {
+        let mut checker = std::mem::take(&mut self.checker);
+        let result = checker.check(self);
+        self.checker = checker;
+        result
+    }
+
+    /// Checks invariants now; on violation, dumps a replay bundle and
+    /// panics with the violation and the bundle path.
+    pub fn assert_invariants(&mut self) {
+        if let Err(v) = self.check_invariants() {
+            let path = self.dump_bundle(&format!("violation-{}", v.invariant));
+            panic!(
+                "protocol invariant violated: {v}\nreplay bundle: {}",
+                path.display()
+            );
+        }
+    }
+
+    /// Runs until `t`, stopping every [`CHECK_STEP`] to evaluate the
+    /// cross-node invariants (panicking with a replay bundle on the first
+    /// violation).
+    pub fn run_until_checked(&mut self, t: SimTime) {
+        while self.sim.now() < t {
+            let next = (self.sim.now() + CHECK_STEP).min(t);
+            self.sim.run_until(next);
+            self.assert_invariants();
+        }
+    }
+
+    /// Runs for `dur` with invariant checking (see
+    /// [`Cluster::run_until_checked`]).
+    pub fn run_checked(&mut self, dur: SimDur) {
+        let end = self.sim.now() + dur;
+        self.run_until_checked(end);
+    }
+
+    /// [`Cluster::run_to_completion`] with invariant checking after every
+    /// simulation step.
+    pub fn run_to_completion_checked(&mut self) {
+        self.settle();
+        self.assert_invariants();
+        self.run_until_checked(self.opts.load_start + self.opts.warmup);
+        self.sim.reset_counters();
+        let end = self.opts.load_end() + SimDur::millis(20);
+        self.run_until_checked(end);
+    }
+
+    /// Writes a replayable failure bundle — the build options, master
+    /// seed, per-node protocol state, and the trace tail — and returns its
+    /// path. The content is a pure function of the (deterministic)
+    /// simulation state, so re-running the same options and seed
+    /// reproduces it bit-for-bit.
+    pub fn dump_bundle(&self, reason: &str) -> PathBuf {
+        let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/invariant-dumps");
+        let _ = std::fs::create_dir_all(&dir);
+        let safe: String = reason
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                    c
+                } else {
+                    '-'
+                }
+            })
+            .collect();
+        let path = dir.join(format!("{safe}-seed{}.txt", self.opts.seed));
+
+        let mut s = String::new();
+        let _ = writeln!(s, "# HovercRaft replay bundle");
+        let _ = writeln!(s, "reason: {reason}");
+        let _ = writeln!(s, "virtual_time_ns: {}", self.sim.now().as_nanos());
+        let _ = writeln!(s, "seed: {}", self.opts.seed);
+        let _ = writeln!(s, "opts: {:?}", self.opts);
+        let _ = writeln!(s, "replay: rebuild Cluster with these opts (same seed) and");
+        let _ = writeln!(s, "        run to virtual_time_ns; the trace is reproduced");
+        let _ = writeln!(
+            s,
+            "        exactly (see DESIGN.md, \"Debugging a failing seed\")."
+        );
+        let _ = writeln!(s, "\n## node state");
+        for &sv in &self.servers {
+            let alive = self.sim.is_alive(sv);
+            if self.opts.setup == Setup::Unrep {
+                let _ = writeln!(s, "n{sv}: unreplicated alive={alive}");
+                continue;
+            }
+            let n = self.sim.agent::<ServerAgent>(sv).node();
+            let _ = writeln!(
+                s,
+                "n{sv}: alive={alive} role={:?} term={} commit={} applied={} \
+                 announced={} last={}",
+                n.role(),
+                n.raft().term(),
+                n.raft().commit_index(),
+                n.applied_index(),
+                n.raft().announced_index(),
+                n.raft().log().last_index(),
+            );
+        }
+        let total = self.tracer.total_recorded();
+        let tail = self.tracer.tail(BUNDLE_TAIL);
+        let _ = writeln!(s, "\n## trace tail ({} of {} events)", tail.len(), total);
+        for e in tail {
+            let _ = writeln!(s, "{e}");
+        }
+        if let Err(err) = std::fs::write(&path, &s) {
+            eprintln!("failed to write replay bundle {}: {err}", path.display());
+        }
+        path
     }
 
     /// Merged client results.

@@ -1,0 +1,373 @@
+//! Cross-node protocol invariant checking.
+//!
+//! [`InvariantChecker`] inspects a whole [`Cluster`](crate::Cluster)
+//! between simulation steps and flags states that no correct HovercRaft
+//! execution can reach. Integration tests drive the cluster through
+//! [`Cluster::run_checked`](crate::Cluster::run_checked), which calls
+//! [`InvariantChecker::check`] after every step and turns the first
+//! [`Violation`] into a panic plus a replayable trace bundle.
+//!
+//! Invariants (all scoped to *live* nodes; killed nodes keep arbitrary
+//! stale state):
+//!
+//! 1. **Apply bound** — `applied ≤ commit` on every node: execution never
+//!    outruns durability.
+//! 2. **Monotonicity** — per-node `commit` and `applied` never regress.
+//! 3. **Log matching / committed-prefix agreement** — every index committed
+//!    everywhere holds the *same* entry (term and full descriptor,
+//!    replier included) on every live node; above the common commit point,
+//!    any two live logs that agree on an index's term agree on its entry
+//!    (Raft's Log Matching property).
+//! 4. **Replier immutability** (§3.3) — once an entry carries a replier,
+//!    that field never changes for the lifetime of that `(term, index)`
+//!    entry. Checked over a sliding window above the cluster-wide applied
+//!    floor (minus a safety margin), so the scan cost tracks the in-flight
+//!    window, not total log length.
+//! 5. **Bounded replier queues** (§3.4) — on the leader, no member's
+//!    outstanding-assignment depth exceeds the bound `B`. A freshly
+//!    elected leader may inherit more than `B` immutable assignments from
+//!    previous terms (§5), so the limit for a term is
+//!    `max(B, depth first observed in that term)` — inherited debt may
+//!    only drain, never grow.
+//! 6. **Exactly-one reply** — scanning the protocol trace, no request id
+//!    is answered twice (by any node, across elections and recoveries).
+//! 7. **Flow-control conservation** — at the middlebox,
+//!    `admitted − (feedback − spurious) − reclaimed == in_flight`.
+//!
+//! The checker is stateful (watermarks, first-seen replier stamps, reply
+//! set, trace cursor); create one per cluster and feed it every step.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+use raft::LogIndex;
+use simnet::NodeId;
+
+use crate::cluster::Cluster;
+use crate::programs::FcProgram;
+use crate::server::ServerAgent;
+use crate::setup::Setup;
+
+/// How far below the cluster-wide applied floor the replier-immutability
+/// window reaches. Mutations of entries older than this (already applied
+/// everywhere) can no longer affect protocol behaviour and are not scanned.
+const REPLIER_WINDOW_SLACK: u64 = 64;
+
+/// A detected invariant violation.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Which invariant fired (stable identifier, e.g. `"replier_immutable"`).
+    pub invariant: &'static str,
+    /// The node it was detected on, when node-scoped.
+    pub node: Option<NodeId>,
+    /// Human-readable specifics.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.node {
+            Some(n) => write!(f, "[{}] on n{}: {}", self.invariant, n, self.detail),
+            None => write!(f, "[{}]: {}", self.invariant, self.detail),
+        }
+    }
+}
+
+fn violation(
+    invariant: &'static str,
+    node: impl Into<Option<NodeId>>,
+    detail: String,
+) -> Result<(), Violation> {
+    Err(Violation {
+        invariant,
+        node: node.into(),
+        detail,
+    })
+}
+
+/// Stateful cross-node invariant checker (see module docs for the list).
+#[derive(Default)]
+pub struct InvariantChecker {
+    /// Per-node high-water marks for monotonicity checks.
+    last_commit: HashMap<NodeId, LogIndex>,
+    last_applied: HashMap<NodeId, LogIndex>,
+    /// Committed-prefix agreement has been verified up to here.
+    matched_upto: LogIndex,
+    /// First-seen `(term, replier)` per live `(node, index)` in the window.
+    repliers: HashMap<(NodeId, LogIndex), (u64, Option<u32>)>,
+    /// Per `(term, member)`: assignment depth at first observation, to
+    /// absorb inherited over-`B` debt after elections.
+    depth_baseline: HashMap<(u64, NodeId), usize>,
+    /// Request keys already answered (invariant 6).
+    replied: HashSet<u64>,
+    /// Next trace sequence number to consume.
+    trace_cursor: u64,
+}
+
+impl InvariantChecker {
+    /// A fresh checker (all watermarks empty).
+    pub fn new() -> InvariantChecker {
+        InvariantChecker::default()
+    }
+
+    /// Checks every invariant against the cluster's current state,
+    /// returning the first violation found. Call between simulation steps;
+    /// the checker assumes the cluster is not mutated behind its back
+    /// except by simulation itself.
+    pub fn check(&mut self, cl: &mut Cluster) -> Result<(), Violation> {
+        if cl.opts().setup == Setup::Unrep {
+            return Ok(());
+        }
+        let alive: Vec<NodeId> = cl
+            .servers
+            .iter()
+            .copied()
+            .filter(|&s| cl.sim.is_alive(s))
+            .collect();
+
+        self.check_apply_and_monotone(cl, &alive)?;
+        self.check_log_matching(cl, &alive)?;
+        self.check_replier_immutability(cl, &alive)?;
+        self.check_bounded_queues(cl)?;
+        self.check_reply_uniqueness(cl)?;
+        self.check_flow_conservation(cl)?;
+        Ok(())
+    }
+
+    fn check_apply_and_monotone(
+        &mut self,
+        cl: &Cluster,
+        alive: &[NodeId],
+    ) -> Result<(), Violation> {
+        for &s in alive {
+            let node = cl.sim.agent::<ServerAgent>(s).node();
+            let commit = node.raft().commit_index();
+            let applied = node.applied_index();
+            if applied > commit {
+                return violation(
+                    "applied_le_commit",
+                    s,
+                    format!("applied={applied} > commit={commit}"),
+                );
+            }
+            let lc = self.last_commit.entry(s).or_insert(0);
+            if commit < *lc {
+                return violation(
+                    "commit_monotone",
+                    s,
+                    format!("commit regressed {} -> {commit}", *lc),
+                );
+            }
+            *lc = commit;
+            let la = self.last_applied.entry(s).or_insert(0);
+            if applied < *la {
+                return violation(
+                    "applied_monotone",
+                    s,
+                    format!("applied regressed {} -> {applied}", *la),
+                );
+            }
+            *la = applied;
+        }
+        Ok(())
+    }
+
+    /// Invariant 3: committed-prefix agreement (incremental) plus Log
+    /// Matching over the uncommitted tails of live-node pairs.
+    fn check_log_matching(&mut self, cl: &Cluster, alive: &[NodeId]) -> Result<(), Violation> {
+        if alive.len() < 2 {
+            return Ok(());
+        }
+        let commit_of = |s: NodeId| cl.sim.agent::<ServerAgent>(s).node().raft().commit_index();
+        let min_commit = alive.iter().map(|&s| commit_of(s)).min().unwrap_or(0);
+
+        // Committed prefix: identical entries everywhere. Checked once per
+        // index (the committed prefix is immutable), resuming where the
+        // previous call stopped.
+        let reference = alive[0];
+        for idx in (self.matched_upto + 1)..=min_commit {
+            let ref_log = cl.sim.agent::<ServerAgent>(reference).node().raft().log();
+            let Some(want) = ref_log.get(idx) else {
+                continue; // compacted on the reference; nothing to compare
+            };
+            let (want_term, want_cmd) = (want.term, want.cmd.clone());
+            for &s in &alive[1..] {
+                let log = cl.sim.agent::<ServerAgent>(s).node().raft().log();
+                let Some(got) = log.get(idx) else {
+                    continue; // compacted here
+                };
+                if got.term != want_term || got.cmd != want_cmd {
+                    return violation(
+                        "committed_prefix_agreement",
+                        s,
+                        format!(
+                            "index {idx}: n{s} has (term {}, {:?}), n{reference} has \
+                             (term {}, {:?})",
+                            got.term, got.cmd.desc, want_term, want_cmd.desc
+                        ),
+                    );
+                }
+            }
+        }
+        self.matched_upto = min_commit;
+
+        // Log Matching above the common commit point: same index + same
+        // term ⇒ same entry. The tail is bounded by the in-flight window.
+        for (i, &a) in alive.iter().enumerate() {
+            for &b in &alive[i + 1..] {
+                let log_a = cl.sim.agent::<ServerAgent>(a).node().raft().log();
+                let log_b = cl.sim.agent::<ServerAgent>(b).node().raft().log();
+                let hi = log_a.last_index().min(log_b.last_index());
+                let lo = (min_commit + 1)
+                    .max(log_a.first_index())
+                    .max(log_b.first_index());
+                for idx in lo..=hi {
+                    let (Some(ea), Some(eb)) = (log_a.get(idx), log_b.get(idx)) else {
+                        continue;
+                    };
+                    if ea.term == eb.term && ea.cmd != eb.cmd {
+                        return violation(
+                            "log_matching",
+                            a,
+                            format!(
+                                "index {idx} term {}: n{a} has {:?}, n{b} has {:?}",
+                                ea.term, ea.cmd.desc, eb.cmd.desc
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Invariant 4: a stamped replier never changes for a `(term, index)`.
+    fn check_replier_immutability(
+        &mut self,
+        cl: &Cluster,
+        alive: &[NodeId],
+    ) -> Result<(), Violation> {
+        let applied_floor = alive
+            .iter()
+            .map(|&s| cl.sim.agent::<ServerAgent>(s).node().applied_index())
+            .min()
+            .unwrap_or(0);
+        let window_lo = applied_floor.saturating_sub(REPLIER_WINDOW_SLACK).max(1);
+
+        for &s in alive {
+            let log = cl.sim.agent::<ServerAgent>(s).node().raft().log();
+            let lo = window_lo.max(log.first_index());
+            for idx in lo..=log.last_index() {
+                let Some(e) = log.get(idx) else { continue };
+                let cur = (e.term, e.cmd.desc.replier);
+                match self.repliers.get(&(s, idx)) {
+                    None => {
+                        self.repliers.insert((s, idx), cur);
+                    }
+                    Some(&(term, seen)) if term == cur.0 => match (seen, cur.1) {
+                        (Some(old), new) if new != Some(old) => {
+                            return violation(
+                                "replier_immutable",
+                                s,
+                                format!(
+                                    "index {idx} term {term}: replier changed \
+                                     {old:?} -> {:?}",
+                                    cur.1
+                                ),
+                            );
+                        }
+                        (None, Some(_)) => {
+                            // First stamp (None -> Some): the one legal
+                            // transition.
+                            self.repliers.insert((s, idx), cur);
+                        }
+                        _ => {}
+                    },
+                    Some(_) => {
+                        // The entry was replaced by one from a newer term
+                        // (uncommitted suffix truncation) — track the
+                        // replacement from scratch.
+                        self.repliers.insert((s, idx), cur);
+                    }
+                }
+            }
+        }
+        // Entries everyone applied long ago can't affect behaviour; drop
+        // them so the map tracks the window, not the whole history.
+        self.repliers.retain(|&(_, idx), _| idx >= window_lo);
+        Ok(())
+    }
+
+    /// Invariant 5: leader-side replier queues stay within the bound,
+    /// modulo inherited (immutable) pre-election debt that may only drain.
+    fn check_bounded_queues(&mut self, cl: &Cluster) -> Result<(), Violation> {
+        let Some(leader) = cl.leader() else {
+            return Ok(());
+        };
+        let bound = cl.opts().bound;
+        let node = cl.sim.agent::<ServerAgent>(leader).node();
+        let term = node.raft().term();
+        for &m in &cl.servers {
+            let depth = node.queue_depth(m);
+            let baseline = *self.depth_baseline.entry((term, m)).or_insert(depth);
+            let allowed = bound.max(baseline);
+            if depth > allowed {
+                return violation(
+                    "bounded_queue",
+                    leader,
+                    format!(
+                        "member n{m} depth {depth} exceeds bound {bound} \
+                         (term {term} inherited baseline {baseline})"
+                    ),
+                );
+            }
+        }
+        Ok(())
+    }
+
+    /// Invariant 6: no request id is replied to twice, ever.
+    fn check_reply_uniqueness(&mut self, cl: &Cluster) -> Result<(), Violation> {
+        let events = cl.tracer().events_since(self.trace_cursor);
+        for e in &events {
+            if e.kind == "reply" && !self.replied.insert(e.key) {
+                return violation(
+                    "exactly_one_reply",
+                    e.node,
+                    format!("request {} answered twice ({})", e.key, e.detail),
+                );
+            }
+        }
+        if let Some(last) = events.last() {
+            self.trace_cursor = last.seq + 1;
+        }
+        Ok(())
+    }
+
+    /// Invariant 7: flow-control slot conservation at the middlebox.
+    fn check_flow_conservation(&mut self, cl: &mut Cluster) -> Result<(), Violation> {
+        let Some(idx) = cl.fc_prog_index() else {
+            return Ok(());
+        };
+        let fc = &cl.sim.switch_program_mut::<FcProgram>(idx).fc;
+        let s = fc.stats();
+        let outstanding = s.admitted as i128
+            - (s.feedback as i128 - s.spurious_feedback as i128)
+            - s.reclaimed as i128;
+        if outstanding != fc.in_flight() as i128 {
+            return violation(
+                "flow_conservation",
+                None,
+                format!(
+                    "admitted {} - (feedback {} - spurious {}) - reclaimed {} = \
+                     {outstanding} != in_flight {}",
+                    s.admitted,
+                    s.feedback,
+                    s.spurious_feedback,
+                    s.reclaimed,
+                    fc.in_flight()
+                ),
+            );
+        }
+        Ok(())
+    }
+}

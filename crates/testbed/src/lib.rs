@@ -15,6 +15,7 @@
 
 mod client;
 mod cluster;
+mod invariants;
 mod programs;
 mod runner;
 mod server;
@@ -22,7 +23,8 @@ mod setup;
 
 pub use client::{ClientAgent, ClientResults, ClientWorkload};
 pub use cluster::{Cluster, ClusterOpts, ServiceKind, WorkloadKind};
+pub use invariants::{InvariantChecker, Violation};
 pub use programs::{AggProgram, FcProgram};
-pub use runner::{run_experiment, summarize, ExpResult};
+pub use runner::{run_experiment, run_experiment_checked, summarize, ExpResult};
 pub use server::{ServerAgent, UnrepAgent};
 pub use setup::{addrs, Setup};

@@ -2,7 +2,7 @@
 //! the ++ aggregator) onto the simulated switch pipeline.
 
 use hovercraft::{Aggregator, FcDecision, FlowControl, WireMsg};
-use simnet::{Addr, Packet, SimTime, SwitchEmit, SwitchProgram, Verdict};
+use simnet::{Addr, Packet, SimTime, SwitchEmit, SwitchProgram, Tracer, Verdict};
 
 use crate::setup::addrs;
 
@@ -12,6 +12,7 @@ use crate::setup::addrs;
 pub struct FcProgram {
     /// The middlebox state machine.
     pub fc: FlowControl,
+    tracer: Option<Tracer>,
 }
 
 impl FcProgram {
@@ -19,6 +20,19 @@ impl FcProgram {
     pub fn new(cap: u32) -> FcProgram {
         FcProgram {
             fc: FlowControl::new(addrs::GROUP.0, cap),
+            tracer: None,
+        }
+    }
+
+    /// Records admission decisions into `tracer` (as `sw` events stamped
+    /// with the VIP address).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = Some(tracer);
+    }
+
+    fn trace(&self, now: SimTime, kind: &'static str, key: u64, detail: String) {
+        if let Some(t) = &self.tracer {
+            t.record(now, addrs::VIP.0, kind, key, detail);
         }
     }
 }
@@ -27,24 +41,58 @@ impl SwitchProgram<WireMsg> for FcProgram {
     fn process(
         &mut self,
         mut pkt: Packet<WireMsg>,
-        _now: SimTime,
+        now: SimTime,
         out: &mut SwitchEmit<WireMsg>,
     ) -> Verdict<WireMsg> {
         if pkt.dst != addrs::VIP {
             return Verdict::Forward(pkt);
         }
-        match self.fc.on_packet(&pkt.payload) {
+        let reclaimed_before = self.fc.stats().reclaimed;
+        let decision = self.fc.on_packet(&pkt.payload, now.as_nanos());
+        let reclaimed = self.fc.stats().reclaimed - reclaimed_before;
+        if reclaimed > 0 {
+            self.trace(
+                now,
+                "fc_reclaim",
+                reclaimed,
+                format!("slots={reclaimed} in_flight={}", self.fc.in_flight()),
+            );
+        }
+        match decision {
             FcDecision::Admit { rewritten_dst } => {
+                if let WireMsg::Request { id, .. } = &pkt.payload {
+                    self.trace(
+                        now,
+                        "fc_admit",
+                        hovercraft::req_key(*id),
+                        format!("in_flight={}", self.fc.in_flight()),
+                    );
+                }
                 pkt.dst = Addr(rewritten_dst);
                 Verdict::Forward(pkt)
             }
             FcDecision::Nack { client, id } => {
+                self.trace(
+                    now,
+                    "fc_nack",
+                    hovercraft::req_key(id),
+                    format!("client=n{client}"),
+                );
                 let msg = WireMsg::Nack { id };
                 let size = msg.wire_size();
                 out.emit(addrs::VIP, Addr::node(client), size, msg);
                 Verdict::Consume
             }
-            FcDecision::Absorbed | FcDecision::Pass => Verdict::Consume,
+            FcDecision::Absorbed => {
+                self.trace(
+                    now,
+                    "fc_feedback",
+                    0,
+                    format!("in_flight={}", self.fc.in_flight()),
+                );
+                Verdict::Consume
+            }
+            FcDecision::Pass => Verdict::Consume,
         }
     }
 
@@ -67,6 +115,7 @@ pub struct AggProgram {
     /// Fail-stop flag: a dead device blackholes everything addressed to it
     /// (used by failure-injection tests; §5's aggregator-failure scenario).
     pub failed: bool,
+    tracer: Option<Tracer>,
 }
 
 impl AggProgram {
@@ -75,7 +124,14 @@ impl AggProgram {
         AggProgram {
             agg: Aggregator::new(members),
             failed: false,
+            tracer: None,
         }
+    }
+
+    /// Records aggregator fan-out and AGG_COMMIT emissions into `tracer`
+    /// (as `sw` events stamped with the AGG address).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = Some(tracer);
     }
 }
 
@@ -83,7 +139,7 @@ impl SwitchProgram<WireMsg> for AggProgram {
     fn process(
         &mut self,
         pkt: Packet<WireMsg>,
-        _now: SimTime,
+        now: SimTime,
         out: &mut SwitchEmit<WireMsg>,
     ) -> Verdict<WireMsg> {
         if pkt.dst != addrs::AGG {
@@ -93,6 +149,21 @@ impl SwitchProgram<WireMsg> for AggProgram {
             return Verdict::Consume; // dead device: blackhole
         }
         for (dst, msg) in self.agg.on_packet(pkt.src.0, pkt.payload) {
+            if let Some(t) = &self.tracer {
+                let (kind, key, detail) = match &msg {
+                    WireMsg::AggCommit { term, commit, .. } => (
+                        "agg_commit",
+                        *commit,
+                        format!("term={term} commit={commit} dst=n{dst}"),
+                    ),
+                    WireMsg::Raft(_) => ("agg_fanout", 0, format!("dst=n{dst}")),
+                    WireMsg::VoteProbeRep { term } => {
+                        ("agg_probe_rep", *term, format!("term={term} dst=n{dst}"))
+                    }
+                    _ => ("agg_emit", 0, format!("dst=n{dst}")),
+                };
+                t.record(now, addrs::AGG.0, kind, key, detail);
+            }
             let size = msg.wire_size();
             // Emitted with the aggregator's own source address: followers
             // use it to route successful replies back through the device.

@@ -53,6 +53,16 @@ pub fn run_experiment(opts: ClusterOpts) -> ExpResult {
     summarize(&mut cluster)
 }
 
+/// [`run_experiment`] with the cross-node invariant checker evaluated
+/// after every simulation step: panics with a replay bundle on the first
+/// protocol invariant violation. Integration tests use this; performance
+/// sweeps use the unchecked variant.
+pub fn run_experiment_checked(opts: ClusterOpts) -> ExpResult {
+    let mut cluster = Cluster::build(opts.clone());
+    cluster.run_to_completion_checked();
+    summarize(&mut cluster)
+}
+
 /// Summarizes an already-run cluster.
 pub fn summarize(cluster: &mut Cluster) -> ExpResult {
     let opts = cluster.opts().clone();

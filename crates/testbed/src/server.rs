@@ -4,7 +4,7 @@
 use std::any::Any;
 
 use hovercraft::{HcConfig, HcNode, Output, Service, WireMsg};
-use simnet::{Addr, Agent, Ctx, Packet, SimDur, TimerId};
+use simnet::{Addr, Agent, Ctx, Packet, SimDur, TimerId, Tracer};
 
 /// Timer kind for the periodic protocol tick.
 const TICK: u64 = 1;
@@ -25,6 +25,7 @@ const AE_COPY_PER_BYTE_DECINS: u64 = 14; // 1.4 ns/byte
 /// thread, with state-machine execution charged to the application thread.
 pub struct ServerAgent {
     node: HcNode<Box<dyn Service>>,
+    tracer: Option<Tracer>,
 }
 
 impl ServerAgent {
@@ -32,6 +33,23 @@ impl ServerAgent {
     pub fn new(cfg: HcConfig, service: Box<dyn Service>) -> ServerAgent {
         ServerAgent {
             node: HcNode::new(cfg, service, 0),
+            tracer: None,
+        }
+    }
+
+    /// Forwards the node's protocol events into `tracer`, stamped with
+    /// virtual time, after every entry point.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = Some(tracer);
+    }
+
+    /// Drains buffered protocol events into the tracer (no-op untraced).
+    fn flush_events(&mut self, ctx: &Ctx<'_, WireMsg>) {
+        if let Some(t) = &self.tracer {
+            let me = self.node.id();
+            for ev in self.node.drain_events() {
+                t.record(ctx.now(), me, ev.kind(), ev.key(), ev.detail());
+            }
         }
     }
 
@@ -103,18 +121,21 @@ impl Agent<WireMsg> for ServerAgent {
             .node
             .on_message(pkt.src.0, pkt.payload, ctx.now().as_nanos());
         self.run(outs, ctx);
+        self.flush_events(ctx);
     }
 
     fn on_timer(&mut self, _id: TimerId, kind: u64, ctx: &mut Ctx<'_, WireMsg>) {
         debug_assert_eq!(kind, TICK);
         let outs = self.node.tick(ctx.now().as_nanos());
         self.run(outs, ctx);
+        self.flush_events(ctx);
         ctx.set_timer(TICK_INTERVAL, TICK);
     }
 
     fn on_app_done(&mut self, token: u64, ctx: &mut Ctx<'_, WireMsg>) {
         let outs = self.node.on_exec_done(token, ctx.now().as_nanos());
         self.run(outs, ctx);
+        self.flush_events(ctx);
     }
 
     fn as_any(&self) -> &dyn Any {

@@ -3,7 +3,7 @@
 
 use hovercraft::PolicyKind;
 use simnet::SimDur;
-use testbed::{run_experiment, ClusterOpts, ServiceKind, Setup, WorkloadKind};
+use testbed::{run_experiment_checked, ClusterOpts, ServiceKind, Setup, WorkloadKind};
 use workload::{ServiceDist, SynthSpec, YcsbWorkload};
 
 fn quick(setup: Setup, n: u32, rate: f64) -> ClusterOpts {
@@ -15,7 +15,7 @@ fn quick(setup: Setup, n: u32, rate: f64) -> ClusterOpts {
 
 #[test]
 fn unrep_low_load_latency_is_microsecond_scale() {
-    let r = run_experiment(quick(Setup::Unrep, 1, 20_000.0));
+    let r = run_experiment_checked(quick(Setup::Unrep, 1, 20_000.0));
     assert!(r.responses > 3_000, "{r:?}");
     assert!(r.achieved_rps > 19_000.0 * 0.95, "{r:?}");
     // 1 RTT + 1µs service: well under 20µs even at p99.
@@ -24,7 +24,7 @@ fn unrep_low_load_latency_is_microsecond_scale() {
 
 #[test]
 fn vanilla_low_load_serves_with_consensus_offset() {
-    let r = run_experiment(quick(Setup::Vanilla, 3, 20_000.0));
+    let r = run_experiment_checked(quick(Setup::Vanilla, 3, 20_000.0));
     assert!(r.achieved_rps > 19_000.0 * 0.95, "{r:?}");
     // 2 RTTs + service; must stay µs-scale but above UnRep.
     assert!(r.p99_ns < 60_000, "p99 = {}ns", r.p99_ns);
@@ -33,21 +33,21 @@ fn vanilla_low_load_serves_with_consensus_offset() {
 
 #[test]
 fn hovercraft_low_load_end_to_end() {
-    let r = run_experiment(quick(Setup::Hovercraft(PolicyKind::Jbsq), 3, 20_000.0));
+    let r = run_experiment_checked(quick(Setup::Hovercraft(PolicyKind::Jbsq), 3, 20_000.0));
     assert!(r.achieved_rps > 19_000.0 * 0.95, "{r:?}");
     assert!(r.p99_ns < 80_000, "p99 = {}ns", r.p99_ns);
 }
 
 #[test]
 fn hovercraft_pp_low_load_end_to_end() {
-    let r = run_experiment(quick(Setup::HovercraftPp(PolicyKind::Jbsq), 3, 20_000.0));
+    let r = run_experiment_checked(quick(Setup::HovercraftPp(PolicyKind::Jbsq), 3, 20_000.0));
     assert!(r.achieved_rps > 19_000.0 * 0.95, "{r:?}");
     assert!(r.p99_ns < 80_000, "p99 = {}ns", r.p99_ns);
 }
 
 #[test]
 fn five_node_cluster_serves() {
-    let r = run_experiment(quick(Setup::HovercraftPp(PolicyKind::Jbsq), 5, 50_000.0));
+    let r = run_experiment_checked(quick(Setup::HovercraftPp(PolicyKind::Jbsq), 5, 50_000.0));
     assert!(r.achieved_rps > 50_000.0 * 0.95, "{r:?}");
 }
 
@@ -59,7 +59,7 @@ fn moderate_load_all_setups_keep_up() {
         Setup::Hovercraft(PolicyKind::Jbsq),
         Setup::HovercraftPp(PolicyKind::Jbsq),
     ] {
-        let r = run_experiment(quick(setup, 3, 200_000.0));
+        let r = run_experiment_checked(quick(setup, 3, 200_000.0));
         assert!(
             r.achieved_rps > 200_000.0 * 0.95,
             "{}: {r:?}",
@@ -80,7 +80,7 @@ fn reply_lb_shares_reply_traffic() {
         reply_size: 6_000,
         ro_fraction: 0.0,
     });
-    let r = run_experiment(o);
+    let r = run_experiment_checked(o);
     assert!(
         r.achieved_rps > 300_000.0 * 0.9,
         "reply LB lifts the 200kRPS single-link cap: {r:?}"
@@ -95,7 +95,7 @@ fn ycsbe_on_kv_store_works_end_to_end() {
         workload: YcsbWorkload::E,
         records: 1_000,
     };
-    let r = run_experiment(o);
+    let r = run_experiment_checked(o);
     assert!(r.achieved_rps > 20_000.0 * 0.9, "{r:?}");
     assert!(r.p99_ns < 500_000, "p99 = {}", r.p99_ns);
 }
@@ -103,7 +103,7 @@ fn ycsbe_on_kv_store_works_end_to_end() {
 #[test]
 fn results_are_deterministic_for_a_seed() {
     let run = || {
-        let r = run_experiment(quick(Setup::Hovercraft(PolicyKind::Jbsq), 3, 50_000.0));
+        let r = run_experiment_checked(quick(Setup::Hovercraft(PolicyKind::Jbsq), 3, 50_000.0));
         (r.responses, r.p99_ns, r.p50_ns)
     };
     assert_eq!(run(), run());

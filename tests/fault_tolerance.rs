@@ -4,7 +4,7 @@
 
 use hovercraft::PolicyKind;
 use simnet::{SimDur, SimTime};
-use testbed::{summarize, ClientAgent, Cluster, ClusterOpts, ServerAgent, Setup};
+use testbed::{summarize, ClientAgent, Cluster, ClusterOpts, FcProgram, ServerAgent, Setup};
 
 fn opts(setup: Setup, n: u32, rate: f64, bound: usize, seed: u64) -> ClusterOpts {
     let mut o = ClusterOpts::new(setup, n, rate);
@@ -31,7 +31,7 @@ fn follower_failure_is_invisible_except_bounded_loss() {
     cluster
         .sim
         .kill_at(victim, SimTime::ZERO + SimDur::millis(300));
-    cluster.run_to_completion();
+    cluster.run_to_completion_checked();
     let r = summarize(&mut cluster);
     // 40k measured requests; replies already assigned to the victim when it
     // died (≤ B = 32) plus its committed-but-unexecuted window are lost;
@@ -50,7 +50,7 @@ fn leader_failure_degrades_gracefully_and_recovers() {
     cluster
         .sim
         .kill_at(old, SimTime::ZERO + SimDur::millis(250));
-    cluster.run_to_completion();
+    cluster.run_to_completion_checked();
     let new = cluster.leader().expect("new leader");
     assert_ne!(new, old);
     let r = summarize(&mut cluster);
@@ -84,10 +84,10 @@ fn aggregator_failure_falls_back_to_point_to_point() {
     let mut cluster = Cluster::build(o);
     cluster.settle();
     let t_fail = SimTime::ZERO + SimDur::millis(250);
-    cluster.sim.run_until(t_fail);
+    cluster.run_until_checked(t_fail);
     // From now on, nothing addressed to the aggregator gets through.
     cluster.fail_aggregator();
-    cluster.run_to_completion();
+    cluster.run_to_completion_checked();
     let leader = cluster.leader().expect("a leader exists");
     let node = cluster.sim.agent::<ServerAgent>(leader).node();
     assert!(
@@ -124,7 +124,7 @@ fn whole_cluster_survives_f_failures_but_not_more() {
     cluster
         .sim
         .kill_at(followers[1], SimTime::ZERO + SimDur::millis(220));
-    cluster.run_to_completion();
+    cluster.run_to_completion_checked();
     let r = summarize(&mut cluster);
     assert!(
         r.responses as f64 > 0.85 * r.sent as f64,
@@ -147,7 +147,7 @@ fn whole_cluster_survives_f_failures_but_not_more() {
         }
     }
     cluster.sim.kill_at(leader, t);
-    cluster.run_to_completion();
+    cluster.run_to_completion_checked();
     // Completions only for requests finished before the kill (measurement
     // starts at 200ms > kill at 160ms → none).
     let clients = cluster.clients.clone();
@@ -156,4 +156,48 @@ fn whole_cluster_survives_f_failures_but_not_more() {
         responses += cluster.sim.agent_mut::<ClientAgent>(c).results().responses;
     }
     assert_eq!(responses, 0, "no quorum, no commits, no replies");
+}
+
+#[test]
+fn leader_death_does_not_wedge_flow_control() {
+    // The Figure 12 scenario with a deliberately tight admission cap:
+    // killing the leader strands its assigned-but-unanswered requests, and
+    // during the election no FEEDBACK flows at all, so the in-flight gauge
+    // pins at the cap and admission wedges. Without slot reclamation the
+    // middlebox NACKs every request for the rest of time; with it, the
+    // stranded slots age out and service resumes after the election.
+    let mut o = opts(Setup::HovercraftPp(PolicyKind::Jbsq), 3, 80_000.0, 32, 29);
+    o.flow_cap = Some(48);
+    let mut cluster = Cluster::build(o);
+    cluster.settle();
+    let old = cluster.leader().unwrap();
+    cluster
+        .sim
+        .kill_at(old, SimTime::ZERO + SimDur::millis(250));
+    cluster.run_to_completion_checked();
+    assert_ne!(cluster.leader().expect("new leader"), old);
+
+    let idx = cluster.fc_prog_index().expect("flow control deployed");
+    let fc = &cluster.sim.switch_program_mut::<FcProgram>(idx).fc;
+    let st = fc.stats();
+    assert!(
+        st.reclaimed > 0,
+        "stranded slots must be reclaimed after the leader kill: {st:?}"
+    );
+    assert!(
+        fc.in_flight() < 48,
+        "admission must not stay wedged at the cap: in_flight={}",
+        fc.in_flight()
+    );
+
+    // The bulk of the measured window is after the kill; most of it must
+    // still be answered once admission recovers.
+    let r = summarize(&mut cluster);
+    assert!(
+        r.responses as f64 > 0.6 * r.sent as f64,
+        "service must resume after reclamation: answered {}/{} ({} nacked)",
+        r.responses,
+        r.sent,
+        r.nacks
+    );
 }

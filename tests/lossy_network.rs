@@ -14,7 +14,7 @@ fn lossy_run(setup: Setup, loss: f64, rate: f64, seed: u64) -> (testbed::ExpResu
     o.seed = seed;
     let mut cluster = Cluster::build(o);
     cluster.sim.set_loss_rate(loss);
-    cluster.run_to_completion();
+    cluster.run_to_completion_checked();
     let mut recoveries = 0;
     let mut served = 0;
     for &s in &cluster.servers.clone() {
@@ -75,10 +75,10 @@ fn replicas_converge_despite_loss() {
     o.seed = 43;
     let mut cluster = Cluster::build(o);
     cluster.sim.set_loss_rate(0.03);
-    cluster.run_to_completion();
+    cluster.run_to_completion_checked();
     // Lossless drain so everyone catches up.
     cluster.sim.set_loss_rate(0.0);
-    cluster.sim.run_for(SimDur::millis(100));
+    cluster.run_checked(SimDur::millis(100));
     let applied: Vec<u64> = cluster
         .servers
         .clone()

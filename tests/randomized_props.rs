@@ -6,7 +6,7 @@
 use hovercraft::PolicyKind;
 use proptest::prelude::*;
 use simnet::{SimDur, SimTime};
-use testbed::{run_experiment, summarize, Cluster, ClusterOpts, ServerAgent, Setup};
+use testbed::{run_experiment_checked, summarize, Cluster, ClusterOpts, ServerAgent, Setup};
 
 fn arb_setup() -> impl Strategy<Value = Setup> {
     prop_oneof![
@@ -42,7 +42,7 @@ proptest! {
         seed in 0u64..1_000,
     ) {
         let mut cluster = Cluster::build(quick(setup, n, rate, seed));
-        cluster.run_to_completion();
+        cluster.run_to_completion_checked();
         let r = summarize(&mut cluster);
         prop_assert!(r.responses <= r.sent, "{r:?}");
         prop_assert!(r.p50_ns <= r.p99_ns, "{r:?}");
@@ -54,7 +54,7 @@ proptest! {
             "unanswered requests in a healthy run: {r:?}"
         );
         // All replicas applied the same prefix after the drain.
-        cluster.sim.run_for(SimDur::millis(100));
+        cluster.run_checked(SimDur::millis(100));
         let applied: Vec<u64> = cluster
             .servers
             .clone()
@@ -71,8 +71,8 @@ proptest! {
         rate in 10_000.0f64..100_000.0,
         seed in 0u64..1_000,
     ) {
-        let a = run_experiment(quick(setup, 3, rate, seed));
-        let b = run_experiment(quick(setup, 3, rate, seed));
+        let a = run_experiment_checked(quick(setup, 3, rate, seed));
+        let b = run_experiment_checked(quick(setup, 3, rate, seed));
         prop_assert_eq!(a.responses, b.responses);
         prop_assert_eq!(a.p99_ns, b.p99_ns);
         prop_assert_eq!(a.p50_ns, b.p50_ns);
@@ -101,7 +101,7 @@ proptest! {
             .find(|&s| s != leader)
             .expect("a follower");
         cluster.sim.kill_at(victim, SimTime::ZERO + SimDur::millis(kill_ms));
-        cluster.run_to_completion();
+        cluster.run_to_completion_checked();
         let r = summarize(&mut cluster);
         let lost = r.sent - r.responses - r.nacks;
         // B assigned-but-unapplied replies plus the victim's in-execution

@@ -38,14 +38,29 @@ struct Recorder {
     /// (was_get, value) in completion order.
     history: Vec<(bool, u64)>,
     gets_inflight: std::collections::HashSet<r2p2::ReqId>,
+    /// Responses whose body was too short to carry a `u64` counter value.
+    malformed: u64,
+    /// Flow-control rejections (requests that never entered the log).
+    nacks: u64,
 }
 
 impl Agent<WireMsg> for Recorder {
     fn on_packet(&mut self, pkt: Packet<WireMsg>, _ctx: &mut Ctx<'_, WireMsg>) {
-        if let WireMsg::Response { id, body } = pkt.payload {
-            let v = u64::from_le_bytes(body[..8].try_into().expect("u64 reply"));
-            let was_get = self.gets_inflight.remove(&id);
-            self.history.push((was_get, v));
+        match pkt.payload {
+            WireMsg::Response { id, body } => {
+                let Some(head) = body.get(..8) else {
+                    self.malformed += 1;
+                    return;
+                };
+                let v = u64::from_le_bytes(head.try_into().unwrap());
+                let was_get = self.gets_inflight.remove(&id);
+                self.history.push((was_get, v));
+            }
+            WireMsg::Nack { id } => {
+                self.gets_inflight.remove(&id);
+                self.nacks += 1;
+            }
+            _ => {}
         }
     }
     fn as_any(&self) -> &dyn std::any::Any {
@@ -69,8 +84,18 @@ fn build_counter_cluster(setup: Setup, n: u32, seed: u64) -> (Cluster, simnet::N
     let me = cluster.sim.add_node(Box::new(Recorder {
         history: Vec::new(),
         gets_inflight: std::collections::HashSet::new(),
+        malformed: 0,
+        nacks: 0,
     }));
     (cluster, me)
+}
+
+/// Asserts the Recorder saw only well-formed responses and no
+/// flow-control rejections — these tests drive far below capacity.
+fn assert_clean_client(cluster: &Cluster, me: simnet::NodeId) {
+    let rec = cluster.sim.agent::<Recorder>(me);
+    assert_eq!(rec.malformed, 0, "no truncated response bodies");
+    assert_eq!(rec.nacks, 0, "no flow-control NACKs under low load");
 }
 
 fn drive(cluster: &mut Cluster, me: simnet::NodeId, ops: usize, get_every: usize) {
@@ -96,15 +121,16 @@ fn drive(cluster: &mut Cluster, me: simnet::NodeId, ops: usize, get_every: usize
         };
         let size = msg.wire_size();
         cluster.sim.inject(me, addrs::VIP, size, msg);
-        cluster.sim.run_for(SimDur::micros(200));
+        cluster.run_checked(SimDur::micros(200));
     }
-    cluster.sim.run_for(SimDur::millis(50));
+    cluster.run_checked(SimDur::millis(50));
 }
 
 #[test]
 fn increment_replies_are_unique_and_dense() {
     let (mut cluster, me) = build_counter_cluster(Setup::HovercraftPp(PolicyKind::Jbsq), 3, 7);
     drive(&mut cluster, me, 200, 0);
+    assert_clean_client(&cluster, me);
     let hist = &cluster.sim.agent::<Recorder>(me).history;
     assert_eq!(hist.len(), 200, "every INC answered");
     let mut values: Vec<u64> = hist.iter().map(|(_, v)| *v).collect();
@@ -120,6 +146,7 @@ fn reads_are_linearizable_with_interleaved_writes() {
     // reply must equal the number of INCs issued before it.
     let (mut cluster, me) = build_counter_cluster(Setup::HovercraftPp(PolicyKind::Jbsq), 3, 21);
     drive(&mut cluster, me, 100, 5);
+    assert_clean_client(&cluster, me);
     let hist = cluster.sim.agent::<Recorder>(me).history.clone();
     assert_eq!(hist.len(), 100);
     let mut incs_before = 0u64;
@@ -155,12 +182,13 @@ fn replicas_converge_to_identical_state() {
                 cluster
                     .sim
                     .inject(me, simnet::Addr::node(leader), size, msg);
-                cluster.sim.run_for(SimDur::micros(200));
+                cluster.run_checked(SimDur::micros(200));
             }
-            cluster.sim.run_for(SimDur::millis(50));
+            cluster.run_checked(SimDur::millis(50));
         } else {
             drive(&mut cluster, me, 50, 0);
         }
+        assert_clean_client(&cluster, me);
         let values: Vec<u64> = cluster
             .servers
             .clone()
@@ -179,6 +207,7 @@ fn replicas_converge_to_identical_state() {
 fn read_only_ops_do_not_execute_everywhere() {
     let (mut cluster, me) = build_counter_cluster(Setup::HovercraftPp(PolicyKind::Jbsq), 3, 5);
     drive(&mut cluster, me, 90, 3); // 60 INC, 30 GET
+    assert_clean_client(&cluster, me);
     let mut executed = 0u64;
     let mut skipped = 0u64;
     for &s in &cluster.servers.clone() {
