@@ -50,6 +50,11 @@ pub struct HcConfig {
     pub gc_timeout_ns: u64,
     /// Retry interval for outstanding recovery requests, ns.
     pub recovery_retry_ns: u64,
+    /// Stall-detection timeout, ns (§3.4): a member whose FEEDBACK/applied
+    /// progress has not been heard by the leader within this window is
+    /// treated as stalled and excluded from replier selection until it
+    /// reports progress again.
+    pub stall_timeout_ns: u64,
 }
 
 impl HcConfig {
@@ -69,6 +74,10 @@ impl HcConfig {
             // admits; early GC is safe but triggers needless recovery (§5).
             gc_timeout_ns: 500_000_000,   // 500 ms
             recovery_retry_ns: 1_000_000, // 1 ms
+            // A few heartbeat intervals: long enough that scheduling jitter
+            // never trips it, short enough that a stalled node stops
+            // receiving assignments well before its bounded queue fills.
+            stall_timeout_ns: 5_000_000, // 5 ms
         }
     }
 }

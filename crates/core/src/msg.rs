@@ -105,7 +105,9 @@ impl WireMsg {
             WireMsg::Nack { .. } => MsgType::Nack,
             WireMsg::Feedback => MsgType::Feedback,
             WireMsg::Raft(m) => match m {
-                Message::RequestVote { .. } | Message::AppendEntries { .. } => MsgType::RaftReq,
+                Message::RequestVote { .. }
+                | Message::PreVote { .. }
+                | Message::AppendEntries { .. } => MsgType::RaftReq,
                 _ => MsgType::RaftRep,
             },
             WireMsg::RecoveryReq { .. } => MsgType::RecoveryReq,
@@ -125,9 +127,10 @@ impl WireMsg {
             WireMsg::Response { body, .. } => msg_wire_size(body.len() + 8, MTU),
             WireMsg::Nack { .. } | WireMsg::Feedback => control_wire_size(),
             WireMsg::Raft(m) => match m {
-                Message::RequestVote { .. } | Message::RequestVoteReply { .. } => {
-                    msg_wire_size(RAFT_FIXED, MTU)
-                }
+                Message::RequestVote { .. }
+                | Message::RequestVoteReply { .. }
+                | Message::PreVote { .. }
+                | Message::PreVoteReply { .. } => msg_wire_size(RAFT_FIXED, MTU),
                 Message::AppendEntries { entries, .. } => {
                     let payload: usize = entries.iter().map(|e| e.cmd.wire_size() as usize).sum();
                     msg_wire_size(RAFT_FIXED + payload, MTU)

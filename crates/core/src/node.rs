@@ -120,6 +120,12 @@ pub struct HcNode<S> {
     /// Term of the last election we recorded a trace event for (dedupes the
     /// per-peer RequestVote fan-out into one event).
     last_election_term: u64,
+    /// Term of the last Pre-Vote probe we recorded a trace event for
+    /// (dedupes the per-peer PreVote fan-out, like `last_election_term`).
+    last_prevote_term: u64,
+    /// Leader only: members currently considered stalled by the replier
+    /// selector (tracked to emit one transition event per episode).
+    stalled_members: HashSet<RaftId>,
 }
 
 impl<S: Service> HcNode<S> {
@@ -145,7 +151,28 @@ impl<S: Service> HcNode<S> {
             stats: HcStats::default(),
             events: VecDeque::new(),
             last_election_term: 0,
+            last_prevote_term: 0,
+            stalled_members: HashSet::new(),
         }
+    }
+
+    /// Rebuilds a node after a crash–restart from its durable Raft state
+    /// (current term, vote, and log). Everything volatile — the unordered
+    /// pool, the replier ledger, the apply cursor, the commit index — comes
+    /// back empty: committed entries re-execute from index 1 against the
+    /// freshly constructed `service`, and bodies lost with the old pool are
+    /// re-fetched through the recovery protocol (§5).
+    pub fn restore(
+        cfg: HcConfig,
+        service: S,
+        now: u64,
+        term: u64,
+        voted_for: Option<RaftId>,
+        entries: Vec<raft::Entry<Cmd>>,
+    ) -> Self {
+        let mut node = HcNode::new(cfg, service, now);
+        node.raft = RaftNode::restore(node.cfg.raft.clone(), now, term, voted_for, entries);
+        node
     }
 
     fn push_event(&mut self, ev: ProtoEvent) {
@@ -180,6 +207,10 @@ impl<S: Service> HcNode<S> {
     /// Protocol activity counters.
     pub fn stats(&self) -> HcStats {
         self.stats
+    }
+    /// The node's configuration.
+    pub fn config(&self) -> &HcConfig {
+        &self.cfg
     }
     /// The application service (e.g. to inspect state in tests).
     pub fn service(&self) -> &S {
@@ -339,11 +370,18 @@ impl<S: Service> HcNode<S> {
                     });
                     return;
                 }
+                // Client retransmissions must not be ordered twice; the
+                // archive doubles as the leader's dedupe set in this mode.
+                if self.pool.is_archived(id) {
+                    return;
+                }
                 let mut desc = EntryDesc::new(id, hash, kind);
                 // Vanilla Raft: the leader answers everything.
                 desc.replier = Some(self.id());
-                if let Ok(index) = self.raft.propose(Cmd::full(desc, body)) {
+                if let Ok(index) = self.raft.propose(Cmd::full(desc, body.clone())) {
                     self.push_event(ProtoEvent::Proposed { index, id });
+                    self.pool.insert(id, kind, body, now);
+                    self.pool.mark_ordered(id);
                     let actions = self.raft.pump(now);
                     self.drain(actions, now, out);
                 }
@@ -416,6 +454,7 @@ impl<S: Service> HcNode<S> {
         {
             if self.is_leader() && *term == self.raft.term() {
                 self.ledger.observe_applied(*from, *applied_index);
+                self.ledger.note_heard(*from, now);
                 self.push_event(ProtoEvent::AppendAcked {
                     from: *from,
                     success: *success,
@@ -444,7 +483,8 @@ impl<S: Service> HcNode<S> {
             Message::AppendEntriesReply { from, .. } => *from,
             Message::AppendEntries { leader, .. } => *leader,
             Message::RequestVote { candidate, .. } => *candidate,
-            Message::RequestVoteReply { .. } => src,
+            Message::PreVote { candidate, .. } => *candidate,
+            Message::RequestVoteReply { .. } | Message::PreVoteReply { .. } => src,
         }
     }
 
@@ -465,6 +505,7 @@ impl<S: Service> HcNode<S> {
             // of the leader; this reconstruction costs no wire messages).
             for s in status {
                 self.ledger.observe_applied(s.node, s.applied_index);
+                self.ledger.note_heard(s.node, now);
                 self.push_event(ProtoEvent::AppendAcked {
                     from: s.node,
                     success: true,
@@ -501,6 +542,10 @@ impl<S: Service> HcNode<S> {
                             // One event per election, not per solicited peer.
                             self.last_election_term = *term;
                             self.push_event(ProtoEvent::ElectionStarted { term: *term });
+                        }
+                        Message::PreVote { term, .. } if *term != self.last_prevote_term => {
+                            self.last_prevote_term = *term;
+                            self.push_event(ProtoEvent::PreVoteStarted { term: *term });
                         }
                         Message::AppendEntries {
                             entries,
@@ -544,6 +589,7 @@ impl<S: Service> HcNode<S> {
                 Action::BecameFollower { term } => {
                     self.push_event(ProtoEvent::BecameFollower { term });
                     self.ledger.reset();
+                    self.stalled_members.clear();
                     self.recovering.clear();
                     self.agg_confirmed = false;
                 }
@@ -635,6 +681,12 @@ impl<S: Service> HcNode<S> {
 
     fn on_became_leader(&mut self, now: u64, out: &mut Vec<Output>) {
         self.ledger.reset();
+        self.stalled_members.clear();
+        // The election instant counts as hearing from everyone: stall
+        // detection starts with a full timeout of grace, like check-quorum.
+        for m in self.cfg.raft.members.clone() {
+            self.ledger.note_heard(m, now);
+        }
         self.recovering.clear();
         self.agg_confirmed = false;
         if self.cfg.mode.is_hovercraft() {
@@ -708,6 +760,9 @@ impl<S: Service> HcNode<S> {
         let mut ceiling = self.raft.ceiling().min(last);
         let members: Vec<RaftId> = self.cfg.raft.members.clone();
         let me = self.id();
+        // The leader is trivially alive; never let it self-stall.
+        self.ledger.note_heard(me, now);
+        self.note_stall_transitions(&members, now);
         let mut advanced = false;
         while ceiling < last {
             let idx = ceiling + 1;
@@ -723,10 +778,14 @@ impl<S: Service> HcNode<S> {
                 } else {
                     vec![me]
                 };
-                let Some(r) =
-                    self.ledger
-                        .pick(&candidates, self.cfg.bound, self.cfg.policy, &mut self.rng)
-                else {
+                let Some(r) = self.ledger.pick(
+                    &candidates,
+                    self.cfg.bound,
+                    self.cfg.policy,
+                    &mut self.rng,
+                    now,
+                    self.cfg.stall_timeout_ns,
+                ) else {
                     break; // no eligible node: wait (§3.4 — liveness preserved)
                 };
                 if let Some(e) = self.raft.log_mut().get_mut(idx) {
@@ -749,6 +808,20 @@ impl<S: Service> HcNode<S> {
         self.drain(actions, now, out);
     }
 
+    /// Emits one [`ProtoEvent::ReplierStalled`] / [`ProtoEvent::ReplierRecovered`]
+    /// pair per stall episode by diffing the current stall verdicts against
+    /// the remembered set (leader only).
+    fn note_stall_transitions(&mut self, members: &[RaftId], now: u64) {
+        for &m in members {
+            let stalled = self.ledger.is_stalled(m, now, self.cfg.stall_timeout_ns);
+            if stalled && self.stalled_members.insert(m) {
+                self.push_event(ProtoEvent::ReplierStalled { node: m });
+            } else if !stalled && self.stalled_members.remove(&m) {
+                self.push_event(ProtoEvent::ReplierRecovered { node: m });
+            }
+        }
+    }
+
     // ---- apply path ---------------------------------------------------------
 
     /// Hands committed entries to the application thread in log order,
@@ -769,28 +842,13 @@ impl<S: Service> HcNode<S> {
                         // Committed but body still in flight: recovery is
                         // already running (or starts now); apply stalls.
                         self.stats.apply_stalls += 1;
-                        if let std::collections::hash_map::Entry::Vacant(v) =
-                            self.missing.entry(desc.id)
-                        {
-                            v.insert(now);
+                        if !self.missing.contains_key(&desc.id) {
                             self.push_event(ProtoEvent::ApplyStalled {
                                 index: idx,
                                 id: desc.id,
                             });
-                            if let Some(leader) = self.raft.leader_hint() {
-                                if leader != self.id() {
-                                    self.stats.recoveries_sent += 1;
-                                    self.push_event(ProtoEvent::RecoveryRequested {
-                                        id: desc.id,
-                                        to: leader,
-                                    });
-                                    out.push(Output::Send {
-                                        dst: leader,
-                                        msg: WireMsg::RecoveryReq { id: desc.id },
-                                    });
-                                }
-                            }
                         }
+                        self.request_missing_window(idx, now, out);
                         return;
                     }
                 },
@@ -842,6 +900,47 @@ impl<S: Service> HcNode<S> {
                 cost_ns: cost,
             });
             self.next_apply += 1;
+        }
+    }
+
+    /// §5, pipelined: when apply stalls at `from`, request the bodies of
+    /// *every* committed-but-missing entry in a bounded window ahead of the
+    /// cursor, not just the blocking one. A restarted follower whose pool
+    /// came back empty catches up in one recovery round-trip per window
+    /// instead of one per entry.
+    fn request_missing_window(&mut self, from: LogIndex, now: u64, out: &mut Vec<Output>) {
+        /// Entries scanned past the stalled apply cursor per invocation.
+        const RECOVERY_WINDOW: u64 = 64;
+        let hi = self
+            .raft
+            .commit_index()
+            .min(from.saturating_add(RECOVERY_WINDOW - 1));
+        let mut wanted: Vec<ReqId> = Vec::new();
+        for idx in from..=hi {
+            let Some(entry) = self.raft.log().get(idx) else {
+                break;
+            };
+            let id = entry.cmd.desc.id;
+            if entry.cmd.body.is_none()
+                && self.pool.get(id).is_none()
+                && !self.missing.contains_key(&id)
+            {
+                wanted.push(id);
+            }
+        }
+        let leader = self.raft.leader_hint().filter(|&l| l != self.id());
+        for id in wanted {
+            // Even without a known leader the entry lands in `missing`;
+            // `retry_recoveries` will fan out to a random member shortly.
+            self.missing.insert(id, now);
+            if let Some(l) = leader {
+                self.stats.recoveries_sent += 1;
+                self.push_event(ProtoEvent::RecoveryRequested { id, to: l });
+                out.push(Output::Send {
+                    dst: l,
+                    msg: WireMsg::RecoveryReq { id },
+                });
+            }
         }
     }
 

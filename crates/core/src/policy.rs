@@ -29,10 +29,14 @@ pub enum PolicyKind {
 }
 
 /// The leader's ledger of replier assignments: per node, the queue of log
-/// indices assigned to it that it has not yet applied.
+/// indices assigned to it that it has not yet applied, plus the time each
+/// node was last heard from — a node silent for longer than the stall
+/// timeout is excluded from selection outright instead of being drip-fed
+/// work until its bounded queue fills.
 #[derive(Debug, Default)]
 pub struct ReplierLedger {
     queues: HashMap<RaftId, VecDeque<LogIndex>>,
+    last_heard: HashMap<RaftId, u64>,
 }
 
 impl ReplierLedger {
@@ -62,28 +66,61 @@ impl ReplierLedger {
         self.queues.get(&node).map(|q| q.len()).unwrap_or(0)
     }
 
+    /// Records that `node` showed signs of life at time `now` (an
+    /// AppendEntries reply or an aggregator register snapshot).
+    pub fn note_heard(&mut self, node: RaftId, now: u64) {
+        let t = self.last_heard.entry(node).or_insert(now);
+        *t = (*t).max(now);
+    }
+
+    /// True when `node` has not been heard from for longer than
+    /// `stall_timeout` ns as of `now`. A node never heard from at all (no
+    /// `note_heard` yet) is *not* stalled — fresh leaders give everyone the
+    /// benefit of the doubt until the first timeout elapses.
+    pub fn is_stalled(&self, node: RaftId, now: u64, stall_timeout: u64) -> bool {
+        self.last_heard
+            .get(&node)
+            .is_some_and(|&t| now.saturating_sub(t) > stall_timeout)
+    }
+
     /// Clears all state (leadership change).
     pub fn reset(&mut self) {
         self.queues.clear();
+        self.last_heard.clear();
     }
 
     /// Picks a replier for the next entry among `candidates`, honouring the
-    /// bounded-queue invariant with bound `b` and applying `kind` among the
-    /// eligible ones. Returns `None` when no node is eligible — the caller
-    /// must *wait* (§3.4: this never affects liveness; progress on any node
-    /// re-opens eligibility).
+    /// bounded-queue invariant with bound `b`, skipping nodes that are
+    /// stalled as of `now` (no progress heard within `stall_timeout` ns),
+    /// and applying `kind` among the eligible ones. Returns `None` when no
+    /// node is eligible — the caller must *wait* (§3.4: this never affects
+    /// liveness; progress on any node re-opens eligibility).
+    ///
+    /// If *every* candidate within the bound is stalled, the stall filter is
+    /// ignored: assigning into a possibly dead node's bounded queue (at most
+    /// `B` lost replies) beats stopping the whole group on a false alarm.
     pub fn pick(
         &self,
         candidates: &[RaftId],
         b: usize,
         kind: PolicyKind,
         rng: &mut SmallRng,
+        now: u64,
+        stall_timeout: u64,
     ) -> Option<RaftId> {
-        let eligible: Vec<RaftId> = candidates
+        let within_bound: Vec<RaftId> = candidates
             .iter()
             .copied()
             .filter(|n| self.depth(*n) < b)
             .collect();
+        let mut eligible: Vec<RaftId> = within_bound
+            .iter()
+            .copied()
+            .filter(|n| !self.is_stalled(*n, now, stall_timeout))
+            .collect();
+        if eligible.is_empty() {
+            eligible = within_bound;
+        }
         if eligible.is_empty() {
             return None;
         }
@@ -138,7 +175,10 @@ mod tests {
         }
         // Node 1 is at the bound; only node 2 is eligible.
         for _ in 0..20 {
-            assert_eq!(l.pick(&[1, 2], 4, PolicyKind::Random, &mut r), Some(2));
+            assert_eq!(
+                l.pick(&[1, 2], 4, PolicyKind::Random, &mut r, 0, u64::MAX),
+                Some(2)
+            );
         }
     }
 
@@ -148,7 +188,10 @@ mod tests {
         let mut r = rng();
         l.assign(1, 1);
         l.assign(2, 2);
-        assert_eq!(l.pick(&[1, 2], 1, PolicyKind::Jbsq, &mut r), None);
+        assert_eq!(
+            l.pick(&[1, 2], 1, PolicyKind::Jbsq, &mut r, 0, u64::MAX),
+            None
+        );
     }
 
     #[test]
@@ -161,7 +204,10 @@ mod tests {
         l.assign(2, 10);
         // Depths: node1 = 3, node2 = 1, node3 = 0.
         for _ in 0..20 {
-            assert_eq!(l.pick(&[1, 2, 3], 8, PolicyKind::Jbsq, &mut r), Some(3));
+            assert_eq!(
+                l.pick(&[1, 2, 3], 8, PolicyKind::Jbsq, &mut r, 0, u64::MAX),
+                Some(3)
+            );
         }
     }
 
@@ -171,7 +217,10 @@ mod tests {
         let mut r = rng();
         let mut seen = std::collections::HashSet::new();
         for _ in 0..100 {
-            seen.insert(l.pick(&[1, 2, 3], 4, PolicyKind::Random, &mut r).unwrap());
+            seen.insert(
+                l.pick(&[1, 2, 3], 4, PolicyKind::Random, &mut r, 0, u64::MAX)
+                    .unwrap(),
+            );
         }
         assert_eq!(seen.len(), 3, "all nodes chosen eventually");
     }
@@ -182,7 +231,10 @@ mod tests {
         let mut r = rng();
         let mut seen = std::collections::HashSet::new();
         for _ in 0..100 {
-            seen.insert(l.pick(&[1, 2], 4, PolicyKind::Jbsq, &mut r).unwrap());
+            seen.insert(
+                l.pick(&[1, 2], 4, PolicyKind::Jbsq, &mut r, 0, u64::MAX)
+                    .unwrap(),
+            );
         }
         assert_eq!(seen.len(), 2);
     }
@@ -207,7 +259,9 @@ mod tests {
         for _ in 0..200 {
             // Random (not JBSQ) keeps offering work to the dead node until
             // its bounded queue fills — the worst case the bound protects.
-            let n = l.pick(&[1, 2], b, PolicyKind::Random, &mut r).unwrap();
+            let n = l
+                .pick(&[1, 2], b, PolicyKind::Random, &mut r, 0, u64::MAX)
+                .unwrap();
             l.assign(n, next_idx);
             next_idx += 1;
             if n == 1 {
@@ -217,5 +271,54 @@ mod tests {
             }
         }
         assert_eq!(dead_got, b, "dead node received exactly B assignments");
+    }
+
+    #[test]
+    fn stall_filter_excludes_silent_nodes() {
+        let mut l = ReplierLedger::new();
+        let mut r = rng();
+        let stall = 5_000_000; // 5 ms
+        l.note_heard(1, 0);
+        l.note_heard(2, 0);
+        // At 10 ms only node 2 has shown recent progress.
+        l.note_heard(2, 10_000_000);
+        for _ in 0..20 {
+            assert_eq!(
+                l.pick(&[1, 2], 8, PolicyKind::Random, &mut r, 10_000_000, stall),
+                Some(2),
+                "silent node 1 must be routed around"
+            );
+        }
+        // Node 1 reports progress again — back in the candidate set.
+        l.note_heard(1, 10_500_000);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            seen.insert(
+                l.pick(&[1, 2], 8, PolicyKind::Random, &mut r, 10_600_000, stall)
+                    .unwrap(),
+            );
+        }
+        assert_eq!(seen.len(), 2, "recovered node is eligible again");
+    }
+
+    #[test]
+    fn all_stalled_falls_back_to_bounded_queue_rule() {
+        let mut l = ReplierLedger::new();
+        let mut r = rng();
+        l.note_heard(1, 0);
+        l.note_heard(2, 0);
+        // Everyone is silent: the stall filter must not wedge the group.
+        assert!(l
+            .pick(&[1, 2], 8, PolicyKind::Jbsq, &mut r, 100_000_000, 5_000_000)
+            .is_some());
+    }
+
+    #[test]
+    fn stale_note_heard_cannot_rewind_the_clock() {
+        let mut l = ReplierLedger::new();
+        l.note_heard(1, 10_000_000);
+        l.note_heard(1, 2_000_000); // reordered observation
+        assert!(!l.is_stalled(1, 12_000_000, 5_000_000));
+        assert!(l.is_stalled(1, 16_000_000, 5_000_000));
     }
 }

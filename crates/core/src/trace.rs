@@ -33,6 +33,12 @@ pub enum ProtoEvent {
         /// The term being campaigned for.
         term: u64,
     },
+    /// This node started a Pre-Vote probe for `term` (its term + 1) without
+    /// bumping its durable term (Ongaro's thesis §9.6).
+    PreVoteStarted {
+        /// The term being probed for.
+        term: u64,
+    },
     /// This node won the election for `term`.
     BecameLeader {
         /// The won term.
@@ -145,6 +151,18 @@ pub enum ProtoEvent {
         /// The rejected request.
         id: ReqId,
     },
+    /// Leader stopped routing replier assignments to `node`: no applied
+    /// progress heard from it within the stall timeout (§3.4).
+    ReplierStalled {
+        /// The node now considered stalled.
+        node: RaftId,
+    },
+    /// Previously stalled `node` reported progress again and is back in the
+    /// replier-selection candidate set.
+    ReplierRecovered {
+        /// The recovered node.
+        node: RaftId,
+    },
 }
 
 impl ProtoEvent {
@@ -153,6 +171,7 @@ impl ProtoEvent {
     pub fn kind(&self) -> &'static str {
         match self {
             ProtoEvent::ElectionStarted { .. } => "election_started",
+            ProtoEvent::PreVoteStarted { .. } => "prevote_started",
             ProtoEvent::BecameLeader { .. } => "became_leader",
             ProtoEvent::BecameFollower { .. } => "became_follower",
             ProtoEvent::AppendSent { .. } => "append_sent",
@@ -170,6 +189,8 @@ impl ProtoEvent {
             ProtoEvent::ReplySent { .. } => "reply",
             ProtoEvent::FeedbackSent { .. } => "feedback",
             ProtoEvent::NackSent { .. } => "nack",
+            ProtoEvent::ReplierStalled { .. } => "replier_stalled",
+            ProtoEvent::ReplierRecovered { .. } => "replier_recovered",
         }
     }
 
@@ -178,8 +199,12 @@ impl ProtoEvent {
     pub fn key(&self) -> u64 {
         match *self {
             ProtoEvent::ElectionStarted { term }
+            | ProtoEvent::PreVoteStarted { term }
             | ProtoEvent::BecameLeader { term }
             | ProtoEvent::BecameFollower { term } => term,
+            ProtoEvent::ReplierStalled { node } | ProtoEvent::ReplierRecovered { node } => {
+                node as u64
+            }
             ProtoEvent::AppendSent { commit, .. } => commit,
             ProtoEvent::AppendAcked { match_index, .. } => match_index,
             ProtoEvent::CommitAdvanced { to } => to,
@@ -202,6 +227,7 @@ impl ProtoEvent {
     pub fn detail(&self) -> String {
         match *self {
             ProtoEvent::ElectionStarted { term } => format!("term={term}"),
+            ProtoEvent::PreVoteStarted { term } => format!("term={term}"),
             ProtoEvent::BecameLeader { term } => format!("term={term}"),
             ProtoEvent::BecameFollower { term } => format!("term={term}"),
             ProtoEvent::AppendSent {
@@ -243,6 +269,8 @@ impl ProtoEvent {
             }
             ProtoEvent::FeedbackSent { index } => format!("index={index}"),
             ProtoEvent::NackSent { id } => format!("id={}", fmt_req(id)),
+            ProtoEvent::ReplierStalled { node } => format!("node=n{node}"),
+            ProtoEvent::ReplierRecovered { node } => format!("node=n{node}"),
         }
     }
 }

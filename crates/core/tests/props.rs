@@ -108,7 +108,9 @@ proptest! {
             match kind {
                 0 => {
                     // Try to assign the next entry via pick().
-                    if let Some(r) = ledger.pick(&[0, 1, 2], b, PolicyKind::Jbsq, &mut rng) {
+                    if let Some(r) =
+                        ledger.pick(&[0, 1, 2], b, PolicyKind::Jbsq, &mut rng, 0, u64::MAX)
+                    {
                         prop_assert!(
                             ledger.depth(r) < b,
                             "picked node at bound"

@@ -30,6 +30,29 @@ pub enum Message<C> {
         /// Whether the vote was granted.
         granted: bool,
     },
+    /// Pre-Vote probe (Ongaro's thesis §9.6): would you vote for me at
+    /// `term` (my current term + 1)? Carries no durable consequences for
+    /// either side — the sender has *not* bumped its term, and the receiver
+    /// does not record a vote. This is what lets a node returning from a
+    /// partition or restart rejoin without deposing a stable leader.
+    PreVote {
+        /// The term the sender *would* campaign at (its current term + 1).
+        term: Term,
+        /// Prospective candidate.
+        candidate: RaftId,
+        /// Index of the candidate's last log entry.
+        last_log_index: LogIndex,
+        /// Term of the candidate's last log entry.
+        last_log_term: Term,
+    },
+    /// Reply to [`Message::PreVote`].
+    PreVoteReply {
+        /// On grant: echoes the probed term. On rejection: the voter's
+        /// actual current term, so a stale prospective candidate catches up.
+        term: Term,
+        /// Whether a real vote would be granted.
+        granted: bool,
+    },
     /// Leader replicates entries / sends heartbeats.
     AppendEntries {
         /// Leader's term.
@@ -72,6 +95,8 @@ impl<C> Message<C> {
         match self {
             Message::RequestVote { term, .. }
             | Message::RequestVoteReply { term, .. }
+            | Message::PreVote { term, .. }
+            | Message::PreVoteReply { term, .. }
             | Message::AppendEntries { term, .. }
             | Message::AppendEntriesReply { term, .. } => *term,
         }

@@ -97,6 +97,9 @@ pub struct RaftNode<C> {
     heartbeat_due: u64,
     ceiling: LogIndex,
     announced: LogIndex,
+    /// When a valid AppendEntries from the current leader last arrived;
+    /// Pre-Vote leader stickiness refuses probes while this is fresh.
+    last_leader_contact: u64,
     rng: SmallRng,
 }
 
@@ -124,8 +127,30 @@ impl<C: Clone + std::fmt::Debug> RaftNode<C> {
             heartbeat_due: 0,
             ceiling: LogIndex::MAX,
             announced: 0,
+            last_leader_contact: 0,
             rng,
         }
+    }
+
+    /// Rebuilds a node from durable hard state after a crash–restart: the
+    /// `term` and `voted_for` last persisted via [`Action::SaveHardState`]
+    /// and the persisted log entries. All volatile state (commit, applied,
+    /// leadership, progress) restarts from zero, as Raft prescribes — the
+    /// commit index is re-learned from the next leader contact.
+    pub fn restore(
+        cfg: Config,
+        now: u64,
+        term: Term,
+        voted_for: Option<RaftId>,
+        entries: Vec<Entry<C>>,
+    ) -> Self {
+        let mut node = RaftNode::new(cfg, now);
+        node.term = term;
+        node.voted_for = voted_for;
+        for e in entries {
+            node.log.push(e);
+        }
+        node
     }
 
     // ---- accessors --------------------------------------------------------
@@ -149,6 +174,10 @@ impl<C: Clone + std::fmt::Debug> RaftNode<C> {
     /// Best-known leader, if any.
     pub fn leader_hint(&self) -> Option<RaftId> {
         self.leader_id
+    }
+    /// The vote recorded in the current term, if any (durable state).
+    pub fn voted_for(&self) -> Option<RaftId> {
+        self.voted_for
     }
     /// Current commit index.
     pub fn commit_index(&self) -> LogIndex {
@@ -260,13 +289,29 @@ impl<C: Clone + std::fmt::Debug> RaftNode<C> {
     pub fn tick(&mut self, now: u64) -> Vec<Action<C>> {
         let mut out = Vec::new();
         match self.role {
-            Role::Follower | Role::Candidate => {
+            Role::Follower | Role::PreCandidate | Role::Candidate => {
                 if now >= self.election_deadline {
                     self.start_election(now, &mut out);
                 }
             }
             Role::Leader => {
                 if now >= self.heartbeat_due {
+                    // Check-quorum: a leader that has not heard from a
+                    // quorum within an election timeout is probably on the
+                    // minority side of a partition; step down so clients
+                    // stop being admitted into a log that cannot commit.
+                    if self.cfg.check_quorum {
+                        let grace = self.cfg.election_timeout_max;
+                        let heard = 1 + self
+                            .progress
+                            .values()
+                            .filter(|p| now.saturating_sub(p.last_heard) < grace)
+                            .count();
+                        if heard < self.cfg.quorum() {
+                            self.become_follower(self.term, None, now, &mut out);
+                            return out;
+                        }
+                    }
                     self.heartbeat_due = now + self.cfg.heartbeat_interval;
                     let target = self.log.last_index().min(self.ceiling);
                     for peer in self.cfg.peers().collect::<Vec<_>>() {
@@ -286,6 +331,32 @@ impl<C: Clone + std::fmt::Debug> RaftNode<C> {
     /// Processes one incoming message from `from`.
     pub fn step(&mut self, from: RaftId, msg: Message<C>, now: u64) -> Vec<Action<C>> {
         let mut out = Vec::new();
+        // Pre-Vote traffic never adjusts terms: a probe's term is
+        // speculative (the sender has not actually bumped its own), so the
+        // generic "higher term ⇒ become follower" rule must not see it.
+        match &msg {
+            Message::PreVote {
+                term,
+                candidate,
+                last_log_index,
+                last_log_term,
+            } => {
+                self.on_pre_vote(
+                    *term,
+                    *candidate,
+                    *last_log_index,
+                    *last_log_term,
+                    now,
+                    &mut out,
+                );
+                return out;
+            }
+            Message::PreVoteReply { term, granted } => {
+                self.on_pre_vote_reply(from, *term, *granted, now, &mut out);
+                return out;
+            }
+            _ => {}
+        }
         if msg.term() > self.term {
             let leader = match &msg {
                 Message::AppendEntries { leader, .. } => Some(*leader),
@@ -344,6 +415,9 @@ impl<C: Clone + std::fmt::Debug> RaftNode<C> {
                 now,
                 &mut out,
             ),
+            Message::PreVote { .. } | Message::PreVoteReply { .. } => {
+                unreachable!("pre-vote traffic is routed before the term check")
+            }
         }
         out
     }
@@ -385,7 +459,37 @@ impl<C: Clone + std::fmt::Debug> RaftNode<C> {
         }
     }
 
+    /// Election timeout fired: either probe for a Pre-Vote quorum (no term
+    /// bump, no durable state change) or campaign directly.
     fn start_election(&mut self, now: u64, out: &mut Vec<Action<C>>) {
+        if !self.cfg.pre_vote {
+            self.campaign(now, out);
+            return;
+        }
+        self.role = Role::PreCandidate;
+        self.votes = 1;
+        self.voters = vec![self.cfg.id];
+        self.reset_election_deadline(now);
+        if self.votes >= self.cfg.quorum() {
+            self.campaign(now, out);
+            return;
+        }
+        let msg = Message::PreVote {
+            term: self.term + 1,
+            candidate: self.cfg.id,
+            last_log_index: self.log.last_index(),
+            last_log_term: self.log.last_term(),
+        };
+        for peer in self.cfg.peers().collect::<Vec<_>>() {
+            out.push(Action::Send {
+                to: peer,
+                msg: msg.clone(),
+            });
+        }
+    }
+
+    /// A real election: bump the term, vote for self, solicit votes.
+    fn campaign(&mut self, now: u64, out: &mut Vec<Action<C>>) {
         self.term += 1;
         self.role = Role::Candidate;
         self.voted_for = Some(self.cfg.id);
@@ -415,12 +519,73 @@ impl<C: Clone + std::fmt::Debug> RaftNode<C> {
         }
     }
 
+    /// Answers a Pre-Vote probe. Grants iff the probe's prospective term
+    /// beats ours, the candidate's log is up to date, *and* we are not in
+    /// live contact with a leader (leader stickiness) — a node returning
+    /// from a partition or restart therefore cannot assemble a Pre-Vote
+    /// quorum against a healthy leader. Grants change no state.
+    fn on_pre_vote(
+        &mut self,
+        term: Term,
+        candidate: RaftId,
+        last_log_index: LogIndex,
+        last_log_term: Term,
+        now: u64,
+        out: &mut Vec<Action<C>>,
+    ) {
+        let up_to_date = last_log_term > self.log.last_term()
+            || (last_log_term == self.log.last_term() && last_log_index >= self.log.last_index());
+        let in_leader_contact = self.is_leader()
+            || (self.leader_id.is_some()
+                && now < self.last_leader_contact + self.cfg.election_timeout_min);
+        let granted = term > self.term && up_to_date && !in_leader_contact;
+        out.push(Action::Send {
+            to: candidate,
+            msg: Message::PreVoteReply {
+                term: if granted { term } else { self.term },
+                granted,
+            },
+        });
+    }
+
+    fn on_pre_vote_reply(
+        &mut self,
+        from: RaftId,
+        term: Term,
+        granted: bool,
+        now: u64,
+        out: &mut Vec<Action<C>>,
+    ) {
+        if !granted {
+            // A rejection carrying a newer term means we fell behind while
+            // disconnected; adopt it so the next probe is meaningful.
+            if term > self.term {
+                self.become_follower(term, None, now, out);
+            }
+            return;
+        }
+        if self.role != Role::PreCandidate || term != self.term + 1 {
+            return;
+        }
+        if !self.voters.contains(&from) {
+            self.voters.push(from);
+            self.votes += 1;
+        }
+        if self.votes >= self.cfg.quorum() {
+            self.campaign(now, out);
+        }
+    }
+
     fn become_leader(&mut self, now: u64, out: &mut Vec<Action<C>>) {
         self.role = Role::Leader;
         self.leader_id = Some(self.cfg.id);
         self.heartbeat_due = now; // assert leadership immediately
         let last = self.log.last_index();
-        self.progress = self.cfg.peers().map(|p| (p, Progress::new(last))).collect();
+        self.progress = self
+            .cfg
+            .peers()
+            .map(|p| (p, Progress::new(last, now)))
+            .collect();
         // A new term starts with a fresh announcement horizon: HovercRaft
         // re-announces (and re-assigns repliers for) entries the old leader
         // had shipped but the new one has not.
@@ -445,10 +610,22 @@ impl<C: Clone + std::fmt::Debug> RaftNode<C> {
         let Some(p) = self.progress.get(&peer) else {
             return;
         };
-        let next = p.next;
+        let mut next = p.next;
         let has_new = next <= target;
         if !has_new && !force {
             return;
+        }
+        if has_new && next > p.matched + self.cfg.max_inflight as u64 {
+            // The pipeline to this follower is full of unacked entries.
+            if !force {
+                return; // pump backs off; acks (or a heartbeat) resume it
+            }
+            // A heartbeat fired with the window still full: nothing has
+            // been acked for a full heartbeat interval, so treat the
+            // outstanding window as lost and retransmit from the last
+            // acknowledged index. Acks are monotone, so late duplicates
+            // of the original sends are harmless.
+            next = p.matched + 1;
         }
         let hi = if has_new {
             target.min(next + self.cfg.max_batch as u64 - 1)
@@ -572,6 +749,7 @@ impl<C: Clone + std::fmt::Debug> RaftNode<C> {
             self.become_follower(term, Some(leader), now, out);
         }
         self.leader_id = Some(leader);
+        self.last_leader_contact = now;
         self.reset_election_deadline(now);
 
         // Consistency check on the previous entry.
@@ -677,6 +855,7 @@ impl<C: Clone + std::fmt::Debug> RaftNode<C> {
         let Some(p) = self.progress.get_mut(&from) else {
             return;
         };
+        p.last_heard = now;
         if success {
             p.on_success(match_index, applied_index);
             self.maybe_commit(out);

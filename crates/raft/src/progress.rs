@@ -18,16 +18,22 @@ pub struct Progress {
     /// this follower; lets the leader notice a follower that is fully
     /// caught up on entries but behind on the commit index.
     pub commit_told: LogIndex,
+    /// When the leader last heard *anything* current-term from this
+    /// follower, in driver-clock ns; consumed by check-quorum.
+    pub last_heard: u64,
 }
 
 impl Progress {
-    /// Fresh progress for a follower right after election.
-    pub fn new(last_index: LogIndex) -> Progress {
+    /// Fresh progress for a follower right after election at time `now`
+    /// (the election instant counts as having heard from everyone, which
+    /// gives check-quorum a full timeout of grace).
+    pub fn new(last_index: LogIndex, now: u64) -> Progress {
         Progress {
             next: last_index + 1,
             matched: 0,
             applied: 0,
             commit_told: 0,
+            last_heard: now,
         }
     }
 
@@ -52,7 +58,7 @@ mod tests {
 
     #[test]
     fn success_is_monotone() {
-        let mut p = Progress::new(10);
+        let mut p = Progress::new(10, 0);
         assert_eq!(p.next, 11);
         p.on_success(5, 3);
         assert_eq!((p.matched, p.applied), (5, 3));
@@ -64,7 +70,7 @@ mod tests {
 
     #[test]
     fn conflict_rewinds_but_not_below_matched() {
-        let mut p = Progress::new(10);
+        let mut p = Progress::new(10, 0);
         p.on_success(5, 5);
         p.on_conflict(3);
         assert_eq!(p.next, 6, "never below matched + 1");
@@ -74,7 +80,7 @@ mod tests {
 
     #[test]
     fn conflict_never_reaches_zero() {
-        let mut p = Progress::new(0);
+        let mut p = Progress::new(0, 0);
         p.on_conflict(0);
         assert_eq!(p.next, 1);
     }

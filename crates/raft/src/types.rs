@@ -16,6 +16,9 @@ pub type LogIndex = u64;
 pub enum Role {
     /// Passive replica: answers RPCs from candidates and the leader.
     Follower,
+    /// Probing for a Pre-Vote quorum before bumping its term (the Pre-Vote
+    /// extension of Ongaro's thesis §9.6); no durable state changes yet.
+    PreCandidate,
     /// Trying to get elected after an election timeout.
     Candidate,
     /// Strong leader: the single serialization point for client requests.
@@ -38,5 +41,6 @@ mod tests {
         assert!(Role::Leader.is_leader());
         assert!(!Role::Follower.is_leader());
         assert!(!Role::Candidate.is_leader());
+        assert!(!Role::PreCandidate.is_leader());
     }
 }

@@ -409,3 +409,51 @@ fn stale_term_messages_are_rejected() {
     assert!(rejected);
     assert_eq!(h.nodes[follower as usize].term(), term, "term unchanged");
 }
+
+#[test]
+fn replication_pipeline_to_a_silent_follower_is_bounded() {
+    let mut h = Harness::new(3);
+    h.run(100_000_000);
+    let l = h.leader().expect("a leader") as usize;
+    let f = (0..3).find(|&i| i != l).unwrap();
+    let base = h.nodes[l].progress(f as RaftId).unwrap().matched;
+
+    // Silence the follower's replies (it still receives everything), then
+    // offer far more than one pipeline window of new entries.
+    h.cut[f][l] = true;
+    for c in 0..1_000 {
+        h.propose(c);
+        h.step(10_000);
+    }
+    h.run(2_000_000); // drain in-flight acks from the responsive follower
+
+    // The leader must not stream past max_inflight unacked entries; the
+    // follower's log shows exactly what was put on the wire for it.
+    // (Heartbeat retransmits resend the same window, not fresh entries.)
+    let max_inflight = 256; // Config::new default
+    let shipped = h.nodes[f].log().last_index();
+    assert!(
+        h.nodes[l].log().last_index() >= 1_000,
+        "leader kept appending"
+    );
+    assert!(
+        shipped <= base + max_inflight,
+        "silent follower was streamed {} entries past its last ack (cap {})",
+        shipped - base,
+        max_inflight
+    );
+    assert!(
+        h.nodes[l].commit_index() >= 1_000,
+        "the responsive majority still commits"
+    );
+
+    // Once replies flow again, retransmit-from-matched plus the reopened
+    // window catch the follower all the way up.
+    h.cut[f][l] = false;
+    h.run(50_000_000);
+    assert_eq!(
+        h.nodes[f].log().last_index(),
+        h.nodes[l].log().last_index(),
+        "healed follower catches up fully"
+    );
+}

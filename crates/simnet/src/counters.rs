@@ -20,6 +20,11 @@ pub struct Counters {
     pub dropped_loss: u64,
     /// Arrivals discarded because the node was killed.
     pub dropped_dead: u64,
+    /// Copies dropped at the switch because sender and receiver were in
+    /// different partition groups.
+    pub dropped_partition: u64,
+    /// Extra copies delivered by a duplicating link fault.
+    pub duplicated: u64,
 }
 
 impl Counters {
@@ -44,6 +49,8 @@ mod tests {
             rx_dropped_backlog: 1,
             dropped_loss: 3,
             dropped_dead: 9,
+            dropped_partition: 2,
+            duplicated: 1,
         };
         c.reset();
         assert_eq!(c, Counters::default());

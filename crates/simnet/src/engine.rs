@@ -25,7 +25,7 @@
 //! beyond the RX ring capacity are dropped — this is what makes overload
 //! behave like overload instead of an unbounded queue.
 
-use std::collections::{BinaryHeap, HashSet, VecDeque};
+use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
 use std::fmt::Debug;
 
 use rand::rngs::SmallRng;
@@ -33,14 +33,21 @@ use rand::{Rng, SeedableRng};
 
 use crate::agent::{Agent, Ctx, Effect, ThreadClass, TimerId};
 use crate::counters::Counters;
+use crate::fault::{FaultCmd, FaultPlan, LinkFault};
 use crate::packet::{Addr, NodeId, Packet};
 use crate::params::{FabricParams, NicParams};
 use crate::switch::{GroupTable, SwitchEmit, SwitchProgram, Verdict};
 use crate::time::{SimDur, SimTime};
+use crate::trace::Tracer;
 
 /// Predicate deciding whether a particular delivered copy is dropped;
 /// used by tests to inject targeted, deterministic loss.
 pub type DropFilter<M> = Box<dyn FnMut(&Packet<M>, NodeId, SimTime) -> bool>;
+
+/// Rebuilds a node's agent on a crash–restart: receives the crashed agent
+/// (so durable state can be extracted) and the restart instant, and returns
+/// the rebooted agent with all volatile state wiped.
+pub type RestartHook<M> = Box<dyn FnMut(NodeId, SimTime, Box<dyn Agent<M>>) -> Box<dyn Agent<M>>>;
 
 enum Ev<M> {
     PktAtSwitch(Packet<M>),
@@ -51,6 +58,8 @@ enum Ev<M> {
     PktDeliver {
         node: NodeId,
         pkt: Packet<M>,
+        /// Incarnation that scheduled this delivery; stale after a restart.
+        epoch: u64,
     },
     Timer {
         node: NodeId,
@@ -60,6 +69,8 @@ enum Ev<M> {
     AppDone {
         node: NodeId,
         token: u64,
+        /// Incarnation that queued this work item; stale after a restart.
+        epoch: u64,
     },
     Start {
         node: NodeId,
@@ -67,6 +78,7 @@ enum Ev<M> {
     Kill {
         node: NodeId,
     },
+    Fault(FaultCmd),
 }
 
 struct Scheduled<M> {
@@ -102,6 +114,19 @@ struct NodeSlot<M> {
     agent: Option<Box<dyn Agent<M>>>,
     nic: NicParams,
     alive: bool,
+    /// Stalled-but-alive: the node is not scheduled, but its RX ring keeps
+    /// filling (and overflowing) with arrivals.
+    paused: bool,
+    /// Incarnation number; bumped on every crash–restart so events scheduled
+    /// for a previous incarnation are discarded.
+    epoch: u64,
+    /// When each crash–restart happened; `restarted_at.len() == epoch`.
+    /// Lets observers attribute a timestamped event to the incarnation
+    /// that was live when it occurred (the bounded trace ring may have
+    /// evicted the `fault_restart` marker by the time they look).
+    restarted_at: Vec<SimTime>,
+    /// Events deferred while paused, redelivered on resume in order.
+    stalled: Vec<Ev<M>>,
     net_busy: SimTime,
     tx_wire_busy: SimTime,
     rx_wire_busy: SimTime,
@@ -125,6 +150,13 @@ pub struct Sim<M> {
     queue: BinaryHeap<Scheduled<M>>,
     switch_rng: SmallRng,
     drop_filter: Option<DropFilter<M>>,
+    /// Active partition: node → group id. Nodes absent from the map are
+    /// connected to everyone (clients typically stay global).
+    partition: Option<HashMap<NodeId, u32>>,
+    /// Active per-link delay/duplication windows.
+    link_faults: Vec<LinkFault>,
+    restart_hook: Option<RestartHook<M>>,
+    tracer: Option<Tracer>,
     seed: u64,
 }
 
@@ -142,6 +174,10 @@ impl<M: Clone + Debug + 'static> Sim<M> {
             queue: BinaryHeap::new(),
             switch_rng: SmallRng::seed_from_u64(seed ^ 0x5151_5151_dead_beef),
             drop_filter: None,
+            partition: None,
+            link_faults: Vec::new(),
+            restart_hook: None,
+            tracer: None,
             seed,
         }
     }
@@ -157,6 +193,10 @@ impl<M: Clone + Debug + 'static> Sim<M> {
             agent: Some(agent),
             nic,
             alive: true,
+            paused: false,
+            epoch: 0,
+            restarted_at: Vec::new(),
+            stalled: Vec::new(),
             net_busy: self.now,
             tx_wire_busy: self.now,
             rx_wire_busy: self.now,
@@ -224,20 +264,87 @@ impl<M: Clone + Debug + 'static> Sim<M> {
     }
 
     /// Schedules a fail-stop of `node` at time `at`. From that instant the
-    /// node neither receives, sends, executes, nor fires timers.
+    /// node neither receives, sends, executes, nor fires timers. Times in
+    /// the past are clamped to `now` so randomly generated fault schedules
+    /// can't abort the harness; killing an already-dead node is a no-op.
     pub fn kill_at(&mut self, node: NodeId, at: SimTime) {
-        assert!(at >= self.now, "cannot kill in the past");
-        self.push(at, Ev::Kill { node });
+        self.push(at.max(self.now), Ev::Kill { node });
     }
 
     /// Immediately fail-stops `node`.
     pub fn kill_now(&mut self, node: NodeId) {
-        self.nodes[node as usize].alive = false;
+        self.apply_fault(FaultCmd::Kill { node });
+    }
+
+    /// Schedules a single fault transition (clamped to `now` if `at` is in
+    /// the past).
+    pub fn schedule_fault(&mut self, at: SimTime, cmd: FaultCmd) {
+        self.push(at.max(self.now), Ev::Fault(cmd));
+    }
+
+    /// Schedules every event of a [`FaultPlan`].
+    pub fn apply_fault_plan(&mut self, plan: &FaultPlan) {
+        for (at, cmd) in &plan.events {
+            self.schedule_fault(*at, cmd.clone());
+        }
+    }
+
+    /// Schedules a crash–restart of `node`: volatile state is wiped and the
+    /// registered [`RestartHook`] rebuilds the agent from durable state.
+    pub fn restart_at(&mut self, node: NodeId, at: SimTime) {
+        self.schedule_fault(at, FaultCmd::Restart { node });
+    }
+
+    /// Schedules a stall of `node` (alive but not scheduled; RX ring fills).
+    pub fn pause_at(&mut self, node: NodeId, at: SimTime) {
+        self.schedule_fault(at, FaultCmd::Pause { node });
+    }
+
+    /// Schedules the end of a stall; deferred events are redelivered then.
+    pub fn resume_at(&mut self, node: NodeId, at: SimTime) {
+        self.schedule_fault(at, FaultCmd::Resume { node });
+    }
+
+    /// Schedules a network partition into `groups`; nodes absent from every
+    /// group remain connected to all.
+    pub fn partition_at(&mut self, groups: Vec<Vec<NodeId>>, at: SimTime) {
+        self.schedule_fault(at, FaultCmd::Partition { groups });
+    }
+
+    /// Schedules removal of any active partition.
+    pub fn heal_at(&mut self, at: SimTime) {
+        self.schedule_fault(at, FaultCmd::Heal);
+    }
+
+    /// Registers the hook that rebuilds agents on [`FaultCmd::Restart`].
+    pub fn set_restart_hook(&mut self, hook: RestartHook<M>) {
+        self.restart_hook = Some(hook);
+    }
+
+    /// Attaches a tracer; fault transitions are recorded into it.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = Some(tracer);
     }
 
     /// Whether `node` is still alive.
     pub fn is_alive(&self, node: NodeId) -> bool {
         self.nodes[node as usize].alive
+    }
+
+    /// Whether `node` is currently paused (stalled-but-alive).
+    pub fn is_paused(&self, node: NodeId) -> bool {
+        self.nodes[node as usize].paused
+    }
+
+    /// How many times `node` has crash–restarted (its incarnation number).
+    pub fn restarts(&self, node: NodeId) -> u64 {
+        self.nodes[node as usize].epoch
+    }
+
+    /// When each crash–restart of `node` happened, oldest first. The
+    /// incarnation live at time `t` is the number of entries `<= t`.
+    pub fn restart_times(&self, node: NodeId) -> &[SimTime] {
+        &self.nodes[node as usize].restarted_at
     }
 
     /// Current simulated time.
@@ -333,15 +440,33 @@ impl<M: Clone + Debug + 'static> Sim<M> {
     }
 
     fn dispatch(&mut self, ev: Ev<M>) {
+        // A paused node is alive but not scheduled: its compute events are
+        // deferred until resume. (Arrivals still land in the RX ring via
+        // `arrive`, so the ring fills and eventually overflows.)
+        match &ev {
+            Ev::PktDeliver { node, .. } | Ev::Timer { node, .. } | Ev::AppDone { node, .. } => {
+                let slot = &mut self.nodes[*node as usize];
+                if slot.paused {
+                    slot.stalled.push(ev);
+                    return;
+                }
+            }
+            _ => {}
+        }
         match ev {
             Ev::Start { node } => {
                 self.invoke(node, ThreadClass::Net, |a, ctx| a.on_start(ctx));
             }
-            Ev::Kill { node } => self.nodes[node as usize].alive = false,
+            Ev::Kill { node } => self.apply_fault(FaultCmd::Kill { node }),
+            Ev::Fault(cmd) => self.apply_fault(cmd),
             Ev::PktAtSwitch(pkt) => self.at_switch(pkt),
             Ev::PktArrive { node, pkt } => self.arrive(node, pkt),
-            Ev::PktDeliver { node, pkt } => {
+            Ev::PktDeliver { node, pkt, epoch } => {
                 let slot = &mut self.nodes[node as usize];
+                if epoch != slot.epoch {
+                    // Scheduled before a restart; the backlog was reset.
+                    return;
+                }
                 slot.net_backlog = slot.net_backlog.saturating_sub(1);
                 if !slot.alive {
                     slot.counters.dropped_dead += 1;
@@ -360,8 +485,9 @@ impl<M: Clone + Debug + 'static> Sim<M> {
                     a.on_timer(id, kind, ctx)
                 });
             }
-            Ev::AppDone { node, token } => {
-                if !self.nodes[node as usize].alive {
+            Ev::AppDone { node, token, epoch } => {
+                let slot = &self.nodes[node as usize];
+                if epoch != slot.epoch || !slot.alive {
                     return;
                 }
                 let extra = self.invoke(node, ThreadClass::App, move |a, ctx| {
@@ -372,9 +498,105 @@ impl<M: Clone + Debug + 'static> Sim<M> {
                 if let Some((cost, token)) = slot.app.queue.pop_front() {
                     slot.app.busy = true;
                     let at = self.now + extra + cost;
-                    self.push(at, Ev::AppDone { node, token });
+                    self.push(at, Ev::AppDone { node, token, epoch });
                 }
             }
+        }
+    }
+
+    /// Applies one fault transition and records it into the tracer.
+    fn apply_fault(&mut self, cmd: FaultCmd) {
+        let now = self.now;
+        match &cmd {
+            FaultCmd::Kill { node } => {
+                let slot = &mut self.nodes[*node as usize];
+                slot.alive = false;
+                slot.paused = false;
+                slot.stalled.clear();
+            }
+            FaultCmd::Restart { node } => {
+                let n = *node;
+                let slot = &mut self.nodes[n as usize];
+                let old = slot.agent.take().expect("restart during agent callback");
+                slot.epoch += 1;
+                slot.restarted_at.push(now);
+                slot.alive = true;
+                slot.paused = false;
+                slot.stalled.clear();
+                slot.net_backlog = 0;
+                slot.app.queue.clear();
+                slot.app.busy = false;
+                slot.active_timers.clear();
+                slot.effects.clear();
+                slot.net_busy = now;
+                slot.tx_wire_busy = now;
+                slot.rx_wire_busy = now;
+                let hook = self
+                    .restart_hook
+                    .as_mut()
+                    .expect("FaultCmd::Restart requires Sim::set_restart_hook");
+                let fresh = hook(n, now, old);
+                self.nodes[n as usize].agent = Some(fresh);
+                self.push(now, Ev::Start { node: n });
+            }
+            FaultCmd::Pause { node } => {
+                let slot = &mut self.nodes[*node as usize];
+                if slot.alive {
+                    slot.paused = true;
+                }
+            }
+            FaultCmd::Resume { node } => {
+                let n = *node as usize;
+                if self.nodes[n].paused {
+                    self.nodes[n].paused = false;
+                    let stalled = std::mem::take(&mut self.nodes[n].stalled);
+                    for ev in stalled {
+                        // Re-pushed at `now` with fresh seqs: relative order
+                        // among the deferred events is preserved.
+                        self.push(now, ev);
+                    }
+                }
+            }
+            FaultCmd::Partition { groups } => {
+                let mut map = HashMap::new();
+                for (gi, g) in groups.iter().enumerate() {
+                    for &n in g {
+                        map.insert(n, gi as u32);
+                    }
+                }
+                self.partition = Some(map);
+            }
+            FaultCmd::Heal => self.partition = None,
+            FaultCmd::Link { fault } => {
+                self.link_faults.retain(|lf| lf.until > now);
+                self.link_faults.push(fault.clone());
+            }
+        }
+        if let Some(tr) = &self.tracer {
+            let (node, detail) = match &cmd {
+                FaultCmd::Kill { node }
+                | FaultCmd::Restart { node }
+                | FaultCmd::Pause { node }
+                | FaultCmd::Resume { node } => (*node, String::new()),
+                FaultCmd::Partition { groups } => (0, format!("{groups:?}")),
+                FaultCmd::Heal => (0, String::new()),
+                FaultCmd::Link { fault } => {
+                    (fault.dst.or(fault.src).unwrap_or(0), format!("{fault:?}"))
+                }
+            };
+            tr.record(now, node, cmd.kind(), 0, detail);
+        }
+    }
+
+    /// Whether a copy from `sender` may reach `receiver` under the current
+    /// partition (unlisted nodes are connected to everyone).
+    fn connected(&self, sender: NodeId, receiver: NodeId) -> bool {
+        match &self.partition {
+            Some(map) => match (map.get(&sender), map.get(&receiver)) {
+                (Some(a), Some(b)) => a == b,
+                _ => true,
+            },
+            None => true,
         }
     }
 
@@ -466,7 +688,8 @@ impl<M: Clone + Debug + 'static> Sim<M> {
                         slot.app.queue.push_back((cost, token));
                     } else {
                         slot.app.busy = true;
-                        self.push(now + cost, Ev::AppDone { node, token });
+                        let epoch = slot.epoch;
+                        self.push(now + cost, Ev::AppDone { node, token, epoch });
                     }
                 }
                 Effect::Burn { cost, thread: t } => {
@@ -509,6 +732,14 @@ impl<M: Clone + Debug + 'static> Sim<M> {
             let sender = p.src.as_node();
             let members = self.groups.resolve(p.dst, sender);
             for m in members {
+                // Partition check: copies between disconnected groups are
+                // silently dropped at the switch.
+                if let Some(s) = sender {
+                    if !self.connected(s, m) {
+                        self.nodes[m as usize].counters.dropped_partition += 1;
+                        continue;
+                    }
+                }
                 // Independent loss per delivered copy.
                 let lost = (self.fabric.loss_rate > 0.0
                     && self.switch_rng.gen::<f64>() < self.fabric.loss_rate)
@@ -521,7 +752,28 @@ impl<M: Clone + Debug + 'static> Sim<M> {
                     self.nodes[m as usize].counters.dropped_loss += 1;
                     continue;
                 }
-                let at = self.now + self.fabric.switch_delay + self.fabric.prop_delay;
+                // Per-link fault windows: extra delay and duplication.
+                let mut at = self.now + self.fabric.switch_delay + self.fabric.prop_delay;
+                let mut dup_prob = 0.0f64;
+                for lf in &self.link_faults {
+                    if self.now < lf.until
+                        && lf.src.is_none_or(|s| sender == Some(s))
+                        && lf.dst.is_none_or(|d| d == m)
+                    {
+                        at += lf.extra_delay;
+                        dup_prob = dup_prob.max(lf.dup_prob);
+                    }
+                }
+                if dup_prob > 0.0 && self.switch_rng.gen::<f64>() < dup_prob {
+                    self.nodes[m as usize].counters.duplicated += 1;
+                    self.push(
+                        at,
+                        Ev::PktArrive {
+                            node: m,
+                            pkt: p.clone(),
+                        },
+                    );
+                }
                 self.push(
                     at,
                     Ev::PktArrive {
@@ -549,6 +801,7 @@ impl<M: Clone + Debug + 'static> Sim<M> {
         let t6 = slot.net_busy.max(t5) + slot.nic.rx_cpu_per_frag * frags;
         slot.net_busy = t6;
         slot.net_backlog += 1;
-        self.push(t6, Ev::PktDeliver { node, pkt });
+        let epoch = slot.epoch;
+        self.push(t6, Ev::PktDeliver { node, pkt, epoch });
     }
 }

@@ -62,6 +62,7 @@
 mod agent;
 mod counters;
 mod engine;
+mod fault;
 mod packet;
 mod params;
 mod switch;
@@ -70,7 +71,8 @@ mod trace;
 
 pub use agent::{Agent, Ctx, ThreadClass, TimerId};
 pub use counters::Counters;
-pub use engine::{DropFilter, Sim};
+pub use engine::{DropFilter, RestartHook, Sim};
+pub use fault::{FaultCmd, FaultPlan, FaultPlanConfig, LinkFault};
 pub use packet::{Addr, NodeId, Packet};
 pub use params::{FabricParams, NicParams};
 pub use switch::{GroupTable, SwitchEmit, SwitchProgram, Verdict};

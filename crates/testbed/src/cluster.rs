@@ -4,12 +4,12 @@
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
-use hovercraft::{HcConfig, Mode, WireMsg};
-use minikv::{Command, CostModel, KvService};
+use hovercraft::{HcConfig, HcNode, Mode, WireMsg};
+use minikv::{CostModel, KvService};
 use simnet::{Addr, FabricParams, NicParams, NodeId, Sim, SimDur, SimTime, Tracer};
 use workload::{RecordSpec, SynthService, SynthSpec, YcsbGen, YcsbWorkload};
 
-use crate::client::{ClientAgent, ClientResults, ClientWorkload};
+use crate::client::{ClientAgent, ClientResults, ClientWorkload, RetryPolicy};
 use crate::invariants::{InvariantChecker, Violation};
 use crate::programs::{AggProgram, FcProgram};
 use crate::server::{ServerAgent, UnrepAgent};
@@ -87,6 +87,9 @@ pub struct ClusterOpts {
     pub warmup: SimDur,
     /// Measured window.
     pub measure: SimDur,
+    /// Client retransmission policy (None → clients never retry; chaos
+    /// tests turn this on so requests survive faults).
+    pub retry: Option<RetryPolicy>,
     /// Master seed.
     pub seed: u64,
 }
@@ -114,6 +117,7 @@ impl ClusterOpts {
             load_start: SimTime::ZERO + SimDur::millis(150),
             warmup: SimDur::millis(100),
             measure: SimDur::millis(500),
+            retry: None,
             seed: 42,
         }
     }
@@ -150,6 +154,23 @@ fn make_service(kind: ServiceKind) -> Box<dyn hovercraft::Service> {
     }
 }
 
+/// Builds the application service for one server, preloaded identically on
+/// every replica (outside simulated time). Also the service factory for
+/// crash–restart rejoin: a restarted node's state machine starts from this
+/// same preloaded image and re-applies its log from index 1.
+fn build_service(opts: &ClusterOpts) -> Box<dyn hovercraft::Service> {
+    let mut svc = make_service(opts.service);
+    if opts.service == ServiceKind::Kv {
+        if let WorkloadKind::Ycsb { records, .. } = &opts.workload {
+            let gen = YcsbGen::new(YcsbWorkload::E, *records, RecordSpec::default(), 0);
+            for cmd in gen.load_phase() {
+                svc.execute(&cmd.encode(), false);
+            }
+        }
+    }
+    svc
+}
+
 /// NIC profile for client generators: the paper uses a pool of Lancet
 /// machines that is never the bottleneck, so clients get a faster NIC and
 /// cheap per-packet processing.
@@ -174,7 +195,7 @@ impl Cluster {
         let mut servers = Vec::with_capacity(n as usize);
         for id in &members {
             let agent: Box<dyn simnet::Agent<WireMsg>> = match opts.setup.mode() {
-                None => Box::new(UnrepAgent::new(make_service(opts.service))),
+                None => Box::new(UnrepAgent::new(build_service(&opts))),
                 Some(mode) => {
                     let mut rc = raft::Config::new(*id, members.clone());
                     rc.seed = opts.seed.wrapping_mul(31).wrapping_add(*id as u64 * 7 + 3);
@@ -189,20 +210,49 @@ impl Cluster {
                     }
                     cfg.agg_addr = (mode == Mode::HovercraftPp).then_some(addrs::AGG.0);
                     cfg.flowctl_addr = opts.flow_cap.map(|_| addrs::VIP.0);
-                    Box::new(ServerAgent::new(cfg, make_service(opts.service)))
+                    Box::new(ServerAgent::new(cfg, build_service(&opts)))
                 }
             };
             servers.push(sim.add_node(agent));
         }
         sim.add_group(addrs::GROUP, servers.clone());
 
-        // One shared trace: every server and switch program records into
-        // it, the invariant checker and failure dumps read from it.
+        // One shared trace: every server, switch program, and the fault
+        // injector record into it; the invariant checker and failure dumps
+        // read from it.
         let tracer = Tracer::default();
+        sim.set_tracer(tracer.clone());
         if opts.setup != Setup::Unrep {
             for &s in &servers {
                 sim.agent_mut::<ServerAgent>(s).set_tracer(tracer.clone());
             }
+            // Crash–restart rejoin: rebuild the agent from the crashed
+            // node's durable Raft state (term, vote, log); everything else
+            // — pool, ledger, apply cursor, service state — restarts empty
+            // and is reconstructed by re-applying the log, with missing
+            // bodies re-fetched via the recovery protocol (§5).
+            let hook_opts = opts.clone();
+            let hook_tracer = tracer.clone();
+            sim.set_restart_hook(Box::new(move |_node, now, old| {
+                let crashed = old
+                    .as_any()
+                    .downcast_ref::<ServerAgent>()
+                    .expect("restart hook only handles server nodes")
+                    .node();
+                let log = crashed.raft().log();
+                let entries = log.range(log.first_index(), log.last_index()).to_vec();
+                let restored = HcNode::restore(
+                    crashed.config().clone(),
+                    build_service(&hook_opts),
+                    now.as_nanos(),
+                    crashed.raft().term(),
+                    crashed.raft().voted_for(),
+                    entries,
+                );
+                let mut agent = ServerAgent::from_node(restored);
+                agent.set_tracer(hook_tracer.clone());
+                Box::new(agent)
+            }));
         }
 
         // Switch pipeline: flow control first, then the aggregator.
@@ -221,17 +271,6 @@ impl Cluster {
             agg_prog = Some(idx);
         }
 
-        // Preload the keyspace (identically, outside simulated time).
-        if opts.service == ServiceKind::Kv {
-            if let WorkloadKind::Ycsb { records, .. } = &opts.workload {
-                let gen = YcsbGen::new(YcsbWorkload::E, *records, RecordSpec::default(), 0);
-                let load: Vec<Command> = gen.load_phase();
-                for &s in &servers {
-                    Self::preload(&mut sim, opts.setup, s, &load);
-                }
-            }
-        }
-
         // Clients: the target is patched after the leader settles (vanilla
         // mode needs the elected leader's address).
         let target = Self::default_target(&opts, servers[0]);
@@ -239,7 +278,7 @@ impl Cluster {
         let per_client = opts.rate_rps / opts.clients as f64;
         for c in 0..opts.clients {
             let wl = opts.workload.instantiate(opts.seed * 1000 + c as u64);
-            let agent = ClientAgent::new(
+            let mut agent = ClientAgent::new(
                 target,
                 per_client,
                 opts.load_start,
@@ -248,6 +287,9 @@ impl Cluster {
                 wl,
                 opts.seed * 77 + c as u64,
             );
+            if let Some(policy) = opts.retry {
+                agent.set_retry(policy);
+            }
             clients.push(sim.add_node_with(Box::new(agent), client_nic()));
         }
 
@@ -286,23 +328,6 @@ impl Cluster {
             Setup::Unrep | Setup::Vanilla => Addr::node(first_server),
             _ if opts.flow_cap.is_some() => addrs::VIP,
             _ => addrs::GROUP,
-        }
-    }
-
-    fn preload(sim: &mut Sim<WireMsg>, setup: Setup, server: NodeId, load: &[Command]) {
-        match setup {
-            Setup::Unrep => {
-                let a = sim.agent_mut::<UnrepAgent>(server);
-                for cmd in load {
-                    a.service_mut().execute(&cmd.encode(), false);
-                }
-            }
-            _ => {
-                let a = sim.agent_mut::<ServerAgent>(server);
-                for cmd in load {
-                    a.node_mut().service_mut().execute(&cmd.encode(), false);
-                }
-            }
         }
     }
 
@@ -489,6 +514,8 @@ impl Cluster {
             merged.sent += r.sent;
             merged.responses += r.responses;
             merged.nacks += r.nacks;
+            merged.retries += r.retries;
+            merged.duplicates += r.duplicates;
             merged.latencies.extend(r.latencies);
         }
         merged

@@ -12,7 +12,9 @@
 //!
 //! 1. **Apply bound** — `applied ≤ commit` on every node: execution never
 //!    outruns durability.
-//! 2. **Monotonicity** — per-node `commit` and `applied` never regress.
+//! 2. **Monotonicity** — per-node `commit` and `applied` never regress
+//!    within one incarnation (a crash–restart wipes volatile state, so the
+//!    watermarks reset when a node's restart count advances).
 //! 3. **Log matching / committed-prefix agreement** — every index committed
 //!    everywhere holds the *same* entry (term and full descriptor,
 //!    replier included) on every live node; above the common commit point,
@@ -30,14 +32,16 @@
 //!    `max(B, depth first observed in that term)` — inherited debt may
 //!    only drain, never grow.
 //! 6. **Exactly-one reply** — scanning the protocol trace, no request id
-//!    is answered twice (by any node, across elections and recoveries).
+//!    is answered twice (by any node, across elections and recoveries),
+//!    with one carve-out: the same node may re-answer at a strictly higher
+//!    incarnation (a restarted replier re-executing its log).
 //! 7. **Flow-control conservation** — at the middlebox,
 //!    `admitted − (feedback − spurious) − reclaimed == in_flight`.
 //!
 //! The checker is stateful (watermarks, first-seen replier stamps, reply
 //! set, trace cursor); create one per cluster and feed it every step.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 use std::fmt;
 
 use raft::LogIndex;
@@ -98,8 +102,15 @@ pub struct InvariantChecker {
     /// Per `(term, member)`: assignment depth at first observation, to
     /// absorb inherited over-`B` debt after elections.
     depth_baseline: HashMap<(u64, NodeId), usize>,
-    /// Request keys already answered (invariant 6).
-    replied: HashSet<u64>,
+    /// Request keys already answered (invariant 6), with the answering
+    /// node and its incarnation at the time of the reply. A second reply
+    /// is legal only from the *same* node at a *strictly higher*
+    /// incarnation — a restarted replier re-executing its log.
+    replied: HashMap<u64, (NodeId, u64)>,
+    /// Per-node restart count as last seen via [`simnet::Sim::restarts`];
+    /// a change resets that node's monotonicity watermarks (a restarted
+    /// node legitimately regresses to commit = applied = 0).
+    incarnations: HashMap<NodeId, u64>,
     /// Next trace sequence number to consume.
     trace_cursor: u64,
 }
@@ -124,6 +135,18 @@ impl InvariantChecker {
             .copied()
             .filter(|&s| cl.sim.is_alive(s))
             .collect();
+
+        // Crash–restart resets volatile state: forget the watermarks of any
+        // node whose incarnation advanced since the last check.
+        for &s in &cl.servers {
+            let inc = cl.sim.restarts(s);
+            let seen = self.incarnations.entry(s).or_insert(inc);
+            if *seen != inc {
+                *seen = inc;
+                self.last_commit.remove(&s);
+                self.last_applied.remove(&s);
+            }
+        }
 
         self.check_apply_and_monotone(cl, &alive)?;
         self.check_log_matching(cl, &alive)?;
@@ -325,16 +348,46 @@ impl InvariantChecker {
         Ok(())
     }
 
-    /// Invariant 6: no request id is replied to twice, ever.
+    /// Invariant 6: no request id is replied to twice — except by the same
+    /// node at a strictly higher incarnation (a restarted replier
+    /// re-executes its log and may legitimately re-answer; any *other*
+    /// duplicate still fires). A reply is attributed to the incarnation
+    /// live at its timestamp via [`simnet::Sim::restart_times`] — exact
+    /// even when a restart's own trace marker has been evicted from the
+    /// bounded ring by a re-execution burst in the same check window.
     fn check_reply_uniqueness(&mut self, cl: &Cluster) -> Result<(), Violation> {
         let events = cl.tracer().events_since(self.trace_cursor);
         for e in &events {
-            if e.kind == "reply" && !self.replied.insert(e.key) {
-                return violation(
-                    "exactly_one_reply",
-                    e.node,
-                    format!("request {} answered twice ({})", e.key, e.detail),
-                );
+            if e.kind != "reply" {
+                continue;
+            }
+            let inc = if (e.node as usize) < cl.sim.num_nodes() {
+                cl.sim
+                    .restart_times(e.node)
+                    .iter()
+                    .filter(|&&t| t <= e.at)
+                    .count() as u64
+            } else {
+                0
+            };
+            match self.replied.get(&e.key) {
+                None => {
+                    self.replied.insert(e.key, (e.node, inc));
+                }
+                Some(&(node0, inc0)) if e.node == node0 && inc > inc0 => {
+                    self.replied.insert(e.key, (e.node, inc));
+                }
+                Some(&(node0, inc0)) => {
+                    return violation(
+                        "exactly_one_reply",
+                        e.node,
+                        format!(
+                            "request {} answered twice ({}); first by n{node0} \
+                             incarnation {inc0}, again by n{} incarnation {inc}",
+                            e.key, e.detail, e.node
+                        ),
+                    );
+                }
             }
         }
         if let Some(last) = events.last() {

@@ -21,7 +21,7 @@ mod runner;
 mod server;
 mod setup;
 
-pub use client::{ClientAgent, ClientResults, ClientWorkload};
+pub use client::{ClientAgent, ClientResults, ClientWorkload, RetryPolicy};
 pub use cluster::{Cluster, ClusterOpts, ServiceKind, WorkloadKind};
 pub use invariants::{InvariantChecker, Violation};
 pub use programs::{AggProgram, FcProgram};

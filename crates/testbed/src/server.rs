@@ -37,6 +37,13 @@ impl ServerAgent {
         }
     }
 
+    /// Wraps an already-constructed node — the crash–restart rejoin path,
+    /// where the node is rebuilt with [`HcNode::restore`] from the crashed
+    /// agent's durable Raft state.
+    pub fn from_node(node: HcNode<Box<dyn Service>>) -> ServerAgent {
+        ServerAgent { node, tracer: None }
+    }
+
     /// Forwards the node's protocol events into `tracer`, stamped with
     /// virtual time, after every entry point.
     pub fn set_tracer(&mut self, tracer: Tracer) {

@@ -1,0 +1,368 @@
+//! Chaos property suite: deterministic, seeded fault injection across the
+//! full stack. Scenario tests pin down the three headline behaviours —
+//! majority-side progress under partition with Pre-Vote term stability,
+//! stall-aware replier routing around a paused node (§3.4), and
+//! crash–restart rejoin via log catch-up plus body recovery (§5) — while
+//! randomized [`FaultPlan`]s (env-scalable via `CHAOS_CASES` /
+//! `CHAOS_SEED`) and a committed seed corpus sweep the space. Every run is
+//! replayable from `(opts, seed)` alone; a meta-test proves it.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use hovercraft::PolicyKind;
+use simnet::{FaultPlan, FaultPlanConfig, SimDur, SimTime, TraceEvent};
+use testbed::{Cluster, ClusterOpts, RetryPolicy, ServerAgent, Setup};
+
+fn ms(x: u64) -> SimTime {
+    SimTime::ZERO + SimDur::millis(x)
+}
+
+/// The standard chaos point: 5-way HovercRaft under moderate load with
+/// client retries on, so requests survive the faults they straddle.
+/// Load runs 150–500 ms (50 ms warm-up, 300 ms measured).
+fn chaos_opts(seed: u64) -> ClusterOpts {
+    let mut o = ClusterOpts::new(Setup::Hovercraft(PolicyKind::Jbsq), 5, 25_000.0);
+    o.warmup = SimDur::millis(50);
+    o.measure = SimDur::millis(300);
+    o.bound = 64;
+    o.retry = Some(RetryPolicy::default());
+    o.seed = seed;
+    o
+}
+
+fn term_of(cluster: &Cluster, node: u32) -> u64 {
+    cluster.sim.agent::<ServerAgent>(node).node().raft().term()
+}
+
+fn commit_of(cluster: &Cluster, node: u32) -> u64 {
+    cluster
+        .sim
+        .agent::<ServerAgent>(node)
+        .node()
+        .raft()
+        .commit_index()
+}
+
+/// All live replicas applied the same prefix.
+fn assert_converged(cluster: &Cluster) {
+    let applied: Vec<u64> = cluster
+        .servers
+        .iter()
+        .copied()
+        .filter(|&s| cluster.sim.is_alive(s))
+        .map(|s| cluster.sim.agent::<ServerAgent>(s).node().applied_index())
+        .collect();
+    assert!(
+        applied.windows(2).all(|w| w[0] == w[1]),
+        "live replicas diverged after drain: {applied:?}"
+    );
+}
+
+#[test]
+fn majority_partition_keeps_committing_and_pre_vote_freezes_terms() {
+    let mut cluster = Cluster::build(chaos_opts(101));
+    cluster.settle();
+    let leader = cluster.leader().expect("settled leader");
+    let term0 = term_of(&cluster, leader);
+
+    // Cut off two followers; the leader keeps a quorum of three.
+    let minority: Vec<u32> = cluster
+        .servers
+        .iter()
+        .copied()
+        .filter(|&s| s != leader)
+        .take(2)
+        .collect();
+    let majority: Vec<u32> = cluster
+        .servers
+        .iter()
+        .copied()
+        .filter(|&s| !minority.contains(&s))
+        .collect();
+    cluster.sim.partition_at(vec![majority, minority], ms(250));
+    cluster.sim.heal_at(ms(400));
+
+    cluster.run_until_checked(ms(280));
+    let c1 = commit_of(&cluster, leader);
+    cluster.run_until_checked(ms(380));
+    let c2 = commit_of(&cluster, leader);
+    assert!(
+        c2 > c1 + 1_000,
+        "majority side must keep committing through the partition: {c1} -> {c2}"
+    );
+
+    let end = cluster.opts().load_end() + SimDur::millis(20);
+    cluster.run_until_checked(end);
+    cluster.run_checked(SimDur::millis(150));
+
+    // Pre-Vote: the healed minority's election attempts never reached a
+    // quorum and never bumped terms, so the stable leader is undisturbed.
+    assert_eq!(
+        cluster.leader(),
+        Some(leader),
+        "healed minority must not depose the stable leader"
+    );
+    assert_eq!(
+        term_of(&cluster, leader),
+        term0,
+        "no term change across partition + heal"
+    );
+    assert_converged(&cluster);
+}
+
+#[test]
+fn paused_replier_is_detected_and_routed_around() {
+    let mut cluster = Cluster::build(chaos_opts(202));
+    cluster.settle();
+    let leader = cluster.leader().expect("settled leader");
+    let victim = cluster
+        .servers
+        .iter()
+        .copied()
+        .find(|&s| s != leader)
+        .expect("a follower");
+    let paused_at = ms(250);
+    let resumed_at = ms(420);
+    cluster.sim.pause_at(victim, paused_at);
+    cluster.sim.resume_at(victim, resumed_at);
+
+    // Harvest the trace incrementally (the ring is bounded) while running
+    // the full load under invariant checking.
+    let mut cursor = 0u64;
+    let mut harvested: Vec<TraceEvent> = Vec::new();
+    let end = cluster.opts().load_end() + SimDur::millis(20);
+    while cluster.sim.now() < end {
+        let next = (cluster.sim.now() + SimDur::millis(5)).min(end);
+        cluster.run_until_checked(next);
+        let events = cluster.tracer().events_since(cursor);
+        if let Some(last) = events.last() {
+            cursor = last.seq + 1;
+        }
+        harvested.extend(events);
+    }
+    cluster.run_checked(SimDur::millis(150));
+    harvested.extend(cluster.tracer().events_since(cursor));
+
+    // Within the stall-detection timeout (5 ms, plus announcement slack)
+    // the leader must stop assigning replies to the silent node, and not
+    // resume until the node is back.
+    let grace = paused_at + SimDur::millis(15);
+    let marker = format!("replier=n{victim}");
+    let bad: Vec<&TraceEvent> = harvested
+        .iter()
+        .filter(|e| {
+            e.kind == "replier_assigned"
+                && e.at >= grace
+                && e.at < resumed_at
+                && e.detail.ends_with(&marker)
+        })
+        .collect();
+    assert!(
+        bad.is_empty(),
+        "leader kept assigning replies to a stalled node: {bad:?}"
+    );
+    assert!(
+        harvested
+            .iter()
+            .any(|e| e.kind == "replier_stalled" && e.key == victim as u64 && e.at < grace),
+        "stall must be detected and traced within the timeout"
+    );
+    assert!(
+        harvested
+            .iter()
+            .any(|e| e.kind == "replier_recovered" && e.key == victim as u64 && e.at >= resumed_at),
+        "resumed node must re-enter the candidate set"
+    );
+    assert_converged(&cluster);
+}
+
+#[test]
+fn restarted_follower_rejoins_and_catches_up() {
+    let mut cluster = Cluster::build(chaos_opts(303));
+    cluster.settle();
+    let leader = cluster.leader().expect("settled leader");
+    let victim = cluster
+        .servers
+        .iter()
+        .copied()
+        .find(|&s| s != leader)
+        .expect("a follower");
+    cluster.sim.restart_at(victim, ms(300));
+
+    let end = cluster.opts().load_end() + SimDur::millis(20);
+    cluster.run_until_checked(end);
+    assert_eq!(cluster.sim.restarts(victim), 1, "exactly one crash–restart");
+    assert!(cluster.sim.is_alive(victim), "restarted node is back");
+
+    // Drain: log catch-up, body recovery for unpooled entries, and
+    // re-execution from index 1 all complete within the run.
+    cluster.run_checked(SimDur::millis(200));
+    let leader_now = cluster.leader().expect("a leader at the end");
+    let applied_leader = cluster
+        .sim
+        .agent::<ServerAgent>(leader_now)
+        .node()
+        .applied_index();
+    let applied_victim = cluster
+        .sim
+        .agent::<ServerAgent>(victim)
+        .node()
+        .applied_index();
+    assert!(applied_leader > 0, "the run made progress");
+    assert_eq!(
+        applied_victim, applied_leader,
+        "restarted follower must fully catch up"
+    );
+    assert_converged(&cluster);
+}
+
+/// Runs one randomized chaos case end to end: draw a survivable fault plan
+/// from the seed, inject it, and require the PR-1 invariants plus
+/// convergence and bounded client-visible loss.
+fn run_chaos_case(seed: u64) {
+    let opts = chaos_opts(seed);
+    let episodes = 3usize;
+    let mut cluster = Cluster::build(opts);
+    cluster.settle();
+    let plan = FaultPlan::generate(&FaultPlanConfig {
+        nodes: cluster.servers.clone(),
+        window_start: ms(210),
+        window_end: ms(460),
+        episodes,
+        seed,
+    });
+    cluster.sim.apply_fault_plan(&plan);
+
+    let end = cluster.opts().load_end() + SimDur::millis(20);
+    cluster.run_until_checked(end);
+    cluster.run_checked(SimDur::millis(200));
+    assert_converged(&cluster);
+
+    let r = cluster.client_results();
+    let lost = r.sent.saturating_sub(r.responses + r.nacks);
+    let budget = (episodes * cluster.opts().bound + 64) as u64;
+    assert!(
+        lost <= budget,
+        "seed {seed}: lost {lost} replies > budget {budget} ({r:?})"
+    );
+}
+
+/// Reads a u64 env knob, accepting decimal or `0x`-prefixed hex.
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| {
+            let v = v.trim();
+            match v.strip_prefix("0x") {
+                Some(hex) => u64::from_str_radix(hex, 16).ok(),
+                None => v.parse().ok(),
+            }
+        })
+        .unwrap_or(default)
+}
+
+#[test]
+fn random_fault_plans_preserve_invariants_and_liveness() {
+    let cases = env_u64("CHAOS_CASES", 3);
+    let base = env_u64("CHAOS_SEED", 0xc0ffee);
+    for i in 0..cases {
+        run_chaos_case(base.wrapping_add(i.wrapping_mul(7919)));
+    }
+}
+
+/// Every seed in the committed corpus replays a fault mix that once ran in
+/// CI; keeping them green makes past chaos runs regression tests.
+#[test]
+fn committed_fault_plan_corpus_stays_green() {
+    let mut ran = 0;
+    for line in include_str!("chaos_corpus.txt").lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let seed: u64 = line.parse().expect("corpus lines are bare seeds");
+        run_chaos_case(seed);
+        ran += 1;
+    }
+    assert!(ran >= 4, "corpus unexpectedly small: {ran} seeds");
+}
+
+#[test]
+fn chaos_runs_are_bit_exact_replayable() {
+    let run = |seed: u64| {
+        let mut cluster = Cluster::build(chaos_opts(seed));
+        cluster.settle();
+        let cfg = FaultPlanConfig {
+            nodes: cluster.servers.clone(),
+            window_start: ms(210),
+            window_end: ms(460),
+            episodes: 3,
+            seed,
+        };
+        let plan = FaultPlan::generate(&cfg);
+        cluster.sim.apply_fault_plan(&plan);
+        let end = cluster.opts().load_end() + SimDur::millis(20);
+        cluster.run_until_checked(end);
+        cluster.run_checked(SimDur::millis(150));
+        let r = cluster.client_results();
+        (
+            plan,
+            cluster.tracer().total_recorded(),
+            cluster.tracer().render_tail(256),
+            (r.sent, r.responses, r.nacks, r.retries, r.duplicates),
+        )
+    };
+    let (plan_a, total_a, tail_a, res_a) = run(777);
+    let (plan_b, total_b, tail_b, res_b) = run(777);
+    assert_eq!(
+        plan_a, plan_b,
+        "fault schedule is a pure function of (cfg, seed)"
+    );
+    assert_eq!(total_a, total_b, "identical protocol event counts");
+    assert_eq!(tail_a, tail_b, "identical protocol trace");
+    assert_eq!(res_a, res_b, "identical client-visible outcome");
+}
+
+#[test]
+fn invariant_violations_dump_a_replayable_bundle() {
+    let mut o = ClusterOpts::new(Setup::Hovercraft(PolicyKind::Jbsq), 3, 5_000.0);
+    o.seed = 424_242;
+    let mut cluster = Cluster::build(o);
+    cluster.settle();
+    // A few checked steps establish the checker's per-term queue-depth
+    // baseline before the corruption.
+    cluster.run_checked(SimDur::millis(30));
+    let leader = cluster.leader().expect("leader");
+    let member = cluster
+        .servers
+        .iter()
+        .copied()
+        .find(|&s| s != leader)
+        .expect("a follower");
+    let bound = cluster.opts().bound;
+    {
+        let node = cluster.sim.agent_mut::<ServerAgent>(leader).node_mut();
+        for idx in 1..=(2 * bound as u64 + 1) {
+            node.ledger_mut().assign(member, idx);
+        }
+    }
+    let err = catch_unwind(AssertUnwindSafe(|| cluster.assert_invariants()))
+        .expect_err("an over-B replier queue must trip the checker");
+    let msg = err
+        .downcast_ref::<String>()
+        .expect("violation panics carry a message")
+        .clone();
+    assert!(msg.contains("bounded_queue"), "{msg}");
+    let path = msg
+        .split("replay bundle: ")
+        .nth(1)
+        .expect("panic message names the bundle")
+        .trim();
+    let bundle = std::fs::read_to_string(path).expect("bundle written to disk");
+    assert!(bundle.contains("seed: 424242"), "bundle records the seed");
+    assert!(
+        bundle.contains("## node state"),
+        "bundle records node state"
+    );
+    assert!(bundle.contains("## trace tail"), "bundle records the trace");
+}

@@ -5,8 +5,10 @@
 
 use hovercraft::PolicyKind;
 use proptest::prelude::*;
-use simnet::{SimDur, SimTime};
-use testbed::{run_experiment_checked, summarize, Cluster, ClusterOpts, ServerAgent, Setup};
+use simnet::{FaultPlan, FaultPlanConfig, SimDur, SimTime};
+use testbed::{
+    run_experiment_checked, summarize, Cluster, ClusterOpts, RetryPolicy, ServerAgent, Setup,
+};
 
 fn arb_setup() -> impl Strategy<Value = Setup> {
     prop_oneof![
@@ -109,6 +111,60 @@ proptest! {
         prop_assert!(
             lost as usize <= bound + 32,
             "lost {lost} > bound {bound} (+32 slack)"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 6, // each case is a full chaos simulation
+        .. ProptestConfig::default()
+    })]
+
+    /// Arbitrary survivable fault plans (partitions, pauses, restarts,
+    /// link faults — never cutting a majority) leave the cluster
+    /// convergent, invariant-clean, and within the bounded-loss budget
+    /// once client retries are on.
+    #[test]
+    fn survivable_fault_plans_converge_with_bounded_loss(
+        episodes in 1usize..=2,
+        plan_seed in 0u64..10_000,
+        seed in 0u64..1_000,
+    ) {
+        let mut o = quick(Setup::Hovercraft(PolicyKind::Jbsq), 3, 20_000.0, seed);
+        o.warmup = SimDur::millis(40);
+        o.measure = SimDur::millis(160);
+        o.bound = 64;
+        o.retry = Some(RetryPolicy::default());
+        let mut cluster = Cluster::build(o);
+        cluster.settle();
+        let plan = FaultPlan::generate(&FaultPlanConfig {
+            nodes: cluster.servers.clone(),
+            window_start: SimTime::ZERO + SimDur::millis(190),
+            window_end: SimTime::ZERO + SimDur::millis(280),
+            episodes,
+            seed: plan_seed,
+        });
+        cluster.sim.apply_fault_plan(&plan);
+        cluster.run_to_completion_checked();
+        cluster.run_checked(SimDur::millis(200));
+        let applied: Vec<u64> = cluster
+            .servers
+            .clone()
+            .into_iter()
+            .filter(|&s| cluster.sim.is_alive(s))
+            .map(|s| cluster.sim.agent::<ServerAgent>(s).node().applied_index())
+            .collect();
+        prop_assert!(
+            applied.windows(2).all(|w| w[0] == w[1]),
+            "diverged after {plan:?}: {applied:?}"
+        );
+        let r = cluster.client_results();
+        let lost = r.sent.saturating_sub(r.responses + r.nacks);
+        let budget = (episodes * 64 + 64) as u64;
+        prop_assert!(
+            lost <= budget,
+            "lost {lost} > budget {budget} under {plan:?} ({r:?})"
         );
     }
 }
