@@ -1,279 +1,7 @@
-//! Criterion micro-benchmarks of the performance-critical primitives: the
-//! consensus hot path, the R2P2 codec, the store, the workload generators,
-//! and the simulation engine itself. These guard the constant factors the
-//! figure harnesses depend on.
+//! Thin bench target over the shared micro-benchmark bodies in
+//! `hovercraft_bench::micro` — shared so the test suite can smoke every
+//! target for one iteration under `HC_FAST=1`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
-use std::hint::black_box;
-
-use bytes::Bytes;
-use hovercraft::{Aggregator, Cmd, EntryDesc, FlowControl, OpKind, WireMsg};
-use minikv::{Command, CostModel, Store};
-use r2p2::{packetize, Header, MsgType, Policy, Reassembler, ReqId};
-use raft::{Config, Entry, Message, RaftLog, RaftNode};
-use workload::{RecordSpec, YcsbGen, YcsbWorkload, Zipfian};
-
-fn bench_r2p2(c: &mut Criterion) {
-    let mut g = c.benchmark_group("r2p2");
-    let h = Header::single(MsgType::Request, Policy::Replicated, 42, 9000);
-    g.throughput(Throughput::Elements(1));
-    g.bench_function("header_encode", |b| b.iter(|| black_box(h).encode()));
-    let enc = h.encode();
-    g.bench_function("header_decode", |b| {
-        b.iter(|| Header::decode(black_box(&enc)).unwrap())
-    });
-    let body = vec![7u8; 6_000];
-    let id = ReqId::new(1, 2, 3);
-    g.bench_function("packetize_6kB", |b| {
-        b.iter(|| {
-            packetize(
-                MsgType::Request,
-                Policy::Replicated,
-                id,
-                black_box(&body),
-                1500,
-            )
-        })
-    });
-    let frags = packetize(MsgType::Request, Policy::Replicated, id, &body, 1500);
-    g.bench_function("reassemble_6kB", |b| {
-        b.iter_batched(
-            || frags.clone(),
-            |frags| {
-                let mut r = Reassembler::new();
-                let mut out = None;
-                for f in frags {
-                    out = r.push(1, f).unwrap();
-                }
-                out.unwrap()
-            },
-            BatchSize::SmallInput,
-        )
-    });
-    g.finish();
+fn main() {
+    hovercraft_bench::micro::run_all();
 }
-
-fn meta_cmd(i: u64) -> Cmd {
-    Cmd::meta(EntryDesc::new(
-        ReqId::new(9, 9, i as u16),
-        i,
-        OpKind::ReadWrite,
-    ))
-}
-
-fn bench_raft(c: &mut Criterion) {
-    let mut g = c.benchmark_group("raft");
-    g.throughput(Throughput::Elements(1));
-    g.bench_function("log_append", |b| {
-        b.iter_batched(
-            RaftLog::<Cmd>::new,
-            |mut log| {
-                for i in 0..64 {
-                    log.append(1, meta_cmd(i));
-                }
-                log
-            },
-            BatchSize::SmallInput,
-        )
-    });
-
-    // Leader hot path: propose + pump + process both follower acks.
-    g.bench_function("leader_request_cycle", |b| {
-        // Build an established 3-node leader.
-        let mk = || {
-            let mut n = RaftNode::<Cmd>::new(Config::new(0, vec![0, 1, 2]), 0);
-            let _ = n.tick(50_000_000); // become candidate
-            let _ = n.step(
-                1,
-                Message::RequestVoteReply {
-                    term: n.term(),
-                    granted: true,
-                },
-                50_000_100,
-            );
-            assert!(n.is_leader());
-            n
-        };
-        b.iter_batched(
-            mk,
-            |mut n| {
-                let term = n.term();
-                for i in 0..32u64 {
-                    let idx = n.propose(meta_cmd(i)).unwrap();
-                    let _ = n.pump(60_000_000 + i);
-                    for peer in [1u32, 2] {
-                        let _ = n.step(
-                            peer,
-                            Message::AppendEntriesReply {
-                                term,
-                                success: true,
-                                match_index: idx,
-                                conflict_index: 0,
-                                applied_index: idx.saturating_sub(1),
-                                from: peer,
-                            },
-                            60_000_001 + i,
-                        );
-                    }
-                }
-                n
-            },
-            BatchSize::SmallInput,
-        )
-    });
-    g.finish();
-}
-
-fn bench_dataplane(c: &mut Criterion) {
-    let mut g = c.benchmark_group("dataplane");
-    g.throughput(Throughput::Elements(1));
-    // Aggregator processing one append reply (its hottest packet).
-    g.bench_function("aggregator_reply", |b| {
-        let mut agg = Aggregator::new(vec![0, 1, 2]);
-        let ae = WireMsg::Raft(Message::AppendEntries {
-            term: 1,
-            leader: 0,
-            prev_log_index: 0,
-            prev_log_term: 0,
-            entries: vec![Entry {
-                term: 1,
-                index: 1,
-                cmd: meta_cmd(1),
-            }],
-            leader_commit: 0,
-        });
-        agg.on_packet(0, ae);
-        let mut i = 0u64;
-        b.iter(|| {
-            i += 1;
-            agg.on_packet(
-                1,
-                WireMsg::Raft(Message::AppendEntriesReply {
-                    term: 1,
-                    success: true,
-                    match_index: i % 2, // alternate so not always committing
-                    conflict_index: 0,
-                    applied_index: 0,
-                    from: 1,
-                }),
-            )
-        })
-    });
-    g.bench_function("flowctl_admit_feedback", |b| {
-        let mut fc = FlowControl::new(0x8000_0000, 1_000_000);
-        let req = WireMsg::Request {
-            id: ReqId::new(7, 7, 7),
-            kind: OpKind::ReadWrite,
-            body: Bytes::from_static(b"x"),
-        };
-        b.iter(|| {
-            let d = fc.on_packet(black_box(&req), 0);
-            fc.on_packet(&WireMsg::Feedback, 0);
-            d
-        })
-    });
-    g.finish();
-}
-
-fn bench_store(c: &mut Criterion) {
-    let mut g = c.benchmark_group("minikv");
-    g.throughput(Throughput::Elements(1));
-    let spec = RecordSpec::default();
-    let mut store = Store::new();
-    for i in 0..10_000u64 {
-        store.execute(&Command::Insert(
-            Bytes::from_static(b"usertable"),
-            Bytes::from(workload::key_of(i)),
-            spec.build(i),
-        ));
-    }
-    g.bench_function("insert_1kB", |b| {
-        let mut i = 10_000u64;
-        b.iter(|| {
-            i += 1;
-            store.execute(&Command::Insert(
-                Bytes::from_static(b"usertable"),
-                Bytes::from(workload::key_of(i % 100_000)),
-                spec.build(i),
-            ))
-        })
-    });
-    g.bench_function("scan_10x1kB", |b| {
-        b.iter(|| {
-            store.execute(&Command::Scan(
-                Bytes::from_static(b"usertable"),
-                Bytes::from(workload::key_of(black_box(1_234))),
-                10,
-            ))
-        })
-    });
-    g.bench_function("cost_model", |b| {
-        let m = minikv::ExecMetrics {
-            bytes_read: 5_500,
-            bytes_written: 0,
-            records: 6,
-        };
-        let c = CostModel::default();
-        b.iter(|| c.cost_ns(black_box(&m)))
-    });
-    g.finish();
-}
-
-fn bench_workload(c: &mut Criterion) {
-    let mut g = c.benchmark_group("workload");
-    g.throughput(Throughput::Elements(1));
-    g.bench_function("zipfian_sample", |b| {
-        use rand::SeedableRng;
-        let z = Zipfian::ycsb(1_000_000);
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
-        b.iter(|| z.sample(&mut rng))
-    });
-    g.bench_function("ycsbe_next_op", |b| {
-        let mut gen = YcsbGen::new(YcsbWorkload::E, 10_000, RecordSpec::default(), 1);
-        b.iter(|| gen.next_op())
-    });
-    g.finish();
-}
-
-fn bench_simnet(c: &mut Criterion) {
-    use simnet::{Addr, Agent, Ctx, FabricParams, Packet, Sim, SimDur};
-    struct Echo;
-    impl Agent<u64> for Echo {
-        fn on_packet(&mut self, pkt: Packet<u64>, ctx: &mut Ctx<'_, u64>) {
-            if pkt.payload < 10_000 {
-                ctx.send(pkt.src, 64, pkt.payload + 1);
-            }
-        }
-        fn as_any(&self) -> &dyn std::any::Any {
-            self
-        }
-        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
-            self
-        }
-    }
-    let mut g = c.benchmark_group("simnet");
-    // One iteration = 10k message hops through the full engine.
-    g.throughput(Throughput::Elements(10_000));
-    g.bench_function("engine_10k_hops", |b| {
-        b.iter(|| {
-            let mut sim: Sim<u64> = Sim::new(FabricParams::default(), 1);
-            let a = sim.add_node(Box::new(Echo));
-            let bb = sim.add_node(Box::new(Echo));
-            sim.inject(a, Addr::node(bb), 64, 0);
-            sim.run_for(SimDur::secs(1));
-            sim.counters(a).rx_msgs
-        })
-    });
-    g.finish();
-}
-
-criterion_group!(
-    benches,
-    bench_r2p2,
-    bench_raft,
-    bench_dataplane,
-    bench_store,
-    bench_workload,
-    bench_simnet
-);
-criterion_main!(benches);

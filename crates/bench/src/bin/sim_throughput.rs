@@ -1,0 +1,280 @@
+//! Simulator engine throughput: the wall-clock budget of every experiment.
+//!
+//! Every figure binary, chaos sweep, and invariant-checked test in this
+//! reproduction runs through the simnet discrete-event engine, so
+//! *simulated events per wall-clock second* is the number that decides how
+//! much HovercRaft evaluation we can afford. This bench drives the two
+//! workload shapes that dominate the suite —
+//!
+//! * **fig7** — the paper's headline point: 3-node HovercRaft/JBSQ at
+//!   800 kRPS, no invariant checking (how the figure harnesses run);
+//! * **chaos** — the fault-injected 5-node point of `tests/chaos.rs`,
+//!   stepped every simulated millisecond under the full cross-node
+//!   invariant checker plus an incremental trace digest (how the test
+//!   suite runs)
+//!
+//! — and reports events/sec, simulated-ns per wall-second, and the chaos
+//! trace digest into `BENCH_sim.json`.
+//!
+//! Usage:
+//!
+//! ```text
+//! sim_throughput [--out PATH] [--baseline PATH]
+//! ```
+//!
+//! `HC_FAST=1` shortens the measured windows (CI smoke). With `--baseline`
+//! the run compares itself against a previously committed report and exits
+//! non-zero on a >25 % events/sec regression in either workload, or on any
+//! chaos-digest mismatch (digests are machine-independent; throughput is
+//! not — refresh the baseline when the reference hardware changes).
+
+use std::time::Instant;
+
+use hovercraft::PolicyKind;
+use hovercraft_bench::fast;
+use simnet::{FaultPlan, FaultPlanConfig, SimDur, SimTime};
+use testbed::{chaos_digest_opts, Cluster, ClusterOpts, Setup, TraceDigest};
+
+/// Tolerated events/sec drop vs the committed baseline before the gate
+/// fails (the CI perf job's contract).
+const MAX_REGRESSION: f64 = 0.25;
+
+struct Metrics {
+    /// Engine events dispatched.
+    events: u64,
+    /// Wall-clock seconds for the run.
+    wall_s: f64,
+    /// Simulated nanoseconds covered.
+    sim_ns: u64,
+    /// Protocol trace events recorded.
+    trace_events: u64,
+}
+
+impl Metrics {
+    fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.wall_s
+    }
+    fn sim_ns_per_wall_s(&self) -> f64 {
+        self.sim_ns as f64 / self.wall_s
+    }
+}
+
+fn fig7_opts() -> ClusterOpts {
+    let mut o = ClusterOpts::new(Setup::Hovercraft(PolicyKind::Jbsq), 3, 800_000.0);
+    o.lb_replies = Some(false);
+    o.clients = 4;
+    if fast() {
+        o.warmup = SimDur::millis(20);
+        o.measure = SimDur::millis(80);
+    } else {
+        o.warmup = SimDur::millis(100);
+        o.measure = SimDur::millis(400);
+    }
+    o
+}
+
+/// The figure-harness shape: full load, no invariant checking.
+fn run_fig7() -> Metrics {
+    let mut cluster = Cluster::build(fig7_opts());
+    let end = cluster.opts().load_end() + SimDur::millis(20);
+    let t0 = Instant::now();
+    cluster.settle();
+    cluster.sim.run_until(end);
+    let wall_s = t0.elapsed().as_secs_f64();
+    Metrics {
+        events: cluster.sim.events_processed(),
+        wall_s,
+        sim_ns: cluster.sim.now().as_nanos(),
+        trace_events: cluster.tracer().total_recorded(),
+    }
+}
+
+/// The test-suite shape: fault plan + 1 ms invariant checking + digest.
+fn run_chaos(seed: u64) -> (Metrics, TraceDigest) {
+    // Deliberately NOT shortened under HC_FAST: the chaos digest must be
+    // comparable between a CI smoke run and a full local run.
+    let opts = chaos_digest_opts(seed);
+    let mut cluster = Cluster::build(opts);
+    let t0 = Instant::now();
+    cluster.settle();
+    let plan = FaultPlan::generate(&FaultPlanConfig {
+        nodes: cluster.servers.clone(),
+        window_start: SimTime::ZERO + SimDur::millis(210),
+        window_end: SimTime::ZERO + SimDur::millis(460),
+        episodes: 3,
+        seed,
+    });
+    cluster.sim.apply_fault_plan(&plan);
+    let end = cluster.opts().load_end() + SimDur::millis(220);
+    let mut digest = TraceDigest::new();
+    while cluster.sim.now() < end {
+        let next = (cluster.sim.now() + SimDur::millis(1)).min(end);
+        cluster.run_until_checked(next);
+        digest.absorb(cluster.tracer());
+    }
+    digest.absorb(cluster.tracer());
+    let wall_s = t0.elapsed().as_secs_f64();
+    let m = Metrics {
+        events: cluster.sim.events_processed(),
+        wall_s,
+        sim_ns: cluster.sim.now().as_nanos(),
+        trace_events: cluster.tracer().total_recorded(),
+    };
+    (m, digest)
+}
+
+/// Seed of the digested chaos run — the same seed `tests/chaos.rs` pins
+/// for its bit-exact replay test.
+const CHAOS_SEED: u64 = 777;
+
+fn render_report(fig7: &Metrics, chaos: &Metrics, digest: &TraceDigest) -> String {
+    // Hand-rolled flat JSON (no serde in the vendored environment): one
+    // `"key": value` pair per line, parsed back by `lookup`.
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": 1,\n");
+    s.push_str(&format!("  \"fast\": {},\n", fast()));
+    s.push_str(&format!("  \"chaos_seed\": {CHAOS_SEED},\n"));
+    let section = |s: &mut String, name: &str, m: &Metrics| {
+        s.push_str(&format!("  \"{name}_events\": {},\n", m.events));
+        s.push_str(&format!("  \"{name}_wall_s\": {:.6},\n", m.wall_s));
+        s.push_str(&format!(
+            "  \"{name}_events_per_sec\": {:.1},\n",
+            m.events_per_sec()
+        ));
+        s.push_str(&format!("  \"{name}_sim_ns\": {},\n", m.sim_ns));
+        s.push_str(&format!(
+            "  \"{name}_sim_ns_per_wall_s\": {:.1},\n",
+            m.sim_ns_per_wall_s()
+        ));
+        s.push_str(&format!("  \"{name}_trace_events\": {},\n", m.trace_events));
+    };
+    section(&mut s, "fig7", fig7);
+    section(&mut s, "chaos", chaos);
+    s.push_str(&format!(
+        "  \"chaos_digest\": \"{:#018x}\",\n",
+        digest.value()
+    ));
+    s.push_str(&format!("  \"chaos_digest_events\": {}\n", digest.count()));
+    s.push_str("}\n");
+    s
+}
+
+/// Finds `"key": value` in a flat one-pair-per-line JSON report.
+fn lookup(report: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\":");
+    for line in report.lines() {
+        if let Some(pos) = line.find(&needle) {
+            let v = line[pos + needle.len()..].trim().trim_end_matches(',');
+            return Some(v.trim_matches('"').to_string());
+        }
+    }
+    None
+}
+
+fn lookup_f64(report: &str, key: &str) -> Option<f64> {
+    lookup(report, key)?.parse().ok()
+}
+
+/// Compares this run against a committed baseline; returns the failures.
+fn check_baseline(baseline: &str, report: &str) -> Vec<String> {
+    let mut failures = Vec::new();
+    for name in ["fig7", "chaos"] {
+        let key = format!("{name}_events_per_sec");
+        let (Some(base), Some(cur)) = (lookup_f64(baseline, &key), lookup_f64(report, &key)) else {
+            failures.push(format!("baseline or report missing {key}"));
+            continue;
+        };
+        let floor = base * (1.0 - MAX_REGRESSION);
+        if cur < floor {
+            failures.push(format!(
+                "{key} regressed: {cur:.0} < {floor:.0} \
+                 (baseline {base:.0}, tolerance {:.0}%)",
+                MAX_REGRESSION * 100.0
+            ));
+        } else {
+            println!("  {key}: {cur:.0} vs baseline {base:.0} (floor {floor:.0}) — ok");
+        }
+    }
+    // Digests are exact and machine-independent; the chaos run ignores
+    // HC_FAST precisely so they compare across smoke and full runs. Only a
+    // different seed makes them incomparable.
+    let same_seed = lookup(baseline, "chaos_seed") == lookup(report, "chaos_seed");
+    if same_seed {
+        let (b, c) = (
+            lookup(baseline, "chaos_digest"),
+            lookup(report, "chaos_digest"),
+        );
+        if b != c {
+            failures.push(format!(
+                "chaos trace digest changed: baseline {b:?}, current {c:?} \
+                 — the optimization altered protocol behaviour"
+            ));
+        } else {
+            println!("  chaos_digest: {} — bit-exact", c.unwrap_or_default());
+        }
+    } else {
+        println!("  (digest not compared: baseline ran with a different seed)");
+    }
+    failures
+}
+
+fn main() {
+    let mut out = String::from("BENCH_sim.json");
+    let mut baseline: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out = args.next().expect("--out PATH"),
+            "--baseline" => baseline = Some(args.next().expect("--baseline PATH")),
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: sim_throughput [--out PATH] [--baseline PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    println!("== sim_throughput: simnet engine wall-clock throughput ==");
+    if fast() {
+        println!("(HC_FAST=1: smoke windows)");
+    }
+    println!("-- fig7 workload (3-node HovercRaft/JBSQ @ 800 kRPS, unchecked) --");
+    let fig7 = run_fig7();
+    println!(
+        "   {} events in {:.2}s  ->  {:.0} events/s, {:.0} sim-ns/wall-s, {} trace events",
+        fig7.events,
+        fig7.wall_s,
+        fig7.events_per_sec(),
+        fig7.sim_ns_per_wall_s(),
+        fig7.trace_events,
+    );
+    println!("-- chaos workload (5-node, fault plan, 1ms invariant checking + digest) --");
+    let (chaos, digest) = run_chaos(CHAOS_SEED);
+    println!(
+        "   {} events in {:.2}s  ->  {:.0} events/s, {:.0} sim-ns/wall-s, digest {:#018x} over {} events",
+        chaos.events,
+        chaos.wall_s,
+        chaos.events_per_sec(),
+        chaos.sim_ns_per_wall_s(),
+        digest.value(),
+        digest.count(),
+    );
+
+    let report = render_report(&fig7, &chaos, &digest);
+    std::fs::write(&out, &report).expect("write report");
+    println!("report written to {out}");
+
+    if let Some(path) = baseline {
+        println!("-- baseline gate ({path}) --");
+        let base = std::fs::read_to_string(&path).expect("read baseline");
+        let failures = check_baseline(&base, &report);
+        if !failures.is_empty() {
+            for f in &failures {
+                eprintln!("FAIL: {f}");
+            }
+            std::process::exit(1);
+        }
+        println!("baseline gate passed");
+    }
+}

@@ -20,6 +20,8 @@
 
 #![warn(missing_docs)]
 
+pub mod micro;
+
 use simnet::SimDur;
 use testbed::{run_experiment, ClusterOpts, ExpResult};
 

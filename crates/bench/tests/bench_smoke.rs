@@ -1,0 +1,10 @@
+//! Bench-rot guard: every criterion micro-benchmark target must compile
+//! and survive one iteration. `HC_FAST=1` puts the vendored criterion shim
+//! into single-iteration mode, so this completes in well under a second
+//! while still executing each benchmark body end to end.
+
+#[test]
+fn all_micro_bench_targets_run_one_iteration() {
+    std::env::set_var("HC_FAST", "1");
+    hovercraft_bench::micro::run_all();
+}

@@ -26,7 +26,7 @@
 //! packet to a list of `(dst, msg)` emissions. The testbed adapts it onto
 //! the simulator's switch pipeline.
 
-use std::collections::HashMap;
+use fxhash::FxHashMap;
 
 use raft::{LogIndex, Message, RaftId, Term};
 
@@ -55,9 +55,9 @@ pub struct Aggregator {
     term: Term,
     leader: Option<RaftId>,
     /// Ingress registers: per-follower match index.
-    match_idx: HashMap<RaftId, LogIndex>,
+    match_idx: FxHashMap<RaftId, LogIndex>,
     /// Egress registers: per-follower applied ("completed") index.
-    completed: HashMap<RaftId, LogIndex>,
+    completed: FxHashMap<RaftId, LogIndex>,
     commit: LogIndex,
     /// Set when the leader re-announces an already-committed index; forces
     /// an AGG_COMMIT on the next reply (Figure 6 `set_pending`).
@@ -76,8 +76,8 @@ impl Aggregator {
             quorum,
             term: 0,
             leader: None,
-            match_idx: HashMap::new(),
-            completed: HashMap::new(),
+            match_idx: FxHashMap::default(),
+            completed: FxHashMap::default(),
             commit: 0,
             pending: false,
             last_target: 0,

@@ -21,7 +21,9 @@
 //! application thread. The simulation harness (or a real runtime) owns the
 //! clock and the wires.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::VecDeque;
+
+use fxhash::{FxHashMap, FxHashSet};
 
 use bytes::Bytes;
 use r2p2::{body_hash, ReqId};
@@ -103,12 +105,12 @@ pub struct HcNode<S> {
     next_apply: LogIndex,
     /// Last log index whose execution completed.
     applied: LogIndex,
-    pending: HashMap<LogIndex, PendingReply>,
+    pending: FxHashMap<LogIndex, PendingReply>,
     /// Outstanding body recoveries: id → last request time.
-    missing: HashMap<ReqId, u64>,
+    missing: FxHashMap<ReqId, u64>,
     /// HovercRaft++ leader: followers being repaired over direct
     /// point-to-point AppendEntries after a failed append (§5).
-    recovering: HashSet<RaftId>,
+    recovering: FxHashSet<RaftId>,
     /// HovercRaft++ leader: the aggregator answered our VoteProbe.
     agg_confirmed: bool,
     /// HovercRaft++ follower: the last AppendEntries arrived via the
@@ -125,7 +127,7 @@ pub struct HcNode<S> {
     last_prevote_term: u64,
     /// Leader only: members currently considered stalled by the replier
     /// selector (tracked to emit one transition event per episode).
-    stalled_members: HashSet<RaftId>,
+    stalled_members: FxHashSet<RaftId>,
 }
 
 impl<S: Service> HcNode<S> {
@@ -143,16 +145,16 @@ impl<S: Service> HcNode<S> {
             rng,
             next_apply: 1,
             applied: 0,
-            pending: HashMap::new(),
-            missing: HashMap::new(),
-            recovering: HashSet::new(),
+            pending: FxHashMap::default(),
+            missing: FxHashMap::default(),
+            recovering: FxHashSet::default(),
             agg_confirmed: false,
             last_ae_via_agg: false,
             stats: HcStats::default(),
             events: VecDeque::new(),
             last_election_term: 0,
             last_prevote_term: 0,
-            stalled_members: HashSet::new(),
+            stalled_members: FxHashSet::default(),
         }
     }
 
@@ -228,11 +230,12 @@ impl<S: Service> HcNode<S> {
     pub fn queue_depth(&self, node: RaftId) -> usize {
         self.ledger.depth(node)
     }
-    /// Takes the protocol events recorded since the last call. Drivers that
-    /// trace should call this after every entry point; events past an
-    /// internal bound are dropped oldest-first.
-    pub fn drain_events(&mut self) -> Vec<ProtoEvent> {
-        self.events.drain(..).collect()
+    /// Takes the protocol events recorded since the last call, oldest
+    /// first, without allocating. Drivers that trace should consume this
+    /// after every entry point; events past an internal bound are dropped
+    /// oldest-first.
+    pub fn drain_events(&mut self) -> impl Iterator<Item = ProtoEvent> + '_ {
+        self.events.drain(..)
     }
     /// Mutable access to the underlying Raft instance.
     ///

@@ -10,7 +10,9 @@
 //! (JBSQ), which the paper shows wins under high service-time dispersion
 //! (Figure 11).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
+
+use fxhash::FxHashMap;
 
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -35,8 +37,8 @@ pub enum PolicyKind {
 /// work until its bounded queue fills.
 #[derive(Debug, Default)]
 pub struct ReplierLedger {
-    queues: HashMap<RaftId, VecDeque<LogIndex>>,
-    last_heard: HashMap<RaftId, u64>,
+    queues: FxHashMap<RaftId, VecDeque<LogIndex>>,
+    last_heard: FxHashMap<RaftId, u64>,
 }
 
 impl ReplierLedger {

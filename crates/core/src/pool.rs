@@ -11,7 +11,7 @@
 //! serve `recovery_request`s from peers that missed the multicast, and so
 //! the applier can execute entries in log order.
 
-use std::collections::HashMap;
+use fxhash::FxHashMap;
 
 use bytes::Bytes;
 use r2p2::ReqId;
@@ -32,8 +32,8 @@ pub struct PooledReq {
 /// The unordered set plus the ordered-body archive.
 #[derive(Default)]
 pub struct UnorderedPool {
-    unordered: HashMap<ReqId, PooledReq>,
-    archive: HashMap<ReqId, PooledReq>,
+    unordered: FxHashMap<ReqId, PooledReq>,
+    archive: FxHashMap<ReqId, PooledReq>,
 }
 
 impl UnorderedPool {

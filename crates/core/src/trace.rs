@@ -13,6 +13,8 @@
 //! human-readable rendering happens only when a trace is displayed or
 //! dumped.
 
+use std::fmt;
+
 use r2p2::ReqId;
 use raft::{LogIndex, RaftId};
 
@@ -21,8 +23,63 @@ pub fn req_key(id: ReqId) -> u64 {
     ((id.src_ip as u64) << 32) | ((id.src_port as u64) << 16) | id.rid as u64
 }
 
-fn fmt_req(id: ReqId) -> String {
-    format!("{}:{}:{}", id.src_ip, id.src_port, id.rid)
+/// Renders a lazily recorded detail payload from up to three raw words.
+///
+/// Structurally identical to `simnet::DetailFn` — declared here with std
+/// types only, so the protocol crate stays independent of the simulator
+/// while drivers can pass [`ProtoEvent::detail_parts`] straight into
+/// `Tracer::record_lazy`.
+pub type DetailRender = fn(&mut fmt::Formatter<'_>, u64, u64, u64) -> fmt::Result;
+
+/// Writes a packed [`req_key`] back out as `src_ip:src_port:rid`.
+fn w_req(f: &mut fmt::Formatter<'_>, key: u64) -> fmt::Result {
+    write!(f, "{}:{}:{}", key >> 32, (key >> 16) & 0xffff, key & 0xffff)
+}
+
+// Lazy renderers, one per payload shape. Each must produce exactly the
+// text the eager `detail()` historically produced — `detail()` is now
+// implemented *through* these, so they cannot drift apart.
+fn d_term(f: &mut fmt::Formatter<'_>, a: u64, _b: u64, _c: u64) -> fmt::Result {
+    write!(f, "term={a}")
+}
+fn d_append_sent(f: &mut fmt::Formatter<'_>, a: u64, b: u64, c: u64) -> fmt::Result {
+    write!(f, "dst={a:#x} entries={b} commit={c}")
+}
+fn d_append_acked(f: &mut fmt::Formatter<'_>, a: u64, b: u64, c: u64) -> fmt::Result {
+    write!(f, "from=n{a} success={} match={c}", b != 0)
+}
+fn d_to(f: &mut fmt::Formatter<'_>, a: u64, _b: u64, _c: u64) -> fmt::Result {
+    write!(f, "to={a}")
+}
+fn d_index_id(f: &mut fmt::Formatter<'_>, a: u64, b: u64, _c: u64) -> fmt::Result {
+    write!(f, "index={a} id=")?;
+    w_req(f, b)
+}
+fn d_replier_assigned(f: &mut fmt::Formatter<'_>, a: u64, b: u64, _c: u64) -> fmt::Result {
+    write!(f, "index={a} replier=n{b}")
+}
+fn d_upto(f: &mut fmt::Formatter<'_>, a: u64, _b: u64, _c: u64) -> fmt::Result {
+    write!(f, "upto={a}")
+}
+fn d_id_to(f: &mut fmt::Formatter<'_>, a: u64, b: u64, _c: u64) -> fmt::Result {
+    f.write_str("id=")?;
+    w_req(f, a)?;
+    write!(f, " to=n{b}")
+}
+fn d_id(f: &mut fmt::Formatter<'_>, a: u64, _b: u64, _c: u64) -> fmt::Result {
+    f.write_str("id=")?;
+    w_req(f, a)
+}
+fn d_reply(f: &mut fmt::Formatter<'_>, a: u64, b: u64, c: u64) -> fmt::Result {
+    write!(f, "index={a} id=")?;
+    w_req(f, b)?;
+    write!(f, " to=n{c}")
+}
+fn d_index(f: &mut fmt::Formatter<'_>, a: u64, _b: u64, _c: u64) -> fmt::Result {
+    write!(f, "index={a}")
+}
+fn d_node(f: &mut fmt::Formatter<'_>, a: u64, _b: u64, _c: u64) -> fmt::Result {
+    write!(f, "node=n{a}")
 }
 
 /// One protocol-level event in the life of a node.
@@ -223,55 +280,60 @@ impl ProtoEvent {
         }
     }
 
-    /// Human-readable rendering of the event payload.
-    pub fn detail(&self) -> String {
+    /// The event's detail payload in deferred form: a renderer plus up to
+    /// three raw words. Recording this instead of [`ProtoEvent::detail`]
+    /// keeps the hot path allocation- and formatting-free; the renderer
+    /// produces the identical text when (if ever) the event is displayed.
+    pub fn detail_parts(&self) -> (DetailRender, u64, u64, u64) {
         match *self {
-            ProtoEvent::ElectionStarted { term } => format!("term={term}"),
-            ProtoEvent::PreVoteStarted { term } => format!("term={term}"),
-            ProtoEvent::BecameLeader { term } => format!("term={term}"),
-            ProtoEvent::BecameFollower { term } => format!("term={term}"),
+            ProtoEvent::ElectionStarted { term }
+            | ProtoEvent::PreVoteStarted { term }
+            | ProtoEvent::BecameLeader { term }
+            | ProtoEvent::BecameFollower { term } => (d_term, term, 0, 0),
             ProtoEvent::AppendSent {
                 dst,
                 entries,
                 commit,
-            } => format!("dst={dst:#x} entries={entries} commit={commit}"),
+            } => (d_append_sent, dst as u64, entries, commit),
             ProtoEvent::AppendAcked {
                 from,
                 success,
                 match_index,
-            } => format!("from=n{from} success={success} match={match_index}"),
-            ProtoEvent::CommitAdvanced { to } => format!("to={to}"),
-            ProtoEvent::Proposed { index, id } => {
-                format!("index={index} id={}", fmt_req(id))
-            }
+            } => (d_append_acked, from as u64, success as u64, match_index),
+            ProtoEvent::CommitAdvanced { to } => (d_to, to, 0, 0),
+            ProtoEvent::Proposed { index, id } => (d_index_id, index, req_key(id), 0),
             ProtoEvent::ReplierAssigned { index, replier } => {
-                format!("index={index} replier=n{replier}")
+                (d_replier_assigned, index, replier as u64, 0)
             }
-            ProtoEvent::Announced { upto } => format!("upto={upto}"),
-            ProtoEvent::RecoveryRequested { id, to } => {
-                format!("id={} to=n{to}", fmt_req(id))
+            ProtoEvent::Announced { upto } => (d_upto, upto, 0, 0),
+            ProtoEvent::RecoveryRequested { id, to } | ProtoEvent::RecoveryServed { id, to } => {
+                (d_id_to, req_key(id), to as u64, 0)
             }
-            ProtoEvent::RecoveryServed { id, to } => {
-                format!("id={} to=n{to}", fmt_req(id))
+            ProtoEvent::RecoveryCompleted { id } => (d_id, req_key(id), 0, 0),
+            ProtoEvent::ApplyStalled { index, id }
+            | ProtoEvent::Executed { index, id }
+            | ProtoEvent::RoSkipped { index, id } => (d_index_id, index, req_key(id), 0),
+            ProtoEvent::ReplySent { index, id, to } => (d_reply, index, req_key(id), to as u64),
+            ProtoEvent::FeedbackSent { index } => (d_index, index, 0, 0),
+            ProtoEvent::NackSent { id } => (d_id, req_key(id), 0, 0),
+            ProtoEvent::ReplierStalled { node } | ProtoEvent::ReplierRecovered { node } => {
+                (d_node, node as u64, 0, 0)
             }
-            ProtoEvent::RecoveryCompleted { id } => format!("id={}", fmt_req(id)),
-            ProtoEvent::ApplyStalled { index, id } => {
-                format!("index={index} id={}", fmt_req(id))
-            }
-            ProtoEvent::Executed { index, id } => {
-                format!("index={index} id={}", fmt_req(id))
-            }
-            ProtoEvent::RoSkipped { index, id } => {
-                format!("index={index} id={}", fmt_req(id))
-            }
-            ProtoEvent::ReplySent { index, id, to } => {
-                format!("index={index} id={} to=n{to}", fmt_req(id))
-            }
-            ProtoEvent::FeedbackSent { index } => format!("index={index}"),
-            ProtoEvent::NackSent { id } => format!("id={}", fmt_req(id)),
-            ProtoEvent::ReplierStalled { node } => format!("node=n{node}"),
-            ProtoEvent::ReplierRecovered { node } => format!("node=n{node}"),
         }
+    }
+
+    /// Human-readable rendering of the event payload. Implemented through
+    /// [`ProtoEvent::detail_parts`], so the eager and lazy forms can never
+    /// diverge.
+    pub fn detail(&self) -> String {
+        struct D((DetailRender, u64, u64, u64));
+        impl fmt::Display for D {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                let (render, a, b, c) = self.0;
+                render(f, a, b, c)
+            }
+        }
+        D(self.detail_parts()).to_string()
     }
 }
 
@@ -302,5 +364,71 @@ mod tests {
         assert_eq!(e.kind(), "executed");
         assert_eq!(r.key(), e.key());
         assert!(r.detail().contains("index=4"));
+    }
+
+    #[test]
+    fn lazy_renderers_produce_the_historical_text() {
+        // Golden strings from the pre-lazy eager formatter; the deferred
+        // renderers must reproduce them byte for byte (trace dumps and
+        // replay comparisons match on this text).
+        let id = ReqId::new(7, 9003, 42);
+        let cases: &[(ProtoEvent, &str)] = &[
+            (ProtoEvent::ElectionStarted { term: 3 }, "term=3"),
+            (
+                ProtoEvent::AppendSent {
+                    dst: 0x8000_0001,
+                    entries: 5,
+                    commit: 17,
+                },
+                "dst=0x80000001 entries=5 commit=17",
+            ),
+            (
+                ProtoEvent::AppendAcked {
+                    from: 2,
+                    success: true,
+                    match_index: 9,
+                },
+                "from=n2 success=true match=9",
+            ),
+            (
+                ProtoEvent::AppendAcked {
+                    from: 4,
+                    success: false,
+                    match_index: 0,
+                },
+                "from=n4 success=false match=0",
+            ),
+            (ProtoEvent::CommitAdvanced { to: 11 }, "to=11"),
+            (
+                ProtoEvent::Proposed { index: 8, id },
+                "index=8 id=7:9003:42",
+            ),
+            (
+                ProtoEvent::ReplierAssigned {
+                    index: 8,
+                    replier: 1,
+                },
+                "index=8 replier=n1",
+            ),
+            (ProtoEvent::Announced { upto: 20 }, "upto=20"),
+            (
+                ProtoEvent::RecoveryRequested { id, to: 3 },
+                "id=7:9003:42 to=n3",
+            ),
+            (ProtoEvent::RecoveryCompleted { id }, "id=7:9003:42"),
+            (
+                ProtoEvent::ReplySent {
+                    index: 8,
+                    id,
+                    to: 7,
+                },
+                "index=8 id=7:9003:42 to=n7",
+            ),
+            (ProtoEvent::FeedbackSent { index: 8 }, "index=8"),
+            (ProtoEvent::ReplierStalled { node: 2 }, "node=n2"),
+        ];
+        for (ev, want) in cases {
+            assert_eq!(ev.detail(), *want, "renderer drift for {:?}", ev.kind());
+        }
     }
 }

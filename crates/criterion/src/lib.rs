@@ -49,9 +49,23 @@ const MEASURE_BUDGET: Duration = Duration::from_millis(200);
 /// Iterations used to estimate cost before sizing the measured pass.
 const PILOT_ITERS: u64 = 8;
 
+/// Smoke mode (`HC_FAST=1`): every benchmark runs exactly one iteration, so
+/// the whole suite completes in milliseconds. The test suite uses this to
+/// catch bench rot — a target that no longer compiles or panics on its
+/// first iteration — without paying for real measurement.
+fn smoke() -> bool {
+    std::env::var("HC_FAST").map(|v| v == "1").unwrap_or(false)
+}
+
 impl Bencher {
     /// Times `routine` over a sized loop.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if smoke() {
+            let t = Instant::now();
+            black_box(routine());
+            self.mean_ns = t.elapsed().as_nanos() as f64;
+            return;
+        }
         // Pilot to size the run.
         let t0 = Instant::now();
         for _ in 0..PILOT_ITERS {
@@ -73,6 +87,13 @@ impl Bencher {
         S: FnMut() -> I,
         R: FnMut(I) -> O,
     {
+        if smoke() {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.mean_ns = t.elapsed().as_nanos() as f64;
+            return;
+        }
         let mut pilot = Duration::ZERO;
         for _ in 0..PILOT_ITERS {
             let input = setup();

@@ -6,7 +6,7 @@
 //! message when all `n_pkts` fragments are present. Fragments may arrive in
 //! any order; duplicates are ignored.
 
-use std::collections::HashMap;
+use fxhash::FxHashMap;
 
 use bytes::Bytes;
 
@@ -86,7 +86,7 @@ struct Partial {
 /// Reassembles multi-packet messages keyed by the R2P2 3-tuple.
 #[derive(Default)]
 pub struct Reassembler {
-    partial: HashMap<ReqId, Partial>,
+    partial: FxHashMap<ReqId, Partial>,
 }
 
 impl Reassembler {

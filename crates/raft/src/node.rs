@@ -19,7 +19,7 @@
 //! * the AppendEntries **reply carries `applied_index`** (§6.2), which
 //!   vanilla Raft ignores.
 
-use std::collections::HashMap;
+use fxhash::FxHashMap;
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -90,7 +90,7 @@ pub struct RaftNode<C> {
     leader_id: Option<RaftId>,
     commit: LogIndex,
     applied: LogIndex,
-    progress: HashMap<RaftId, Progress>,
+    progress: FxHashMap<RaftId, Progress>,
     votes: usize,
     voters: Vec<RaftId>,
     election_deadline: u64,
@@ -120,7 +120,7 @@ impl<C: Clone + std::fmt::Debug> RaftNode<C> {
             leader_id: None,
             commit: 0,
             applied: 0,
-            progress: HashMap::new(),
+            progress: FxHashMap::default(),
             votes: 0,
             voters: Vec::new(),
             election_deadline,

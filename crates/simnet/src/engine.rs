@@ -25,9 +25,10 @@
 //! beyond the RX ring capacity are dropped — this is what makes overload
 //! behave like overload instead of an unbounded queue.
 
-use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+use std::collections::{BinaryHeap, VecDeque};
 use std::fmt::Debug;
 
+use fxhash::{FxHashMap, FxHashSet};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -81,27 +82,71 @@ enum Ev<M> {
     Fault(FaultCmd),
 }
 
-struct Scheduled<M> {
+/// A heap entry: the ordering key plus a slot index into the event slab.
+/// Keeping the (large) `Ev<M>` payload *out* of the heap means every
+/// sift-up/sift-down moves three words instead of a whole packet.
+#[derive(Clone, Copy)]
+struct Scheduled {
     at: SimTime,
     seq: u64,
-    ev: Ev<M>,
+    slot: u32,
 }
 
-impl<M> PartialEq for Scheduled<M> {
+impl PartialEq for Scheduled {
     fn eq(&self, other: &Self) -> bool {
         self.at == other.at && self.seq == other.seq
     }
 }
-impl<M> Eq for Scheduled<M> {}
-impl<M> PartialOrd for Scheduled<M> {
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
-impl<M> Ord for Scheduled<M> {
+impl Ord for Scheduled {
     // Reversed so the `BinaryHeap` pops the earliest (time, seq) first.
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// Slab storage for scheduled events: stable `u32` slots handed to the
+/// heap, with freed slots recycled LIFO. Grows but never shrinks — at a
+/// steady state the event loop allocates nothing per event.
+struct EventSlab<M> {
+    slots: Vec<Option<Ev<M>>>,
+    free: Vec<u32>,
+}
+
+impl<M> EventSlab<M> {
+    fn new() -> Self {
+        EventSlab {
+            slots: Vec::with_capacity(256),
+            free: Vec::with_capacity(256),
+        }
+    }
+
+    #[inline]
+    fn insert(&mut self, ev: Ev<M>) -> u32 {
+        match self.free.pop() {
+            Some(slot) => {
+                debug_assert!(self.slots[slot as usize].is_none());
+                self.slots[slot as usize] = Some(ev);
+                slot
+            }
+            None => {
+                let slot = self.slots.len() as u32;
+                self.slots.push(Some(ev));
+                slot
+            }
+        }
+    }
+
+    #[inline]
+    fn remove(&mut self, slot: u32) -> Ev<M> {
+        let ev = self.slots[slot as usize].take().expect("live slab slot");
+        self.free.push(slot);
+        ev
     }
 }
 
@@ -135,7 +180,7 @@ struct NodeSlot<M> {
     counters: Counters,
     rng: SmallRng,
     next_timer: u64,
-    active_timers: HashSet<TimerId>,
+    active_timers: FxHashSet<TimerId>,
     effects: Vec<Effect<M>>,
 }
 
@@ -143,16 +188,29 @@ struct NodeSlot<M> {
 pub struct Sim<M> {
     now: SimTime,
     seq: u64,
+    /// Events dispatched so far (the denominator of engine throughput).
+    processed: u64,
     fabric: FabricParams,
     nodes: Vec<NodeSlot<M>>,
     groups: GroupTable,
     programs: Vec<Box<dyn SwitchProgram<M>>>,
-    queue: BinaryHeap<Scheduled<M>>,
+    queue: BinaryHeap<Scheduled>,
+    /// Event payloads, indexed by the heap/bucket slot.
+    slab: EventSlab<M>,
+    /// Events scheduled for exactly the current instant, kept out of the
+    /// heap: `(seq, slot)` in FIFO order. The bulk of a busy instant's
+    /// follow-on events (zero-delay sends, immediate deliveries) land here
+    /// and skip two O(log n) heap operations each.
+    now_bucket: VecDeque<(u64, u32)>,
+    /// Scratch reused across `at_switch` calls (program emissions).
+    emit_scratch: Vec<Packet<M>>,
+    /// Scratch reused across group fan-outs (resolved member list).
+    members_scratch: Vec<NodeId>,
     switch_rng: SmallRng,
     drop_filter: Option<DropFilter<M>>,
     /// Active partition: node → group id. Nodes absent from the map are
     /// connected to everyone (clients typically stay global).
-    partition: Option<HashMap<NodeId, u32>>,
+    partition: Option<FxHashMap<NodeId, u32>>,
     /// Active per-link delay/duplication windows.
     link_faults: Vec<LinkFault>,
     restart_hook: Option<RestartHook<M>>,
@@ -167,11 +225,16 @@ impl<M: Clone + Debug + 'static> Sim<M> {
         Sim {
             now: SimTime::ZERO,
             seq: 0,
+            processed: 0,
             fabric,
             nodes: Vec::new(),
             groups: GroupTable::default(),
             programs: Vec::new(),
-            queue: BinaryHeap::new(),
+            queue: BinaryHeap::with_capacity(1024),
+            slab: EventSlab::new(),
+            now_bucket: VecDeque::with_capacity(64),
+            emit_scratch: Vec::new(),
+            members_scratch: Vec::new(),
             switch_rng: SmallRng::seed_from_u64(seed ^ 0x5151_5151_dead_beef),
             drop_filter: None,
             partition: None,
@@ -208,7 +271,7 @@ impl<M: Clone + Debug + 'static> Sim<M> {
             counters: Counters::default(),
             rng,
             next_timer: 0,
-            active_timers: HashSet::new(),
+            active_timers: FxHashSet::default(),
             effects: Vec::new(),
         });
         self.push(self.now, Ev::Start { node: id });
@@ -352,6 +415,13 @@ impl<M: Clone + Debug + 'static> Sim<M> {
         self.now
     }
 
+    /// Total events dispatched by the engine so far. Wall-clock throughput
+    /// of the simulator is `events_processed / elapsed` — the number the
+    /// `sim_throughput` bench pins.
+    pub fn events_processed(&self) -> u64 {
+        self.processed
+    }
+
     /// Number of nodes added so far.
     pub fn num_nodes(&self) -> usize {
         self.nodes.len()
@@ -414,13 +484,10 @@ impl<M: Clone + Debug + 'static> Sim<M> {
     /// Runs the event loop until the clock reaches `t` (all events strictly
     /// before or at `t` are processed); the clock then reads `t`.
     pub fn run_until(&mut self, t: SimTime) {
-        while let Some(head) = self.queue.peek() {
-            if head.at > t {
-                break;
-            }
-            let ev = self.queue.pop().expect("peeked");
-            self.now = ev.at;
-            self.dispatch(ev.ev);
+        while let Some((at, slot)) = self.pop_next(t) {
+            self.now = at;
+            let ev = self.slab.remove(slot);
+            self.dispatch(ev);
         }
         self.now = t;
     }
@@ -436,10 +503,46 @@ impl<M: Clone + Debug + 'static> Sim<M> {
     fn push(&mut self, at: SimTime, ev: Ev<M>) {
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Scheduled { at, seq, ev });
+        let slot = self.slab.insert(ev);
+        if at == self.now {
+            // Same-instant follow-on event: FIFO bucket, no heap traffic.
+            // Seqs are assigned monotonically, so bucket order *is*
+            // (at, seq) order for this instant.
+            self.now_bucket.push_back((seq, slot));
+        } else {
+            self.queue.push(Scheduled { at, seq, slot });
+        }
+    }
+
+    /// Pops the globally earliest `(at, seq)` event at or before `limit`,
+    /// merging the heap with the exact-now bucket. The bucket drains fully
+    /// before time can advance (its entries sort before any strictly later
+    /// heap entry), preserving the single-queue dispatch order exactly.
+    fn pop_next(&mut self, limit: SimTime) -> Option<(SimTime, u32)> {
+        let heap_key = self.queue.peek().map(|s| (s.at, s.seq));
+        let bucket_key = self.now_bucket.front().map(|&(seq, _)| (self.now, seq));
+        let take_bucket = match (heap_key, bucket_key) {
+            (None, None) => return None,
+            (Some(_), None) => false,
+            (None, Some(_)) => true,
+            (Some(h), Some(b)) => b < h,
+        };
+        if take_bucket {
+            // Bucket entries are stamped `now <= limit` by construction.
+            let (_, slot) = self.now_bucket.pop_front().expect("checked front");
+            Some((self.now, slot))
+        } else {
+            let head = *self.queue.peek().expect("checked peek");
+            if head.at > limit {
+                return None;
+            }
+            self.queue.pop();
+            Some((head.at, head.slot))
+        }
     }
 
     fn dispatch(&mut self, ev: Ev<M>) {
+        self.processed += 1;
         // A paused node is alive but not scheduled: its compute events are
         // deferred until resume. (Arrivals still land in the RX ring via
         // `arrive`, so the ring fills and eventually overflows.)
@@ -558,7 +661,7 @@ impl<M: Clone + Debug + 'static> Sim<M> {
                 }
             }
             FaultCmd::Partition { groups } => {
-                let mut map = HashMap::new();
+                let mut map = FxHashMap::default();
                 for (gi, g) in groups.iter().enumerate() {
                     for &n in g {
                         map.insert(n, gi as u32);
@@ -709,8 +812,11 @@ impl<M: Clone + Debug + 'static> Sim<M> {
     }
 
     fn at_switch(&mut self, pkt: Packet<M>) {
-        // Pipeline: programs may rewrite, consume, or emit packets.
-        let mut emit = SwitchEmit::new();
+        // Pipeline: programs may rewrite, consume, or emit packets. The
+        // emission buffer is reused across calls (it is empty between them).
+        let mut emit = SwitchEmit {
+            packets: std::mem::take(&mut self.emit_scratch),
+        };
         let mut cursor = Some(pkt);
         for prog in &mut self.programs {
             match cursor {
@@ -721,68 +827,93 @@ impl<M: Clone + Debug + 'static> Sim<M> {
                 None => break,
             }
         }
-        let mut to_forward = emit.packets;
+        // Emitted packets forward first, the pipeline survivor last — the
+        // order the single-vec implementation always produced.
+        let mut emitted = emit.packets;
+        for p in emitted.drain(..) {
+            self.forward(p);
+        }
+        self.emit_scratch = emitted;
         if let Some(p) = cursor {
-            to_forward.push(p);
+            self.forward(p);
         }
-        for mut p in to_forward {
-            if p.sent_at == SimTime::ZERO {
-                p.sent_at = self.now;
+    }
+
+    /// Forwards one packet out of the switch: stamps switch-originated
+    /// packets, resolves the destination, and schedules delivery copies.
+    /// Unicast moves the payload straight through (zero clones); multicast
+    /// clones n-1 times, moving the packet into the final copy.
+    fn forward(&mut self, mut p: Packet<M>) {
+        if p.sent_at == SimTime::ZERO {
+            p.sent_at = self.now;
+        }
+        let sender = p.src.as_node();
+        if let Some(n) = p.dst.as_node() {
+            self.deliver_copy(p, sender, n);
+            return;
+        }
+        let mut members = std::mem::take(&mut self.members_scratch);
+        members.clear();
+        if let Some(ms) = self.groups.get(p.dst) {
+            members.extend(ms.iter().copied().filter(|n| Some(*n) != sender));
+        }
+        if let Some((&last, rest)) = members.split_last() {
+            for &m in rest {
+                self.deliver_copy(p.clone(), sender, m);
             }
-            let sender = p.src.as_node();
-            let members = self.groups.resolve(p.dst, sender);
-            for m in members {
-                // Partition check: copies between disconnected groups are
-                // silently dropped at the switch.
-                if let Some(s) = sender {
-                    if !self.connected(s, m) {
-                        self.nodes[m as usize].counters.dropped_partition += 1;
-                        continue;
-                    }
-                }
-                // Independent loss per delivered copy.
-                let lost = (self.fabric.loss_rate > 0.0
-                    && self.switch_rng.gen::<f64>() < self.fabric.loss_rate)
-                    || self
-                        .drop_filter
-                        .as_mut()
-                        .map(|f| f(&p, m, self.now))
-                        .unwrap_or(false);
-                if lost {
-                    self.nodes[m as usize].counters.dropped_loss += 1;
-                    continue;
-                }
-                // Per-link fault windows: extra delay and duplication.
-                let mut at = self.now + self.fabric.switch_delay + self.fabric.prop_delay;
-                let mut dup_prob = 0.0f64;
-                for lf in &self.link_faults {
-                    if self.now < lf.until
-                        && lf.src.is_none_or(|s| sender == Some(s))
-                        && lf.dst.is_none_or(|d| d == m)
-                    {
-                        at += lf.extra_delay;
-                        dup_prob = dup_prob.max(lf.dup_prob);
-                    }
-                }
-                if dup_prob > 0.0 && self.switch_rng.gen::<f64>() < dup_prob {
-                    self.nodes[m as usize].counters.duplicated += 1;
-                    self.push(
-                        at,
-                        Ev::PktArrive {
-                            node: m,
-                            pkt: p.clone(),
-                        },
-                    );
-                }
-                self.push(
-                    at,
-                    Ev::PktArrive {
-                        node: m,
-                        pkt: p.clone(),
-                    },
-                );
+            self.deliver_copy(p, sender, last);
+        }
+        self.members_scratch = members;
+    }
+
+    /// Applies one copy's fate — partition check, loss, link-fault delay and
+    /// duplication — and schedules its arrival at `m`. The RNG draw order per
+    /// member matches the historical per-member loop exactly; replay digests
+    /// depend on it.
+    fn deliver_copy(&mut self, p: Packet<M>, sender: Option<NodeId>, m: NodeId) {
+        // Partition check: copies between disconnected groups are
+        // silently dropped at the switch.
+        if let Some(s) = sender {
+            if !self.connected(s, m) {
+                self.nodes[m as usize].counters.dropped_partition += 1;
+                return;
             }
         }
+        // Independent loss per delivered copy.
+        let lost = (self.fabric.loss_rate > 0.0
+            && self.switch_rng.gen::<f64>() < self.fabric.loss_rate)
+            || self
+                .drop_filter
+                .as_mut()
+                .map(|f| f(&p, m, self.now))
+                .unwrap_or(false);
+        if lost {
+            self.nodes[m as usize].counters.dropped_loss += 1;
+            return;
+        }
+        // Per-link fault windows: extra delay and duplication.
+        let mut at = self.now + self.fabric.switch_delay + self.fabric.prop_delay;
+        let mut dup_prob = 0.0f64;
+        for lf in &self.link_faults {
+            if self.now < lf.until
+                && lf.src.is_none_or(|s| sender == Some(s))
+                && lf.dst.is_none_or(|d| d == m)
+            {
+                at += lf.extra_delay;
+                dup_prob = dup_prob.max(lf.dup_prob);
+            }
+        }
+        if dup_prob > 0.0 && self.switch_rng.gen::<f64>() < dup_prob {
+            self.nodes[m as usize].counters.duplicated += 1;
+            self.push(
+                at,
+                Ev::PktArrive {
+                    node: m,
+                    pkt: p.clone(),
+                },
+            );
+        }
+        self.push(at, Ev::PktArrive { node: m, pkt: p });
     }
 
     fn arrive(&mut self, node: NodeId, pkt: Packet<M>) {

@@ -77,4 +77,4 @@ pub use packet::{Addr, NodeId, Packet};
 pub use params::{FabricParams, NicParams};
 pub use switch::{GroupTable, SwitchEmit, SwitchProgram, Verdict};
 pub use time::{SimDur, SimTime};
-pub use trace::{TraceEvent, Tracer, DEFAULT_TRACE_CAP};
+pub use trace::{Detail, DetailFn, TraceEvent, Tracer, DEFAULT_TRACE_CAP};

@@ -19,12 +19,6 @@ pub struct SwitchEmit<M> {
 }
 
 impl<M> SwitchEmit<M> {
-    pub(crate) fn new() -> Self {
-        SwitchEmit {
-            packets: Vec::new(),
-        }
-    }
-
     /// Emits a packet from the switch. `src` should identify the logical
     /// originator (e.g. the aggregator keeps the leader's address so
     /// followers treat the message as coming from the leader).

@@ -10,9 +10,12 @@
 //!
 //! Events are intentionally flat: a static `kind` tag, one numeric `key`
 //! (request id, log index, term — whatever identifies the event), and a
-//! pre-rendered human-readable `detail`. Keeping the key numeric lets
-//! checkers (e.g. exactly-one-reply-per-request) scan without parsing
-//! strings.
+//! [`Detail`] payload. Keeping the key numeric lets checkers (e.g.
+//! exactly-one-reply-per-request) scan without parsing strings — and the
+//! detail is *lazy*: hot paths record a render function plus up to three
+//! raw words, and the human-readable text is produced only when a trace is
+//! actually displayed (a violation bundle, a test failure dump). At full
+//! load the simulator records millions of events and renders none of them.
 
 use crate::packet::{Addr, NodeId};
 use crate::time::SimTime;
@@ -20,6 +23,78 @@ use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::fmt;
 use std::rc::Rc;
+
+/// Renders a lazily recorded detail payload from its three raw words.
+///
+/// Plain-std function-pointer type so protocol crates can expose renderers
+/// without depending on `simnet`.
+pub type DetailFn = fn(&mut fmt::Formatter<'_>, u64, u64, u64) -> fmt::Result;
+
+/// The human-readable context of a [`TraceEvent`], rendered on demand.
+#[derive(Clone, Debug)]
+pub enum Detail {
+    /// No payload beyond `kind` and `key`.
+    None,
+    /// Eagerly rendered text — for cold paths (fault transitions, test
+    /// scaffolding) where a `format!` per event is fine.
+    Text(String),
+    /// Deferred rendering: a function pointer plus its arguments. Recording
+    /// one of these is a few word moves — no allocation, no formatting.
+    Lazy {
+        /// Renders `args` into display form.
+        render: DetailFn,
+        /// Raw words interpreted by `render`.
+        args: (u64, u64, u64),
+    },
+}
+
+impl fmt::Display for Detail {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Detail::None => Ok(()),
+            Detail::Text(s) => f.write_str(s),
+            Detail::Lazy {
+                render,
+                args: (a, b, c),
+            } => render(f, *a, *b, *c),
+        }
+    }
+}
+
+impl Detail {
+    /// Renders to an owned string (test and checker convenience; the hot
+    /// path never calls this).
+    pub fn to_text(&self) -> String {
+        self.to_string()
+    }
+}
+
+// Semantic equality: two details are equal when they render identically.
+// (Comparing the `Lazy` function pointers would be both meaningless — the
+// compiler may merge or duplicate them — and wrong: equality of a trace
+// event is about what an observer would read.)
+impl PartialEq for Detail {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Detail::None, Detail::None) => true,
+            (Detail::Text(a), Detail::Text(b)) => a == b,
+            _ => self.to_text() == other.to_text(),
+        }
+    }
+}
+impl Eq for Detail {}
+
+impl From<String> for Detail {
+    fn from(s: String) -> Detail {
+        Detail::Text(s)
+    }
+}
+
+impl From<&str> for Detail {
+    fn from(s: &str) -> Detail {
+        Detail::Text(s.to_string())
+    }
+}
 
 /// One protocol event, stamped with virtual time and the emitting node.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -36,8 +111,8 @@ pub struct TraceEvent {
     /// Primary numeric identifier (request id, log index, term, ...);
     /// `0` when the event has no natural key.
     pub key: u64,
-    /// Pre-rendered human-readable context.
-    pub detail: String,
+    /// Human-readable context, rendered on demand.
+    pub detail: Detail,
 }
 
 impl fmt::Display for TraceEvent {
@@ -103,7 +178,14 @@ impl Tracer {
     }
 
     /// Appends one event, evicting the oldest if the ring is full.
-    pub fn record(&self, at: SimTime, node: NodeId, kind: &'static str, key: u64, detail: String) {
+    pub fn record(
+        &self,
+        at: SimTime,
+        node: NodeId,
+        kind: &'static str,
+        key: u64,
+        detail: impl Into<Detail>,
+    ) {
         let mut g = self.inner.borrow_mut();
         let seq = g.next_seq;
         g.next_seq += 1;
@@ -116,13 +198,84 @@ impl Tracer {
             node,
             kind,
             key,
-            detail,
+            detail: detail.into(),
         });
+    }
+
+    /// Appends one event with no detail payload — the zero-allocation fast
+    /// path for events whose `kind` and `key` say everything.
+    pub fn record_kv(&self, at: SimTime, node: NodeId, kind: &'static str, key: u64) {
+        self.record(at, node, kind, key, Detail::None);
+    }
+
+    /// Appends one event with a lazily rendered detail: `render` is invoked
+    /// on `(a, b, c)` only if the event is ever displayed. The hot-path
+    /// record primitive — a handful of word moves, no allocation.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_lazy(
+        &self,
+        at: SimTime,
+        node: NodeId,
+        kind: &'static str,
+        key: u64,
+        render: DetailFn,
+        a: u64,
+        b: u64,
+        c: u64,
+    ) {
+        self.record(
+            at,
+            node,
+            kind,
+            key,
+            Detail::Lazy {
+                render,
+                args: (a, b, c),
+            },
+        );
     }
 
     /// Total events ever recorded (including evicted ones).
     pub fn total_recorded(&self) -> u64 {
         self.inner.borrow().next_seq
+    }
+
+    /// Events currently held in the ring.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().buf.len()
+    }
+
+    /// True when the ring holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Visits every buffered event with `seq >= since`, oldest first,
+    /// without cloning. The ring holds seqs contiguously, so the start is
+    /// found by offset, not by scanning: incremental consumers (the
+    /// invariant checker, trace digests) pay only for *new* events per
+    /// call. If eviction outpaced the consumer the visit starts later than
+    /// requested — compare the first visited `seq` against `since` to
+    /// detect the gap.
+    pub fn for_each_since(&self, since: u64, mut f: impl FnMut(&TraceEvent)) {
+        let g = self.inner.borrow();
+        let Some(first) = g.buf.front().map(|e| e.seq) else {
+            return;
+        };
+        let skip = since.saturating_sub(first).min(g.buf.len() as u64) as usize;
+        let (a, b) = g.buf.as_slices();
+        if skip < a.len() {
+            for e in &a[skip..] {
+                f(e);
+            }
+            for e in b {
+                f(e);
+            }
+        } else {
+            for e in &b[skip - a.len()..] {
+                f(e);
+            }
+        }
     }
 
     /// Snapshot of everything currently in the ring, oldest first.
@@ -151,11 +304,17 @@ impl Tracer {
         g.buf.iter().skip(skip).cloned().collect()
     }
 
-    /// Renders the last `n` events as one line each.
+    /// Renders the last `n` events as one line each, streamed into a single
+    /// buffer straight from the ring — no event clones, one allocation
+    /// (growing the output string). Violation bundles and failure dumps go
+    /// through here.
     pub fn render_tail(&self, n: usize) -> String {
         use fmt::Write as _;
-        let mut out = String::new();
-        for e in self.tail(n) {
+        let g = self.inner.borrow();
+        let take = n.min(g.buf.len());
+        let skip = g.buf.len() - take;
+        let mut out = String::with_capacity(take * 56);
+        for e in g.buf.iter().skip(skip) {
             let _ = writeln!(out, "{e}");
         }
         out
@@ -221,10 +380,25 @@ mod tests {
     #[test]
     fn tail_renders_one_line_per_event() {
         let t = Tracer::new(8);
-        t.record(SimTime::ZERO, 0, "x", 1, "one".into());
-        t.record(SimTime::ZERO, 0, "y", 2, "two".into());
+        t.record(SimTime::ZERO, 0, "x", 1, "one");
+        t.record(SimTime::ZERO, 0, "y", 2, "two");
         let s = t.render_tail(10);
         assert_eq!(s.lines().count(), 2);
         assert!(s.contains("one") && s.contains("two"));
+    }
+
+    #[test]
+    fn lazy_detail_renders_identically_to_eager_text() {
+        fn r(f: &mut fmt::Formatter<'_>, a: u64, b: u64, _c: u64) -> fmt::Result {
+            write!(f, "index={a} id={b}")
+        }
+        let t = Tracer::new(8);
+        t.record_lazy(SimTime::ZERO, 3, "reply", 9, r, 4, 9, 0);
+        t.record(SimTime::ZERO, 3, "reply", 9, "index=4 id=9");
+        let s = t.render_tail(2);
+        let mut lines = s.lines();
+        let (lazy, eager) = (lines.next().unwrap(), lines.next().unwrap());
+        assert_eq!(lazy, eager);
+        assert!(lazy.ends_with("index=4 id=9"));
     }
 }

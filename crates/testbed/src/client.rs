@@ -8,9 +8,9 @@
 //! merged, like the paper's multi-machine client pool.
 
 use std::any::Any;
-use std::collections::{HashMap, HashSet};
 
 use bytes::Bytes;
+use fxhash::{FxHashMap, FxHashSet};
 use hovercraft::{OpKind, WireMsg};
 use lancet::{LatencyRecorder, PoissonArrivals, WindowedSeries};
 use r2p2::{ReqId, ReqIdAlloc};
@@ -128,10 +128,12 @@ pub struct ClientAgent {
     arrivals: Option<PoissonArrivals>,
     rng: SmallRng,
     alloc: Option<ReqIdAlloc>,
-    outstanding: HashMap<ReqId, Pending>,
+    // Deterministic hasher: the retry scan iterates this map and resends
+    // in iteration order, so the order must not vary across processes.
+    outstanding: FxHashMap<ReqId, Pending>,
     retry: Option<RetryPolicy>,
     /// Requests already answered once (duplicate detection under retries).
-    completed: HashSet<ReqId>,
+    completed: FxHashSet<ReqId>,
     recorder: LatencyRecorder,
     /// Completion time series (1 ms windows) — Figure 12's instrument.
     pub series: WindowedSeries,
@@ -163,9 +165,9 @@ impl ClientAgent {
             arrivals: None,
             rng: SmallRng::seed_from_u64(seed ^ 0xc11e),
             alloc: None,
-            outstanding: HashMap::new(),
+            outstanding: FxHashMap::default(),
             retry: None,
-            completed: HashSet::new(),
+            completed: FxHashSet::default(),
             recorder: LatencyRecorder::new(),
             series: WindowedSeries::new(1_000_000_000),
             nack_series: WindowedSeries::new(1_000_000_000),

@@ -495,11 +495,12 @@ impl Cluster {
             );
         }
         let total = self.tracer.total_recorded();
-        let tail = self.tracer.tail(BUNDLE_TAIL);
-        let _ = writeln!(s, "\n## trace tail ({} of {} events)", tail.len(), total);
-        for e in tail {
-            let _ = writeln!(s, "{e}");
-        }
+        let shown = self.tracer.len().min(BUNDLE_TAIL);
+        let _ = writeln!(s, "\n## trace tail ({shown} of {total} events)");
+        // Streamed straight out of the ring into one buffer; the bundle
+        // path is the only place these lazily recorded details are ever
+        // rendered.
+        s.push_str(&self.tracer.render_tail(BUNDLE_TAIL));
         if let Err(err) = std::fs::write(&path, &s) {
             eprintln!("failed to write replay bundle {}: {err}", path.display());
         }

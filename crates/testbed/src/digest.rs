@@ -1,0 +1,202 @@
+//! Trace digests: a compact fingerprint of a whole protocol run.
+//!
+//! The simulation is deterministic, so the full stream of trace events —
+//! including the ones the bounded ring evicts — is a pure function of
+//! `(ClusterOpts, seed)`. [`TraceDigest`] folds that stream into one 64-bit
+//! FNV-1a value by harvesting the ring incrementally, which lets tests and
+//! benches assert *bit-exact* protocol behaviour across refactors and
+//! optimizations without retaining gigabytes of events.
+//!
+//! The digest covers each event's structured identity — virtual timestamp,
+//! emitting node, kind tag, and numeric key — and deliberately *not* the
+//! human-readable detail text: detail is rendered lazily for display only,
+//! and hashing it would force the rendering the hot path exists to avoid.
+
+use hovercraft::PolicyKind;
+use simnet::{FaultPlan, FaultPlanConfig, SimDur, SimTime, Tracer};
+
+use crate::client::RetryPolicy;
+use crate::cluster::{Cluster, ClusterOpts};
+use crate::setup::Setup;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental FNV-1a digest over the structured trace stream.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceDigest {
+    hash: u64,
+    count: u64,
+    cursor: u64,
+}
+
+impl Default for TraceDigest {
+    fn default() -> Self {
+        TraceDigest {
+            hash: FNV_OFFSET,
+            count: 0,
+            cursor: 0,
+        }
+    }
+}
+
+fn fnv_u64(mut hash: u64, v: u64) -> u64 {
+    for b in v.to_le_bytes() {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+fn fnv_bytes(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+impl TraceDigest {
+    /// A fresh digest (cursor at the start of the stream).
+    pub fn new() -> TraceDigest {
+        TraceDigest::default()
+    }
+
+    /// Folds every event recorded since the last call into the digest.
+    /// Call at least once per ring-capacity worth of events, or evicted
+    /// events are silently skipped (the final count exposes that: compare
+    /// against [`Tracer::total_recorded`]).
+    pub fn absorb(&mut self, tracer: &Tracer) {
+        let mut hash = self.hash;
+        let mut count = self.count;
+        let mut cursor = self.cursor;
+        tracer.for_each_since(self.cursor, |e| {
+            hash = fnv_u64(hash, e.seq);
+            hash = fnv_u64(hash, e.at.as_nanos());
+            hash = fnv_u64(hash, e.node as u64);
+            hash = fnv_bytes(hash, e.kind.as_bytes());
+            hash = fnv_u64(hash, e.key);
+            count += 1;
+            cursor = e.seq + 1;
+        });
+        self.hash = hash;
+        self.count = count;
+        self.cursor = cursor;
+    }
+
+    /// The current digest value.
+    pub fn value(&self) -> u64 {
+        self.hash
+    }
+
+    /// Events folded in so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+/// Outcome of a canonical digest run: the trace fingerprint plus the raw
+/// volume counters a determinism guard pins.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DigestReport {
+    /// FNV-1a over the structured event stream.
+    pub digest: u64,
+    /// Events folded into the digest (== events recorded when harvesting
+    /// kept up with the ring).
+    pub events: u64,
+    /// Total events ever recorded by the tracer.
+    pub total_recorded: u64,
+    /// Engine events dispatched over the whole run.
+    pub sim_events: u64,
+}
+
+/// The canonical chaos point digested by the determinism guard and the
+/// `sim_throughput` bench: 5-way HovercRaft/JBSQ at 25 kRPS with client
+/// retries, faulted by the seeded [`FaultPlan`] the chaos suite uses.
+pub fn chaos_digest_opts(seed: u64) -> ClusterOpts {
+    let mut o = ClusterOpts::new(Setup::Hovercraft(PolicyKind::Jbsq), 5, 25_000.0);
+    o.warmup = SimDur::millis(50);
+    o.measure = SimDur::millis(300);
+    o.bound = 64;
+    o.retry = Some(RetryPolicy::default());
+    o.seed = seed;
+    o
+}
+
+/// Runs the canonical chaos point for `seed` under invariant checking,
+/// harvesting the digest every simulated millisecond. Deterministic:
+/// repeated calls (in any process) return identical reports.
+pub fn digest_chaos_run(seed: u64) -> DigestReport {
+    let opts = chaos_digest_opts(seed);
+    let mut cluster = Cluster::build(opts);
+    cluster.settle();
+    let plan = FaultPlan::generate(&FaultPlanConfig {
+        nodes: cluster.servers.clone(),
+        window_start: SimTime::ZERO + SimDur::millis(210),
+        window_end: SimTime::ZERO + SimDur::millis(460),
+        episodes: 3,
+        seed,
+    });
+    cluster.sim.apply_fault_plan(&plan);
+    let end = cluster.opts().load_end() + SimDur::millis(220);
+    let mut digest = TraceDigest::new();
+    while cluster.sim.now() < end {
+        let next = (cluster.sim.now() + SimDur::millis(1)).min(end);
+        cluster.run_until_checked(next);
+        digest.absorb(cluster.tracer());
+    }
+    digest.absorb(cluster.tracer());
+    DigestReport {
+        digest: digest.value(),
+        events: digest.count(),
+        total_recorded: cluster.tracer().total_recorded(),
+        sim_events: cluster.sim.events_processed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_tracks_events_and_order() {
+        let t = Tracer::new(64);
+        let mut d = TraceDigest::new();
+        d.absorb(&t);
+        let empty = d.value();
+        t.record_kv(SimTime::ZERO, 1, "a", 7);
+        d.absorb(&t);
+        assert_ne!(d.value(), empty);
+        assert_eq!(d.count(), 1);
+
+        // Same events, same digest; different order, different digest.
+        let run = |kinds: [&'static str; 2]| {
+            let t = Tracer::new(64);
+            for k in kinds {
+                t.record_kv(SimTime::ZERO, 1, k, 0);
+            }
+            let mut d = TraceDigest::new();
+            d.absorb(&t);
+            d.value()
+        };
+        assert_eq!(run(["x", "y"]), run(["x", "y"]));
+        assert_ne!(run(["x", "y"]), run(["y", "x"]));
+    }
+
+    #[test]
+    fn incremental_absorb_equals_one_shot() {
+        let t = Tracer::new(64);
+        let mut inc = TraceDigest::new();
+        for i in 0..10u64 {
+            t.record_kv(SimTime::ZERO, 2, "ev", i);
+            if i % 3 == 0 {
+                inc.absorb(&t);
+            }
+        }
+        inc.absorb(&t);
+        let mut one = TraceDigest::new();
+        one.absorb(&t);
+        assert_eq!(inc.value(), one.value());
+        assert_eq!(inc.count(), one.count());
+    }
+}

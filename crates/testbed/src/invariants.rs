@@ -41,8 +41,9 @@
 //! The checker is stateful (watermarks, first-seen replier stamps, reply
 //! set, trace cursor); create one per cluster and feed it every step.
 
-use std::collections::HashMap;
 use std::fmt;
+
+use fxhash::FxHashMap;
 
 use raft::LogIndex;
 use simnet::NodeId;
@@ -93,24 +94,24 @@ fn violation(
 #[derive(Default)]
 pub struct InvariantChecker {
     /// Per-node high-water marks for monotonicity checks.
-    last_commit: HashMap<NodeId, LogIndex>,
-    last_applied: HashMap<NodeId, LogIndex>,
+    last_commit: FxHashMap<NodeId, LogIndex>,
+    last_applied: FxHashMap<NodeId, LogIndex>,
     /// Committed-prefix agreement has been verified up to here.
     matched_upto: LogIndex,
     /// First-seen `(term, replier)` per live `(node, index)` in the window.
-    repliers: HashMap<(NodeId, LogIndex), (u64, Option<u32>)>,
+    repliers: FxHashMap<(NodeId, LogIndex), (u64, Option<u32>)>,
     /// Per `(term, member)`: assignment depth at first observation, to
     /// absorb inherited over-`B` debt after elections.
-    depth_baseline: HashMap<(u64, NodeId), usize>,
+    depth_baseline: FxHashMap<(u64, NodeId), usize>,
     /// Request keys already answered (invariant 6), with the answering
     /// node and its incarnation at the time of the reply. A second reply
     /// is legal only from the *same* node at a *strictly higher*
     /// incarnation — a restarted replier re-executing its log.
-    replied: HashMap<u64, (NodeId, u64)>,
+    replied: FxHashMap<u64, (NodeId, u64)>,
     /// Per-node restart count as last seen via [`simnet::Sim::restarts`];
     /// a change resets that node's monotonicity watermarks (a restarted
     /// node legitimately regresses to commit = applied = 0).
-    incarnations: HashMap<NodeId, u64>,
+    incarnations: FxHashMap<NodeId, u64>,
     /// Next trace sequence number to consume.
     trace_cursor: u64,
 }
@@ -356,10 +357,16 @@ impl InvariantChecker {
     /// even when a restart's own trace marker has been evicted from the
     /// bounded ring by a re-execution burst in the same check window.
     fn check_reply_uniqueness(&mut self, cl: &Cluster) -> Result<(), Violation> {
-        let events = cl.tracer().events_since(self.trace_cursor);
-        for e in &events {
-            if e.kind != "reply" {
-                continue;
+        // Borrow-only incremental scan: the checker runs every simulated
+        // millisecond, so it visits only events newer than its cursor,
+        // in place in the ring — no per-tick clone of the event window.
+        let replied = &mut self.replied;
+        let mut cursor = self.trace_cursor;
+        let mut found: Option<Violation> = None;
+        cl.tracer().for_each_since(cursor, |e| {
+            cursor = e.seq + 1;
+            if found.is_some() || e.kind != "reply" {
+                return;
             }
             let inc = if (e.node as usize) < cl.sim.num_nodes() {
                 cl.sim
@@ -370,30 +377,31 @@ impl InvariantChecker {
             } else {
                 0
             };
-            match self.replied.get(&e.key) {
+            match replied.get(&e.key) {
                 None => {
-                    self.replied.insert(e.key, (e.node, inc));
+                    replied.insert(e.key, (e.node, inc));
                 }
                 Some(&(node0, inc0)) if e.node == node0 && inc > inc0 => {
-                    self.replied.insert(e.key, (e.node, inc));
+                    replied.insert(e.key, (e.node, inc));
                 }
                 Some(&(node0, inc0)) => {
-                    return violation(
-                        "exactly_one_reply",
-                        e.node,
-                        format!(
+                    found = Some(Violation {
+                        invariant: "exactly_one_reply",
+                        node: Some(e.node),
+                        detail: format!(
                             "request {} answered twice ({}); first by n{node0} \
                              incarnation {inc0}, again by n{} incarnation {inc}",
                             e.key, e.detail, e.node
                         ),
-                    );
+                    });
                 }
             }
+        });
+        self.trace_cursor = cursor;
+        match found {
+            Some(v) => Err(v),
+            None => Ok(()),
         }
-        if let Some(last) = events.last() {
-            self.trace_cursor = last.seq + 1;
-        }
-        Ok(())
     }
 
     /// Invariant 7: flow-control slot conservation at the middlebox.

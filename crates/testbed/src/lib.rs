@@ -15,6 +15,7 @@
 
 mod client;
 mod cluster;
+mod digest;
 mod invariants;
 mod programs;
 mod runner;
@@ -23,6 +24,7 @@ mod setup;
 
 pub use client::{ClientAgent, ClientResults, ClientWorkload, RetryPolicy};
 pub use cluster::{Cluster, ClusterOpts, ServiceKind, WorkloadKind};
+pub use digest::{chaos_digest_opts, digest_chaos_run, DigestReport, TraceDigest};
 pub use invariants::{InvariantChecker, Violation};
 pub use programs::{AggProgram, FcProgram};
 pub use runner::{run_experiment, run_experiment_checked, summarize, ExpResult};

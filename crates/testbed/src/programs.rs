@@ -1,10 +1,34 @@
 //! Adapters mounting the HovercRaft dataplane programs (flow control and
 //! the ++ aggregator) onto the simulated switch pipeline.
 
+use std::fmt;
+
 use hovercraft::{Aggregator, FcDecision, FlowControl, WireMsg};
 use simnet::{Addr, Packet, SimTime, SwitchEmit, SwitchProgram, Tracer, Verdict};
 
 use crate::setup::addrs;
+
+// Deferred-detail renderers for the per-packet dataplane events; the
+// switch programs run on every admitted request, so their trace records
+// must not format (or allocate) unless the trace is actually displayed.
+fn d_in_flight(f: &mut fmt::Formatter<'_>, a: u64, _b: u64, _c: u64) -> fmt::Result {
+    write!(f, "in_flight={a}")
+}
+fn d_reclaim(f: &mut fmt::Formatter<'_>, a: u64, b: u64, _c: u64) -> fmt::Result {
+    write!(f, "slots={a} in_flight={b}")
+}
+fn d_client(f: &mut fmt::Formatter<'_>, a: u64, _b: u64, _c: u64) -> fmt::Result {
+    write!(f, "client=n{a}")
+}
+fn d_agg_commit(f: &mut fmt::Formatter<'_>, a: u64, b: u64, c: u64) -> fmt::Result {
+    write!(f, "term={a} commit={b} dst=n{c}")
+}
+fn d_dst(f: &mut fmt::Formatter<'_>, a: u64, _b: u64, _c: u64) -> fmt::Result {
+    write!(f, "dst=n{a}")
+}
+fn d_term_dst(f: &mut fmt::Formatter<'_>, a: u64, b: u64, _c: u64) -> fmt::Result {
+    write!(f, "term={a} dst=n{b}")
+}
 
 /// The flow-control middlebox as a switch pipeline stage. Must be
 /// registered *before* the aggregator so admitted requests continue down
@@ -30,9 +54,17 @@ impl FcProgram {
         self.tracer = Some(tracer);
     }
 
-    fn trace(&self, now: SimTime, kind: &'static str, key: u64, detail: String) {
+    fn trace(
+        &self,
+        now: SimTime,
+        kind: &'static str,
+        key: u64,
+        render: simnet::DetailFn,
+        a: u64,
+        b: u64,
+    ) {
         if let Some(t) = &self.tracer {
-            t.record(now, addrs::VIP.0, kind, key, detail);
+            t.record_lazy(now, addrs::VIP.0, kind, key, render, a, b, 0);
         }
     }
 }
@@ -55,7 +87,9 @@ impl SwitchProgram<WireMsg> for FcProgram {
                 now,
                 "fc_reclaim",
                 reclaimed,
-                format!("slots={reclaimed} in_flight={}", self.fc.in_flight()),
+                d_reclaim,
+                reclaimed,
+                self.fc.in_flight() as u64,
             );
         }
         match decision {
@@ -65,7 +99,9 @@ impl SwitchProgram<WireMsg> for FcProgram {
                         now,
                         "fc_admit",
                         hovercraft::req_key(*id),
-                        format!("in_flight={}", self.fc.in_flight()),
+                        d_in_flight,
+                        self.fc.in_flight() as u64,
+                        0,
                     );
                 }
                 pkt.dst = Addr(rewritten_dst);
@@ -76,7 +112,9 @@ impl SwitchProgram<WireMsg> for FcProgram {
                     now,
                     "fc_nack",
                     hovercraft::req_key(id),
-                    format!("client=n{client}"),
+                    d_client,
+                    client as u64,
+                    0,
                 );
                 let msg = WireMsg::Nack { id };
                 let size = msg.wire_size();
@@ -88,7 +126,9 @@ impl SwitchProgram<WireMsg> for FcProgram {
                     now,
                     "fc_feedback",
                     0,
-                    format!("in_flight={}", self.fc.in_flight()),
+                    d_in_flight,
+                    self.fc.in_flight() as u64,
+                    0,
                 );
                 Verdict::Consume
             }
@@ -150,19 +190,18 @@ impl SwitchProgram<WireMsg> for AggProgram {
         }
         for (dst, msg) in self.agg.on_packet(pkt.src.0, pkt.payload) {
             if let Some(t) = &self.tracer {
-                let (kind, key, detail) = match &msg {
-                    WireMsg::AggCommit { term, commit, .. } => (
-                        "agg_commit",
-                        *commit,
-                        format!("term={term} commit={commit} dst=n{dst}"),
-                    ),
-                    WireMsg::Raft(_) => ("agg_fanout", 0, format!("dst=n{dst}")),
-                    WireMsg::VoteProbeRep { term } => {
-                        ("agg_probe_rep", *term, format!("term={term} dst=n{dst}"))
+                let d = dst as u64;
+                let (kind, key, render, a, b, c): (_, _, simnet::DetailFn, _, _, _) = match &msg {
+                    WireMsg::AggCommit { term, commit, .. } => {
+                        ("agg_commit", *commit, d_agg_commit, *term, *commit, d)
                     }
-                    _ => ("agg_emit", 0, format!("dst=n{dst}")),
+                    WireMsg::Raft(_) => ("agg_fanout", 0, d_dst, d, 0, 0),
+                    WireMsg::VoteProbeRep { term } => {
+                        ("agg_probe_rep", *term, d_term_dst, *term, d, 0)
+                    }
+                    _ => ("agg_emit", 0, d_dst, d, 0, 0),
                 };
-                t.record(now, addrs::AGG.0, kind, key, detail);
+                t.record_lazy(now, addrs::AGG.0, kind, key, render, a, b, c);
             }
             let size = msg.wire_size();
             // Emitted with the aggregator's own source address: followers

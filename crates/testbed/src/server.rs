@@ -51,11 +51,15 @@ impl ServerAgent {
     }
 
     /// Drains buffered protocol events into the tracer (no-op untraced).
+    /// Events are recorded with *deferred* details — a renderer pointer
+    /// plus raw words — so tracing a full-load run costs word moves, not a
+    /// `format!` per event.
     fn flush_events(&mut self, ctx: &Ctx<'_, WireMsg>) {
         if let Some(t) = &self.tracer {
             let me = self.node.id();
             for ev in self.node.drain_events() {
-                t.record(ctx.now(), me, ev.kind(), ev.key(), ev.detail());
+                let (render, a, b, c) = ev.detail_parts();
+                t.record_lazy(ctx.now(), me, ev.kind(), ev.key(), render, a, b, c);
             }
         }
     }
@@ -159,7 +163,7 @@ impl Agent<WireMsg> for ServerAgent {
 pub struct UnrepAgent {
     service: Box<dyn Service>,
     /// Replies pending app-thread completion, keyed by a rolling token.
-    pending: std::collections::HashMap<u64, (Addr, r2p2::ReqId, bytes::Bytes)>,
+    pending: fxhash::FxHashMap<u64, (Addr, r2p2::ReqId, bytes::Bytes)>,
     next_token: u64,
     /// Requests served.
     pub served: u64,
@@ -170,7 +174,7 @@ impl UnrepAgent {
     pub fn new(service: Box<dyn Service>) -> UnrepAgent {
         UnrepAgent {
             service,
-            pending: std::collections::HashMap::new(),
+            pending: fxhash::FxHashMap::default(),
             next_token: 0,
             served: 0,
         }

@@ -154,7 +154,7 @@ fn paused_replier_is_detected_and_routed_around() {
             e.kind == "replier_assigned"
                 && e.at >= grace
                 && e.at < resumed_at
-                && e.detail.ends_with(&marker)
+                && e.detail.to_text().ends_with(&marker)
         })
         .collect();
     assert!(
