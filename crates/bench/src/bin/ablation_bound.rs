@@ -1,49 +1,6 @@
-//! Ablation: the bounded-queue bound B (§3.4, §3.6).
-//!
-//! B trades failure containment (≤ B lost replies per failed node) and
-//! JBSQ's queue-depth signal against scheduling slack: too small starves
-//! announcement, too large lets a slow node hoard work. Sweeps B on the
-//! Figure 11 workload (bimodal S̄=10µs, 75% read-only, N=3).
-
-use hovercraft::PolicyKind;
-use hovercraft_bench::{banner, with_windows};
-use testbed::{run_experiment, ClusterOpts, Setup, WorkloadKind};
-use workload::{ServiceDist, SynthSpec};
+//! Thin wrapper: renders `the bound-B ablation` via the shared figure registry (see
+//! `hovercraft_bench::figs`), honoring `HC_JOBS` for parallel sweeps.
 
 fn main() {
-    banner(
-        "Ablation — bounded-queue bound B at 150 kRPS (bimodal 10us, 75% RO, N=3)",
-        "tiny B throttles announcements (throughput loss); large B keeps \
-         throughput but weakens failure containment; the paper uses B=32 \
-         for this workload",
-    );
-    println!(
-        "{:>5} {:>12} {:>12} {:>12}",
-        "B", "achieved", "p99(us)", "p50(us)"
-    );
-    for b in [1usize, 2, 4, 8, 16, 32, 64, 128, 256] {
-        let mut o = with_windows(ClusterOpts::new(
-            Setup::HovercraftPp(PolicyKind::Jbsq),
-            3,
-            150_000.0,
-        ));
-        o.workload = WorkloadKind::Synth(SynthSpec {
-            dist: ServiceDist::Bimodal {
-                mean_ns: 10_000,
-                frac_long: 0.1,
-                mult: 10,
-            },
-            req_size: 24,
-            reply_size: 8,
-            ro_fraction: 0.75,
-        });
-        o.bound = b;
-        let r = run_experiment(o);
-        println!(
-            "{b:>5} {:>12.0} {:>12.1} {:>12.1}",
-            r.achieved_rps,
-            r.p99_ns as f64 / 1e3,
-            r.p50_ns as f64 / 1e3
-        );
-    }
+    hovercraft_bench::sweep::figure_main(&hovercraft_bench::figs::ablation_bound::FIG);
 }

@@ -1,54 +1,6 @@
-//! Ablation: multicast loss and the recovery protocol (§3.2, §5).
-//!
-//! HovercRaft does not assume reliable multicast; lost request copies are
-//! repaired with recovery_request messages. Sweeps the independent
-//! per-copy loss probability and reports the recovery traffic and its
-//! latency cost.
-
-use hovercraft::PolicyKind;
-use hovercraft_bench::{banner, windows};
-use simnet::SimDur;
-use testbed::{summarize, Cluster, ClusterOpts, ServerAgent, Setup};
+//! Thin wrapper: renders `the loss-rate ablation` via the shared figure registry (see
+//! `hovercraft_bench::figs`), honoring `HC_JOBS` for parallel sweeps.
 
 fn main() {
-    banner(
-        "Ablation — fabric loss rate vs recovery traffic and latency (N=3, 100 kRPS)",
-        "loss triggers recovery_request repair; goodput holds while tail \
-         latency grows with the repair round trips",
-    );
-    println!(
-        "{:>7} {:>12} {:>11} {:>11} {:>12} {:>10}",
-        "loss", "achieved", "p99(us)", "recoveries", "served", "stalls"
-    );
-    for loss in [0.0, 0.001, 0.005, 0.01, 0.02, 0.05] {
-        let (w, m) = windows();
-        let mut o = ClusterOpts::new(Setup::Hovercraft(PolicyKind::Jbsq), 3, 100_000.0);
-        o.warmup = w;
-        o.measure = m;
-        o.clients = 4;
-        let mut cluster = Cluster::build(o);
-        cluster.sim.set_loss_rate(loss);
-        cluster.run_to_completion();
-        cluster.sim.set_loss_rate(0.0);
-        cluster.sim.run_for(SimDur::millis(50));
-        let mut recov = 0;
-        let mut served = 0;
-        let mut stalls = 0;
-        for &s in &cluster.servers.clone() {
-            let st = cluster.sim.agent::<ServerAgent>(s).node().stats();
-            recov += st.recoveries_sent;
-            served += st.recoveries_served;
-            stalls += st.apply_stalls;
-        }
-        let r = summarize(&mut cluster);
-        println!(
-            "{:>6.1}% {:>12.0} {:>11.1} {:>11} {:>12} {:>10}",
-            loss * 100.0,
-            r.achieved_rps,
-            r.p99_ns as f64 / 1e3,
-            recov,
-            served,
-            stalls
-        );
-    }
+    hovercraft_bench::sweep::figure_main(&hovercraft_bench::figs::ablation_loss::FIG);
 }

@@ -1,52 +1,6 @@
-//! Ablation: the individual contribution of each HovercRaft mechanism.
-//!
-//! Runs the Figure 11 workload with reply load balancing and read-only
-//! load balancing toggled independently, quantifying how much of the
-//! capacity gain each mechanism delivers (§3.3 vs §3.5).
-
-use hovercraft::PolicyKind;
-use hovercraft_bench::{banner, max_under_slo, with_windows};
-use testbed::{ClusterOpts, Setup, WorkloadKind};
-use workload::{ServiceDist, SynthSpec};
+//! Thin wrapper: renders `the mechanism ablation` via the shared figure registry (see
+//! `hovercraft_bench::figs`), honoring `HC_JOBS` for parallel sweeps.
 
 fn main() {
-    banner(
-        "Ablation — mechanism contributions (bimodal 10us, 75% RO, N=3, under 500us SLO)",
-        "read-only LB is the big CPU win on this workload; reply LB matters \
-         for IO-bound shapes (Fig. 10); together they give the full gain",
-    );
-    let rates: Vec<f64> = (1..=12).map(|i| i as f64 * 15_000.0).collect();
-    println!(
-        "{:>10} {:>8} {:>20}",
-        "reply-LB", "ro-LB", "max kRPS under SLO"
-    );
-    for (lb_replies, lb_reads) in [(false, false), (true, false), (false, true), (true, true)] {
-        let (best, _) = max_under_slo(&rates, |rate| {
-            let mut o = with_windows(ClusterOpts::new(
-                Setup::HovercraftPp(PolicyKind::Jbsq),
-                3,
-                rate,
-            ));
-            o.workload = WorkloadKind::Synth(SynthSpec {
-                dist: ServiceDist::Bimodal {
-                    mean_ns: 10_000,
-                    frac_long: 0.1,
-                    mult: 10,
-                },
-                req_size: 24,
-                reply_size: 8,
-                ro_fraction: 0.75,
-            });
-            o.bound = 32;
-            o.lb_replies = Some(lb_replies);
-            o.lb_reads = Some(lb_reads);
-            o
-        });
-        println!(
-            "{:>10} {:>8} {:>17.0}",
-            lb_replies,
-            lb_reads,
-            best / 1_000.0
-        );
-    }
+    hovercraft_bench::sweep::figure_main(&hovercraft_bench::figs::ablation_mechanisms::FIG);
 }

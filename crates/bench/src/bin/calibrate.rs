@@ -1,47 +1,6 @@
-//! Developer tool: sweeps the Figure 8 parameter space to sanity-check the
-//! testbed calibration (request-size sensitivity of each setup). Not one of
-//! the paper's figures — kept as the quickest end-to-end health probe of
-//! the performance model.
-
-use hovercraft::PolicyKind;
-use simnet::SimDur;
-use testbed::{run_experiment, ClusterOpts, Setup, WorkloadKind};
-use workload::{ServiceDist, SynthSpec};
+//! Thin wrapper: renders `the calibration probe` via the shared figure registry (see
+//! `hovercraft_bench::figs`), honoring `HC_JOBS` for parallel sweeps.
 
 fn main() {
-    // Request-size sensitivity (Figure 8 shape check).
-    for setup in [
-        Setup::Vanilla,
-        Setup::Hovercraft(PolicyKind::Jbsq),
-        Setup::HovercraftPp(PolicyKind::Jbsq),
-    ] {
-        for req in [24usize, 64, 512] {
-            let mut best = 0.0f64;
-            for rate in [
-                400_000.0, 500_000.0, 600_000.0, 700_000.0, 800_000.0, 850_000.0, 880_000.0,
-            ] {
-                let mut o = ClusterOpts::new(setup, 3, rate);
-                o.warmup = SimDur::millis(50);
-                o.measure = SimDur::millis(200);
-                o.lb_replies = Some(false);
-                o.clients = 4;
-                o.workload = WorkloadKind::Synth(SynthSpec {
-                    dist: ServiceDist::Fixed { ns: 1000 },
-                    req_size: req,
-                    reply_size: 8,
-                    ro_fraction: 0.0,
-                });
-                let r = run_experiment(o);
-                if r.meets_slo(500_000) {
-                    best = best.max(r.achieved_rps);
-                }
-            }
-            println!(
-                "{:14} req {:>4}B  max-under-SLO {:>9.0}",
-                setup.label(),
-                req,
-                best
-            );
-        }
-    }
+    hovercraft_bench::sweep::figure_main(&hovercraft_bench::figs::calibrate::FIG);
 }

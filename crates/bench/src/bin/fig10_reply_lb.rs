@@ -1,58 +1,6 @@
-//! Figure 10: latency vs throughput with 6 kB replies (§7.3). The
-//! unreplicated server is IO-bound at ~200 kRPS (one 10G link); HovercRaft++
-//! load-balances replies across all replicas for a ~N× capacity gain —
-//! replication *improving* performance.
-
-use hovercraft::PolicyKind;
-use hovercraft_bench::{banner, grid, print_point, with_windows};
-use testbed::{run_experiment, ClusterOpts, Setup, WorkloadKind};
-use workload::{ServiceDist, SynthSpec};
+//! Thin wrapper: renders `Figure 10` via the shared figure registry (see
+//! `hovercraft_bench::figs`), honoring `HC_JOBS` for parallel sweeps.
 
 fn main() {
-    banner(
-        "Figure 10 — latency vs throughput, 6kB replies, reply LB on (S=1us, 24B req)",
-        "UnRep hits the 10G reply-bandwidth wall at ~200 kRPS; 3 and 5 node \
-         HovercRaft++ clusters scale reply capacity ~3x and ~5x",
-    );
-    let wl = || {
-        WorkloadKind::Synth(SynthSpec {
-            dist: ServiceDist::Fixed { ns: 1_000 },
-            req_size: 24,
-            reply_size: 6_000,
-            ro_fraction: 0.0,
-        })
-    };
-    // UnRep.
-    println!("--- UnRep (N=1) ---");
-    for rate in grid(vec![
-        50_000.0, 100_000.0, 150_000.0, 180_000.0, 195_000.0, 210_000.0,
-    ]) {
-        let mut o = with_windows(ClusterOpts::new(Setup::Unrep, 1, rate));
-        o.workload = wl();
-        let r = run_experiment(o);
-        print_point("UnRep", &r);
-    }
-    for n in [3u32, 5] {
-        println!("--- HovercRaft++ N={n} ---");
-        let max = 195_000.0 * n as f64;
-        let rates = grid(vec![
-            max * 0.3,
-            max * 0.5,
-            max * 0.7,
-            max * 0.85,
-            max * 0.95,
-            max * 1.05,
-        ]);
-        for rate in rates {
-            let mut o = with_windows(ClusterOpts::new(
-                Setup::HovercraftPp(PolicyKind::Jbsq),
-                n,
-                rate,
-            ));
-            o.workload = wl();
-            o.bound = 128;
-            let r = run_experiment(o);
-            print_point(&format!("HC++ N={n}"), &r);
-        }
-    }
+    hovercraft_bench::sweep::figure_main(&hovercraft_bench::figs::fig10::FIG);
 }

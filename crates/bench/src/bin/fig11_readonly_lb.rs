@@ -1,50 +1,6 @@
-//! Figure 11: CPU load balancing of read-only operations under service-time
-//! dispersion (§7.3): bimodal S̄ = 10µs (10% of requests 10x longer), 75%
-//! read-only, on a 3-node cluster with bounded queues of 32. JBSQ beats
-//! RANDOM replier selection at the tail.
-
-use hovercraft::PolicyKind;
-use hovercraft_bench::{banner, grid, print_point, with_windows};
-use testbed::{run_experiment, ClusterOpts, Setup, WorkloadKind};
-use workload::{ServiceDist, SynthSpec};
+//! Thin wrapper: renders `Figure 11` via the shared figure registry (see
+//! `hovercraft_bench::figs`), honoring `HC_JOBS` for parallel sweeps.
 
 fn main() {
-    banner(
-        "Figure 11 — bimodal S=10us, 75% read-only, N=3, B=32: JBSQ vs RANDOM vs UnRep",
-        "read-only load balancing lifts capacity ~57% over UnRep (~100k); \
-         JBSQ sustains lower tail latency than RANDOM near saturation",
-    );
-    let wl = || {
-        WorkloadKind::Synth(SynthSpec {
-            dist: ServiceDist::Bimodal {
-                mean_ns: 10_000,
-                frac_long: 0.1,
-                mult: 10,
-            },
-            req_size: 24,
-            reply_size: 8,
-            ro_fraction: 0.75,
-        })
-    };
-    println!("--- UnRep ---");
-    for rate in grid(vec![
-        25_000.0, 50_000.0, 75_000.0, 90_000.0, 97_000.0, 105_000.0,
-    ]) {
-        let mut o = with_windows(ClusterOpts::new(Setup::Unrep, 1, rate));
-        o.workload = wl();
-        let r = run_experiment(o);
-        print_point("UnRep", &r);
-    }
-    for policy in [PolicyKind::Random, PolicyKind::Jbsq] {
-        println!("--- HovercRaft++ {policy:?} ---");
-        for rate in grid(vec![
-            50_000.0, 100_000.0, 125_000.0, 150_000.0, 165_000.0, 180_000.0, 195_000.0,
-        ]) {
-            let mut o = with_windows(ClusterOpts::new(Setup::HovercraftPp(policy), 3, rate));
-            o.workload = wl();
-            o.bound = 32; // §7.3: longer service time, smaller bound
-            let r = run_experiment(o);
-            print_point(&format!("HC++ {policy:?}"), &r);
-        }
-    }
+    hovercraft_bench::sweep::figure_main(&hovercraft_bench::figs::fig11::FIG);
 }

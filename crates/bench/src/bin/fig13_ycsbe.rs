@@ -1,85 +1,6 @@
-//! Figure 13: YCSB-E (95% SCAN / 5% INSERT, 1 kB records) on the Redis-like
-//! store (§7.5). The workload is CPU-bound and read-mostly, so read-only
-//! load balancing converts replicas into throughput: the paper reports a 4x
-//! speedup over the unreplicated deployment at N=7 under the 500µs SLO.
-
-use hovercraft::PolicyKind;
-use hovercraft_bench::{banner, grid, max_under_slo, print_point, with_windows, SLO_NS};
-use testbed::{run_experiment, ClusterOpts, ServiceKind, Setup, WorkloadKind};
-use workload::YcsbWorkload;
-
-const RECORDS: u64 = 10_000;
-
-fn opts(setup: Setup, n: u32, rate: f64) -> ClusterOpts {
-    let mut o = with_windows(ClusterOpts::new(setup, n, rate));
-    o.service = ServiceKind::Kv;
-    o.workload = WorkloadKind::Ycsb {
-        workload: YcsbWorkload::E,
-        records: RECORDS,
-    };
-    o.bound = 64;
-    o
-}
+//! Thin wrapper: renders `Figure 13` via the shared figure registry (see
+//! `hovercraft_bench::figs`), honoring `HC_JOBS` for parallel sweeps.
 
 fn main() {
-    banner(
-        "Figure 13 — YCSB-E on the Redis-like store (unmodified service, all setups)",
-        "SMR adds moderate latency at low load, but read-only load balancing \
-         scales throughput with cluster size: the paper reaches 142 kRPS at \
-         N=7 under the 500us SLO, ~4x over unreplicated",
-    );
-    // Latency-throughput curves.
-    println!("--- UnRep (N=1) ---");
-    let unrep_rates = grid(vec![
-        10_000.0, 20_000.0, 30_000.0, 38_000.0, 44_000.0, 50_000.0,
-    ]);
-    let (unrep_best, pts) = max_under_slo(&unrep_rates, |r| opts(Setup::Unrep, 1, r));
-    for p in &pts {
-        print_point("UnRep", p);
-    }
-    let mut speedups = Vec::new();
-    for n in [3u32, 5, 7] {
-        println!("--- HovercRaft++ N={n} ---");
-        // Amdahl estimate of the capacity: only SCANs (95% of ops, with a
-        // serial fraction f set by the INSERT/SCAN cost ratio) scale out.
-        let f = 0.107;
-        let est = unrep_best / (f + (1.0 - f) / n as f64);
-        let rates = grid(vec![
-            est * 0.3,
-            est * 0.55,
-            est * 0.75,
-            est * 0.9,
-            est * 1.0,
-            est * 1.1,
-        ]);
-        let (best, pts) = max_under_slo(&rates, |r| {
-            opts(Setup::HovercraftPp(PolicyKind::Jbsq), n, r)
-        });
-        for p in &pts {
-            print_point(&format!("HC++ N={n}"), p);
-        }
-        speedups.push((n, best));
-    }
-    println!();
-    println!(
-        "max under {}us SLO:  UnRep {:>8.0} RPS",
-        SLO_NS / 1_000,
-        unrep_best
-    );
-    for (n, best) in speedups {
-        println!(
-            "                    HC++ N={n} {:>8.0} RPS  ({:.2}x over UnRep)",
-            best,
-            best / unrep_best
-        );
-    }
-    // Sanity at low load: SMR latency cost is moderate (paper: negligible
-    // up to 10 kRPS).
-    let lo_unrep = run_experiment(opts(Setup::Unrep, 1, 10_000.0));
-    let lo_hc = run_experiment(opts(Setup::HovercraftPp(PolicyKind::Jbsq), 7, 10_000.0));
-    println!(
-        "low-load p99: UnRep {:.0}us vs HC++ N=7 {:.0}us",
-        lo_unrep.p99_ns as f64 / 1e3,
-        lo_hc.p99_ns as f64 / 1e3
-    );
+    hovercraft_bench::sweep::figure_main(&hovercraft_bench::figs::fig13::FIG);
 }

@@ -1,34 +1,6 @@
-//! Figure 7: 99th-percentile latency vs throughput for a fixed S = 1µs
-//! service with 24-byte requests and 8-byte replies on a 3-node cluster,
-//! with reply load balancing explicitly disabled (§7.1).
-
-use hovercraft::PolicyKind;
-use hovercraft_bench::{banner, grid, print_point, with_windows};
-use testbed::{run_experiment, ClusterOpts, Setup};
+//! Thin wrapper: renders `Figure 7` via the shared figure registry (see
+//! `hovercraft_bench::figs`), honoring `HC_JOBS` for parallel sweeps.
 
 fn main() {
-    banner(
-        "Figure 7 — latency vs throughput, S=1us, 24B req / 8B reply, N=3",
-        "all four setups reach close to 1M RPS under the 500us SLO; the \
-         fault-tolerant setups carry a small constant latency offset over \
-         UnRep (one extra consensus round trip)",
-    );
-    let rates = grid(vec![
-        50_000.0, 200_000.0, 400_000.0, 600_000.0, 700_000.0, 800_000.0, 850_000.0, 876_000.0,
-        900_000.0, 950_000.0,
-    ]);
-    for setup in [
-        Setup::Unrep,
-        Setup::Vanilla,
-        Setup::Hovercraft(PolicyKind::Jbsq),
-        Setup::HovercraftPp(PolicyKind::Jbsq),
-    ] {
-        println!("--- {} ---", setup.label());
-        for &rate in &rates {
-            let mut o = with_windows(ClusterOpts::new(setup, 3, rate));
-            o.lb_replies = Some(false); // §7.1: focus on protocol overheads
-            let r = run_experiment(o);
-            print_point(setup.label(), &r);
-        }
-    }
+    hovercraft_bench::sweep::figure_main(&hovercraft_bench::figs::fig7::FIG);
 }

@@ -1,52 +1,6 @@
-//! Figure 8: achieved throughput under the 500µs SLO as a function of the
-//! client request size (§7.1). HovercRaft separates replication from
-//! ordering, so its cost is independent of request size; VanillaRaft pays
-//! for every payload byte twice at the leader.
-
-use hovercraft::PolicyKind;
-use hovercraft_bench::{banner, grid, max_under_slo, with_windows};
-use testbed::{ClusterOpts, Setup, WorkloadKind};
-use workload::{ServiceDist, SynthSpec};
+//! Thin wrapper: renders `Figure 8` via the shared figure registry (see
+//! `hovercraft_bench::figs`), honoring `HC_JOBS` for parallel sweeps.
 
 fn main() {
-    banner(
-        "Figure 8 — max kRPS under 500us SLO vs request size (S=1us, 8B replies, N=3)",
-        "VanillaRaft loses ~2% at 64B and ~48% at 512B vs its 24B baseline; \
-         HovercRaft and HovercRaft++ are unaffected by request size",
-    );
-    let rates = grid(vec![
-        300_000.0, 400_000.0, 500_000.0, 600_000.0, 700_000.0, 800_000.0, 850_000.0, 876_000.0,
-    ]);
-    println!("{:14} {:>6} {:>18}", "setup", "reqB", "max kRPS under SLO");
-    let mut baseline = std::collections::HashMap::new();
-    for setup in [
-        Setup::Vanilla,
-        Setup::Hovercraft(PolicyKind::Jbsq),
-        Setup::HovercraftPp(PolicyKind::Jbsq),
-    ] {
-        for req in [24usize, 64, 512] {
-            let (best, _) = max_under_slo(&rates, |rate| {
-                let mut o = with_windows(ClusterOpts::new(setup, 3, rate));
-                o.lb_replies = Some(false);
-                o.workload = WorkloadKind::Synth(SynthSpec {
-                    dist: ServiceDist::Fixed { ns: 1_000 },
-                    req_size: req,
-                    reply_size: 8,
-                    ro_fraction: 0.0,
-                });
-                o
-            });
-            if req == 24 {
-                baseline.insert(setup.label(), best);
-            }
-            let delta = 100.0 * (best / baseline[setup.label()] - 1.0);
-            println!(
-                "{:14} {:>6} {:>15.0}  ({:+.1}% vs 24B)",
-                setup.label(),
-                req,
-                best / 1_000.0,
-                delta
-            );
-        }
-    }
+    hovercraft_bench::sweep::figure_main(&hovercraft_bench::figs::fig8::FIG);
 }

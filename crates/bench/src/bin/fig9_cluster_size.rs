@@ -1,44 +1,6 @@
-//! Figure 9: achieved throughput under the 500µs SLO as the cluster grows
-//! to 5, 7, and 9 nodes (§7.2) — "scaling cluster sizes without regret".
-
-use hovercraft::PolicyKind;
-use hovercraft_bench::{banner, grid, max_under_slo, with_windows};
-use testbed::{ClusterOpts, Setup};
+//! Thin wrapper: renders `Figure 9` via the shared figure registry (see
+//! `hovercraft_bench::figs`), honoring `HC_JOBS` for parallel sweeps.
 
 fn main() {
-    banner(
-        "Figure 9 — max kRPS under 500us SLO vs cluster size (S=1us, 24B/8B)",
-        "VanillaRaft degrades most (-43% at N=9 in the paper); HovercRaft \
-         degrades less; HovercRaft++ is flat — the aggregator makes leader \
-         cost independent of cluster size",
-    );
-    let rates = grid(vec![
-        300_000.0, 400_000.0, 500_000.0, 600_000.0, 700_000.0, 800_000.0, 850_000.0, 876_000.0,
-    ]);
-    println!("{:14} {:>3} {:>18}", "setup", "N", "max kRPS under SLO");
-    let mut baseline = std::collections::HashMap::new();
-    for setup in [
-        Setup::Vanilla,
-        Setup::Hovercraft(PolicyKind::Jbsq),
-        Setup::HovercraftPp(PolicyKind::Jbsq),
-    ] {
-        for n in [3u32, 5, 7, 9] {
-            let (best, _) = max_under_slo(&rates, |rate| {
-                let mut o = with_windows(ClusterOpts::new(setup, n, rate));
-                o.lb_replies = Some(false);
-                o
-            });
-            if n == 3 {
-                baseline.insert(setup.label(), best);
-            }
-            let delta = 100.0 * (best / baseline[setup.label()] - 1.0);
-            println!(
-                "{:14} {:>3} {:>15.0}  ({:+.1}% vs N=3)",
-                setup.label(),
-                n,
-                best / 1_000.0,
-                delta
-            );
-        }
-    }
+    hovercraft_bench::sweep::figure_main(&hovercraft_bench::figs::fig9::FIG);
 }

@@ -1,0 +1,274 @@
+//! Suite driver: runs every figure/table with cross-figure *and*
+//! within-figure parallelism on one shared work-stealing pool, writing
+//! `results/<name>.txt` per figure — byte-identical to running each
+//! binary serially — and recording suite wall-clock in `BENCH_sim.json`.
+//!
+//! Usage:
+//!
+//! ```text
+//! run_all_figs [--results DIR] [--bench-out PATH] [--compare-serial]
+//!              [--gate] [--list] [FIGURE ...]
+//! ```
+//!
+//! * `HC_JOBS=N` sets the worker count (default: all cores; `1` = exact
+//!   serial execution). `HC_FAST=1` shortens every figure (CI smoke).
+//! * `--compare-serial` reruns the whole suite with `HC_JOBS=1` semantics
+//!   and verifies every figure's output is **byte-identical** to the
+//!   parallel run, recording both wall-times.
+//! * `--bench-out PATH` merges `suite_*` keys into the flat BENCH JSON at
+//!   PATH (preserving keys written by `sim_throughput`).
+//! * `--gate` exits non-zero if any figure failed, if the serial/parallel
+//!   outputs differ, or — on a ≥4-core runner with ≥4 workers — if the
+//!   parallel suite is not at least `HC_GATE_MIN_SPEEDUP`× (default 3×)
+//!   faster than the serial rerun.
+//!
+//! Exit status: `0` all green; `1` a figure failed (first failure is
+//! propagated — the shell wrapper `run_figs.sh` forwards it) or a gate
+//! check failed; `2` bad usage.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use hovercraft_bench::figs;
+use hovercraft_bench::sweep::{self, fnv1a64, try_render, Figure, Sweep};
+use pool::Pool;
+
+/// Outcome of one figure render.
+type FigResult = Result<String, String>;
+
+/// Runs the given figures with `jobs` workers: one shared pool schedules
+/// across figures, and each figure's inner sweeps nest on the same
+/// workers. `jobs <= 1` is the exact serial path (no pool at all).
+fn run_suite(figures: &[Figure], jobs: usize) -> Vec<FigResult> {
+    if jobs <= 1 {
+        return figures
+            .iter()
+            .map(|f| try_render(f, &Sweep::SERIAL))
+            .collect();
+    }
+    Pool::new(jobs).scope(|s| {
+        s.join_map(figures.to_vec(), |sc, _, fig| {
+            try_render(&fig, &Sweep::pooled(sc))
+        })
+    })
+}
+
+/// Combined FNV-1a digest over (name, output) of every figure, in suite
+/// order — the fingerprint compared between serial and parallel runs.
+fn suite_digest(figures: &[Figure], outputs: &[FigResult]) -> u64 {
+    let mut blob = String::new();
+    for (f, out) in figures.iter().zip(outputs) {
+        let _ = write!(blob, "{}\0", f.name);
+        match out {
+            Ok(s) => blob.push_str(s),
+            Err(e) => {
+                let _ = write!(blob, "PANIC: {e}");
+            }
+        }
+        blob.push('\0');
+    }
+    fnv1a64(blob.as_bytes())
+}
+
+/// Merges `(key, value)` pairs into a flat one-pair-per-line JSON file
+/// (the `BENCH_sim.json` format written by `sim_throughput`), replacing
+/// existing keys in place and appending new ones before the closing
+/// brace. Values are written verbatim (pre-formatted).
+fn merge_bench_json(path: &str, updates: &[(String, String)]) -> std::io::Result<()> {
+    let existing = std::fs::read_to_string(path).unwrap_or_else(|_| "{\n}\n".to_string());
+    let mut keys: Vec<(String, String)> = Vec::new();
+    for line in existing.lines() {
+        let t = line.trim();
+        if let Some(rest) = t.strip_prefix('"') {
+            if let Some((key, val)) = rest.split_once("\":") {
+                keys.push((
+                    key.to_string(),
+                    val.trim().trim_end_matches(',').to_string(),
+                ));
+            }
+        }
+    }
+    for (k, v) in updates {
+        if let Some(slot) = keys.iter_mut().find(|(key, _)| key == k) {
+            slot.1 = v.clone();
+        } else {
+            keys.push((k.clone(), v.clone()));
+        }
+    }
+    let mut out = String::from("{\n");
+    for (i, (k, v)) in keys.iter().enumerate() {
+        let comma = if i + 1 == keys.len() { "" } else { "," };
+        let _ = writeln!(out, "  \"{k}\": {v}{comma}");
+    }
+    out.push_str("}\n");
+    std::fs::write(path, out)
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: run_all_figs [--results DIR] [--bench-out PATH] \
+         [--compare-serial] [--gate] [--list] [FIGURE ...]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut results_dir = String::from("results");
+    let mut bench_out: Option<String> = None;
+    let mut compare_serial = false;
+    let mut gate = false;
+    let mut names: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--results" => results_dir = args.next().unwrap_or_else(|| usage()),
+            "--bench-out" => bench_out = Some(args.next().unwrap_or_else(|| usage())),
+            "--compare-serial" => compare_serial = true,
+            "--gate" => gate = true,
+            "--list" => {
+                for f in figs::all() {
+                    println!("{}", f.name);
+                }
+                return;
+            }
+            other if !other.starts_with('-') => names.push(other.to_string()),
+            _ => usage(),
+        }
+    }
+    let figures: Vec<Figure> = if names.is_empty() {
+        figs::all()
+    } else {
+        names
+            .iter()
+            .map(|n| {
+                figs::by_name(n).unwrap_or_else(|| {
+                    eprintln!("unknown figure: {n} (try --list)");
+                    std::process::exit(2);
+                })
+            })
+            .collect()
+    };
+
+    let jobs = sweep::jobs();
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "== run_all_figs: {} figures, {} workers ({} cores){} ==",
+        figures.len(),
+        jobs,
+        cores,
+        if hovercraft_bench::fast() {
+            ", HC_FAST=1"
+        } else {
+            ""
+        }
+    );
+
+    let t0 = Instant::now();
+    let outputs = run_suite(&figures, jobs);
+    let wall_par = t0.elapsed().as_secs_f64();
+    let digest_par = suite_digest(&figures, &outputs);
+
+    std::fs::create_dir_all(&results_dir).expect("create results dir");
+    let mut failures: Vec<String> = Vec::new();
+    for (f, out) in figures.iter().zip(&outputs) {
+        let path = format!("{results_dir}/{}.txt", f.name);
+        match out {
+            Ok(s) => {
+                std::fs::write(&path, s).expect("write figure output");
+                println!("=== done {} ({} bytes) ===", f.name, s.len());
+            }
+            Err(e) => {
+                std::fs::write(&path, format!("PANIC: {e}\n")).expect("write figure output");
+                println!("=== FAILED {}: {e} ===", f.name);
+                failures.push(f.name.to_string());
+            }
+        }
+    }
+    println!("suite wall-clock: {wall_par:.2}s with {jobs} workers (digest {digest_par:#018x})");
+
+    let mut serial: Option<(f64, u64)> = None;
+    if compare_serial {
+        println!("-- serial rerun (HC_JOBS=1 semantics) for byte-equality + speedup --");
+        let t1 = Instant::now();
+        let serial_outputs = run_suite(&figures, 1);
+        let wall_ser = t1.elapsed().as_secs_f64();
+        let digest_ser = suite_digest(&figures, &serial_outputs);
+        for (f, (p, s)) in figures.iter().zip(outputs.iter().zip(&serial_outputs)) {
+            if p != s {
+                failures.push(format!("{} (serial/parallel outputs differ)", f.name));
+                println!(
+                    "=== MISMATCH {}: serial and parallel outputs differ ===",
+                    f.name
+                );
+            }
+        }
+        println!(
+            "serial wall-clock: {wall_ser:.2}s (digest {digest_ser:#018x}) — speedup {:.2}x",
+            wall_ser / wall_par.max(1e-9)
+        );
+        if digest_ser != digest_par {
+            failures.push("suite digest (serial vs parallel)".to_string());
+        }
+        serial = Some((wall_ser, digest_ser));
+    }
+
+    if let Some(path) = &bench_out {
+        let mut updates: Vec<(String, String)> = vec![
+            ("suite_jobs".into(), jobs.to_string()),
+            ("suite_figures".into(), figures.len().to_string()),
+            ("suite_fast".into(), hovercraft_bench::fast().to_string()),
+            ("suite_wall_s_parallel".into(), format!("{wall_par:.6}")),
+            (
+                "suite_output_digest".into(),
+                format!("\"{digest_par:#018x}\""),
+            ),
+        ];
+        if let Some((wall_ser, digest_ser)) = serial {
+            updates.push(("suite_wall_s_serial".into(), format!("{wall_ser:.6}")));
+            updates.push((
+                "suite_output_digest_serial".into(),
+                format!("\"{digest_ser:#018x}\""),
+            ));
+        }
+        merge_bench_json(path, &updates).expect("merge bench json");
+        println!("suite keys merged into {path}");
+    }
+
+    if gate {
+        if let Some((wall_ser, _)) = serial {
+            let min_speedup: f64 = std::env::var("HC_GATE_MIN_SPEEDUP")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(3.0);
+            // The ≥3× acceptance target is defined on a ≥4-core runner
+            // with ≥4 workers; on smaller machines (or oversubscribed
+            // HC_JOBS) only the byte-equality half of the gate applies.
+            if cores >= 4 && jobs >= 4 {
+                let speedup = wall_ser / wall_par.max(1e-9);
+                if speedup < min_speedup {
+                    failures.push(format!(
+                        "suite speedup {speedup:.2}x < required {min_speedup:.2}x \
+                         ({jobs} workers on {cores} cores)"
+                    ));
+                } else {
+                    println!("speedup gate: {speedup:.2}x >= {min_speedup:.2}x — ok");
+                }
+            } else {
+                println!(
+                    "speedup gate skipped: {cores} cores / {jobs} workers \
+                     (requires >= 4 of each); byte-equality still enforced"
+                );
+            }
+        }
+    }
+
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+    println!("ALL-FIGURES-DONE");
+}

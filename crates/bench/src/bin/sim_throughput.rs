@@ -160,6 +160,40 @@ fn render_report(fig7: &Metrics, chaos: &Metrics, digest: &TraceDigest) -> Strin
     s
 }
 
+/// Carries the `suite_*` keys (written by `run_all_figs`) from the
+/// previous report at `out_path` into the freshly rendered `report`, so
+/// rerunning `sim_throughput` never erases the suite wall-clock record.
+fn preserve_suite_keys(out_path: &str, report: &str) -> String {
+    let Ok(existing) = std::fs::read_to_string(out_path) else {
+        return report.to_string();
+    };
+    let suite_lines: Vec<String> = existing
+        .lines()
+        .filter(|l| l.trim_start().starts_with("\"suite_"))
+        .map(|l| l.trim_end().trim_end_matches(',').to_string())
+        .collect();
+    if suite_lines.is_empty() {
+        return report.to_string();
+    }
+    let mut out = String::new();
+    for line in report.lines() {
+        if line == "}" {
+            // Re-comma the previous last pair, then append suite keys.
+            let trimmed = out.trim_end().to_string();
+            out = trimmed + ",\n";
+            for (i, l) in suite_lines.iter().enumerate() {
+                let comma = if i + 1 == suite_lines.len() { "" } else { "," };
+                out.push_str(l);
+                out.push_str(comma);
+                out.push('\n');
+            }
+        }
+        out.push_str(line);
+        out.push('\n');
+    }
+    out
+}
+
 /// Finds `"key": value` in a flat one-pair-per-line JSON report.
 fn lookup(report: &str, key: &str) -> Option<String> {
     let needle = format!("\"{key}\":");
@@ -216,6 +250,38 @@ fn check_baseline(baseline: &str, report: &str) -> Vec<String> {
     } else {
         println!("  (digest not compared: baseline ran with a different seed)");
     }
+    // Suite-level gate: when a document carries `run_all_figs` suite keys,
+    // the serial and parallel output digests it records must agree, and
+    // both wall-times must be present — a committed BENCH_sim.json can
+    // never quietly record a parallel run that diverged from serial.
+    for (label, doc) in [("baseline", baseline), ("report", report)] {
+        let par = lookup(doc, "suite_output_digest");
+        let ser = lookup(doc, "suite_output_digest_serial");
+        match (par, ser) {
+            (None, None) => {}
+            (Some(p), Some(s)) => {
+                if p != s {
+                    failures.push(format!(
+                        "{label}: suite_output_digest {p} != suite_output_digest_serial {s} \
+                         — parallel figure suite diverged from serial"
+                    ));
+                } else {
+                    println!("  {label} suite_output_digest: {p} — serial/parallel bit-exact");
+                }
+                for key in ["suite_wall_s_parallel", "suite_wall_s_serial"] {
+                    if lookup_f64(doc, key).is_none() {
+                        failures.push(format!("{label}: missing {key}"));
+                    }
+                }
+            }
+            (p, s) => {
+                failures.push(format!(
+                    "{label}: incomplete suite digest record (parallel {p:?}, serial {s:?}) \
+                     — rerun run_all_figs --compare-serial --bench-out"
+                ));
+            }
+        }
+    }
     failures
 }
 
@@ -239,8 +305,29 @@ fn main() {
     if fast() {
         println!("(HC_FAST=1: smoke windows)");
     }
+    // Both workloads go through the sweep layer: HC_JOBS=1 runs them
+    // serially exactly as before; HC_JOBS>=2 times them concurrently on
+    // separate workers (each measures its own wall-clock around its own
+    // single-threaded world, so per-workload events/sec stays meaningful
+    // on a machine with free cores).
+    enum WorkloadOut {
+        Fig7(Metrics),
+        Chaos(Metrics, TraceDigest),
+    }
+    let mut outs = hovercraft_bench::sweep::par_map(vec![0u8, 1], |which| match which {
+        0 => WorkloadOut::Fig7(run_fig7()),
+        _ => {
+            let (m, d) = run_chaos(CHAOS_SEED);
+            WorkloadOut::Chaos(m, d)
+        }
+    })
+    .into_iter();
+    let (Some(WorkloadOut::Fig7(fig7)), Some(WorkloadOut::Chaos(chaos, digest))) =
+        (outs.next(), outs.next())
+    else {
+        unreachable!("par_map returns outputs in input order");
+    };
     println!("-- fig7 workload (3-node HovercRaft/JBSQ @ 800 kRPS, unchecked) --");
-    let fig7 = run_fig7();
     println!(
         "   {} events in {:.2}s  ->  {:.0} events/s, {:.0} sim-ns/wall-s, {} trace events",
         fig7.events,
@@ -250,7 +337,6 @@ fn main() {
         fig7.trace_events,
     );
     println!("-- chaos workload (5-node, fault plan, 1ms invariant checking + digest) --");
-    let (chaos, digest) = run_chaos(CHAOS_SEED);
     println!(
         "   {} events in {:.2}s  ->  {:.0} events/s, {:.0} sim-ns/wall-s, digest {:#018x} over {} events",
         chaos.events,
@@ -261,7 +347,7 @@ fn main() {
         digest.count(),
     );
 
-    let report = render_report(&fig7, &chaos, &digest);
+    let report = preserve_suite_keys(&out, &render_report(&fig7, &chaos, &digest));
     std::fs::write(&out, &report).expect("write report");
     println!("report written to {out}");
 

@@ -1,59 +1,6 @@
-//! Table 1: leader Rx/Tx message complexity per client request in the
-//! non-failure case (§4). Measured from live per-node NIC counters over the
-//! steady-state window, for N = 3..9.
-//!
-//! Paper's analytic table (per request):
-//!   Raft        : Rx 1+(N-1)      Tx (N-1)+1
-//!   HovercRaft  : Rx 1+(N-1)      Tx (N-1)+1/N
-//!   HovercRaft++: Rx 1+1          Tx 1+1/N
-//!
-//! Our measured Tx additionally includes the FEEDBACK message per reply
-//! when flow control is deployed (HovercRaft modes), and reply
-//! load-balancing is left on, so HovercRaft leader Tx ≈ (N-1) + 1/N + 1/N.
-
-use hovercraft::PolicyKind;
-use hovercraft_bench::{banner, with_windows};
-use testbed::{run_experiment, ClusterOpts, Setup};
+//! Thin wrapper: renders `Table 1` via the shared figure registry (see
+//! `hovercraft_bench::figs`), honoring `HC_JOBS` for parallel sweeps.
 
 fn main() {
-    banner(
-        "Table 1 — leader Rx/Tx messages per request (measured, steady state)",
-        "Raft and HovercRaft leader message counts grow with N; the \
-         HovercRaft++ aggregator makes them constant (~2 Rx, ~1+2/N Tx)",
-    );
-    println!(
-        "{:>3} | {:>24} | {:>24} | {:>24}",
-        "N", "VanillaRaft rx/tx", "HovercRaft rx/tx", "HovercRaft++ rx/tx"
-    );
-    for n in [3u32, 5, 7, 9] {
-        let mut cells = Vec::new();
-        for setup in [
-            Setup::Vanilla,
-            Setup::Hovercraft(PolicyKind::Jbsq),
-            Setup::HovercraftPp(PolicyKind::Jbsq),
-        ] {
-            // High load (but under the SLO knee) so the pipeline stays
-            // busy and commit indices ride data-carrying appends, like the
-            // steady state the paper's analytic table describes. At low
-            // load the latency-saving catch-up notifications (§3.7's
-            // 2.5-RTT path) add up to two messages per request.
-            let rate = if n <= 5 { 700_000.0 } else { 400_000.0 };
-            let o = with_windows(ClusterOpts::new(setup, n, rate));
-            let r = run_experiment(o);
-            let leader = r.leader.expect("leader") as usize;
-            let c = r.server_counters[leader];
-            let per = r.responses.max(1) as f64;
-            cells.push(format!(
-                "{:>6.2} / {:<6.2}",
-                c.rx_msgs as f64 / per,
-                c.tx_msgs as f64 / per
-            ));
-        }
-        println!(
-            "{n:>3} | {:>24} | {:>24} | {:>24}",
-            cells[0], cells[1], cells[2]
-        );
-    }
-    println!();
-    println!("analytic (paper):   Raft rx=N, tx=N | HovercRaft rx=N, tx=(N-1)+1/N(+fb) | HC++ rx=2, tx=1+1/N(+fb)");
+    hovercraft_bench::sweep::figure_main(&hovercraft_bench::figs::table1::FIG);
 }

@@ -1,60 +1,6 @@
-//! Extension: the broader YCSB suite (A–E) through the full HovercRaft++
-//! stack. The paper evaluates workload E; this bin shows how the benefit
-//! tracks the read-only fraction across the standard workloads — C (100 %
-//! reads) load-balances perfectly, A (50 % updates) is bound by full-SMR
-//! execution.
-
-use hovercraft::PolicyKind;
-use hovercraft_bench::{banner, grid, max_under_slo, with_windows};
-use testbed::{ClusterOpts, ServiceKind, Setup, WorkloadKind};
-use workload::YcsbWorkload;
+//! Thin wrapper: renders `the YCSB A-E extension` via the shared figure registry (see
+//! `hovercraft_bench::figs`), honoring `HC_JOBS` for parallel sweeps.
 
 fn main() {
-    banner(
-        "Extension — YCSB A/B/C/D/E on the KV store, UnRep vs HovercRaft++ N=5",
-        "the speedup from replication tracks the load-balanceable (read-only) \
-         fraction: ~1x for update-heavy A, approaching N for read-only C",
-    );
-    println!(
-        "{:10} {:>14} {:>14} {:>9}",
-        "workload", "UnRep kRPS", "HC++ N=5 kRPS", "speedup"
-    );
-    for (wl, label) in [
-        (YcsbWorkload::A, "A 50%upd"),
-        (YcsbWorkload::B, "B 5%upd"),
-        (YcsbWorkload::C, "C reads"),
-        (YcsbWorkload::D, "D latest"),
-        (YcsbWorkload::E, "E scans"),
-    ] {
-        let mk = |setup: Setup, n: u32| {
-            move |rate: f64| {
-                let mut o = with_windows(ClusterOpts::new(setup, n, rate));
-                o.service = ServiceKind::Kv;
-                o.workload = WorkloadKind::Ycsb {
-                    workload: wl,
-                    records: 10_000,
-                };
-                o.bound = 64;
-                o
-            }
-        };
-        // Point reads/updates are much cheaper than E's scans: sweep wide.
-        let unrep_rates = grid(vec![
-            20_000.0, 40_000.0, 80_000.0, 120_000.0, 160_000.0, 200_000.0,
-        ]);
-        let (unrep, _) = max_under_slo(&unrep_rates, mk(Setup::Unrep, 1));
-        // Replication can help by at most ~N and never by less than ~0.8x:
-        // ladder the HC++ sweep off the measured unreplicated knee.
-        let hc_rates: Vec<f64> = [0.8, 1.2, 1.8, 2.5, 3.3, 4.2, 5.2]
-            .iter()
-            .map(|m| m * unrep.max(10_000.0))
-            .collect();
-        let (hc, _) = max_under_slo(&hc_rates, mk(Setup::HovercraftPp(PolicyKind::Jbsq), 5));
-        println!(
-            "{label:10} {:>14.1} {:>14.1} {:>8.2}x",
-            unrep / 1e3,
-            hc / 1e3,
-            hc / unrep.max(1.0)
-        );
-    }
+    hovercraft_bench::sweep::figure_main(&hovercraft_bench::figs::ycsb_suite::FIG);
 }

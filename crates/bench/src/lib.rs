@@ -15,15 +15,25 @@
 //! | `fig13_ycsbe` | Fig. 13 — YCSB-E on the Redis-like store |
 //! | `table1_msg_counts` | Table 1 — leader Rx/Tx messages per request |
 //!
-//! Set `HC_FAST=1` for a quick smoke pass (shorter windows, coarser grids);
+//! `run_all_figs` schedules the whole suite (figures *and* their inner
+//! load grids) across cores on the vendored work-stealing [`pool`], with
+//! byte-identical output to a serial run; see [`sweep`]. `HC_JOBS`
+//! controls the worker count (`1` = exact serial execution). Set
+//! `HC_FAST=1` for a quick smoke pass (shorter windows, coarser grids);
 //! unset it for publication-quality runs.
 
 #![warn(missing_docs)]
 
+pub mod figs;
 pub mod micro;
+pub mod sweep;
+
+use std::fmt::Write as _;
 
 use simnet::SimDur;
 use testbed::{run_experiment, ClusterOpts, ExpResult};
+
+use crate::sweep::Sweep;
 
 /// The paper's service-level objective: 500µs at the 99th percentile.
 pub const SLO_NS: u64 = 500_000;
@@ -66,24 +76,33 @@ pub fn grid(points: Vec<f64>) -> Vec<f64> {
         .collect()
 }
 
-/// Runs a load sweep and returns the highest achieved throughput whose
-/// point meets the 500µs SLO, plus every point measured.
-pub fn max_under_slo(rates: &[f64], mk: impl Fn(f64) -> ClusterOpts) -> (f64, Vec<ExpResult>) {
-    let mut best = 0.0f64;
-    let mut all = Vec::new();
-    for &r in rates {
-        let res = run_experiment(mk(r));
-        if res.meets_slo(SLO_NS) {
-            best = best.max(res.achieved_rps);
-        }
-        all.push(res);
-    }
-    (best, all)
+/// Runs a load sweep (in parallel under the sweep context) and returns the
+/// highest achieved throughput whose point meets the 500µs SLO, plus every
+/// point measured, in rate order.
+pub fn max_under_slo(
+    sw: &Sweep<'_, '_, '_>,
+    rates: &[f64],
+    mk: impl Fn(f64) -> ClusterOpts + Send + Sync + 'static,
+) -> (f64, Vec<ExpResult>) {
+    let all = sw.map(rates.to_vec(), move |rate| run_experiment(mk(rate)));
+    (best_under_slo(&all), all)
 }
 
-/// Prints one latency-throughput row.
-pub fn print_point(label: &str, r: &ExpResult) {
-    println!(
+/// The highest achieved throughput among `points` meeting the 500µs SLO.
+pub fn best_under_slo(points: &[ExpResult]) -> f64 {
+    let mut best = 0.0f64;
+    for r in points {
+        if r.meets_slo(SLO_NS) {
+            best = best.max(r.achieved_rps);
+        }
+    }
+    best
+}
+
+/// Appends one latency-throughput row to `out`.
+pub fn write_point(out: &mut String, label: &str, r: &ExpResult) {
+    let _ = writeln!(
+        out,
         "{label:14} offered {:>9.0} RPS | achieved {:>9.0} RPS | p50 {:>9.1}us | p99 {:>9.1}us | nacks/s {:>8.0}",
         r.offered_rps,
         r.achieved_rps,
@@ -93,16 +112,28 @@ pub fn print_point(label: &str, r: &ExpResult) {
     );
 }
 
-/// Prints a standard experiment banner.
-pub fn banner(title: &str, paper_expectation: &str) {
-    println!("==========================================================================");
-    println!("{title}");
-    println!("--------------------------------------------------------------------------");
-    println!("Paper expectation: {paper_expectation}");
+/// Appends a standard experiment banner to `out`.
+pub fn write_banner(out: &mut String, title: &str, paper_expectation: &str) {
+    let _ = writeln!(
+        out,
+        "=========================================================================="
+    );
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(
+        out,
+        "--------------------------------------------------------------------------"
+    );
+    let _ = writeln!(out, "Paper expectation: {paper_expectation}");
     if fast() {
-        println!("(HC_FAST=1: smoke-test windows — absolute numbers are noisier)");
+        let _ = writeln!(
+            out,
+            "(HC_FAST=1: smoke-test windows — absolute numbers are noisier)"
+        );
     }
-    println!("==========================================================================");
+    let _ = writeln!(
+        out,
+        "=========================================================================="
+    );
 }
 
 #[cfg(test)]

@@ -1,0 +1,177 @@
+//! Deterministic parallel sweeps over independent simulator jobs.
+//!
+//! Every experiment in the suite is a grid of *independent, seeded,
+//! single-threaded* simulations — a `(figure × load-point × seed)` job
+//! space. This module shards that grid across a scoped work-stealing
+//! [`pool`] while keeping results **byte-identical to serial execution**:
+//!
+//! * Each job constructs and drives its own `Sim` world entirely on one
+//!   worker thread — no state is shared between jobs.
+//! * [`Sweep::map`] returns outputs in input-index order regardless of
+//!   completion order, and figures render their report *after* the map,
+//!   in input order — so the merged text, digests, and BENCH JSON never
+//!   depend on scheduling.
+//! * `HC_JOBS=1` (or a single-core machine) takes an exact serial path
+//!   that never touches the pool; `HC_JOBS=N` sets the worker count, and
+//!   the default is `available_parallelism`.
+//!
+//! A figure is a [`Figure`]: a name (its binary / results-file name) plus
+//! a `fn(&Sweep) -> String` that renders the full report. Figure binaries
+//! call [`figure_main`]; the `run_all_figs` driver schedules many figures
+//! onto one shared pool, nesting their inner sweeps on the same workers.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use pool::{Pool, Scope};
+
+/// Number of parallel jobs the sweep layer will use (`HC_JOBS`, default
+/// `available_parallelism`). `1` means strictly serial execution.
+pub fn jobs() -> usize {
+    pool::default_jobs()
+}
+
+/// Execution context for one figure: either strictly serial, or fanning
+/// work out on an active pool scope.
+///
+/// Passing `&Sweep` down instead of a global lets `run_all_figs` nest
+/// figure-internal sweeps on the *same* pool that schedules across
+/// figures (waiting tasks help execute, so nesting cannot deadlock).
+pub struct Sweep<'a, 'scope, 'env: 'scope> {
+    scope: Option<&'a Scope<'scope, 'env>>,
+}
+
+impl Sweep<'static, 'static, 'static> {
+    /// The strictly serial context: `map` is a plain in-order loop.
+    pub const SERIAL: Self = Sweep { scope: None };
+}
+
+impl<'a, 'scope, 'env> Sweep<'a, 'scope, 'env> {
+    /// A context that fans out onto `scope`'s pool.
+    pub fn pooled(scope: &'a Scope<'scope, 'env>) -> Self {
+        Sweep { scope: Some(scope) }
+    }
+
+    /// True when `map` runs jobs on pool workers.
+    pub fn is_parallel(&self) -> bool {
+        self.scope.is_some()
+    }
+
+    /// Runs `f` over `items`, returning outputs **in input order**.
+    ///
+    /// Serially this is exactly `items.into_iter().map(f).collect()`; on a
+    /// pool each item becomes one subtask and the calling task helps until
+    /// its batch completes. `f` must own its captures (`'static`): jobs
+    /// may run on any worker and outlive the caller's locals.
+    pub fn map<I, O, F>(&self, items: Vec<I>, f: F) -> Vec<O>
+    where
+        I: Send + 'static,
+        O: Send + 'static,
+        F: Fn(I) -> O + Send + Sync + 'static,
+    {
+        match self.scope {
+            None => items.into_iter().map(f).collect(),
+            Some(s) => s.join_map(items, move |_, _, item| f(item)),
+        }
+    }
+}
+
+/// One figure/table of the suite: its binary name (doubles as the results
+/// file stem) and the renderer producing the complete report text.
+#[derive(Clone, Copy)]
+pub struct Figure {
+    /// Binary name, e.g. `"fig7_latency_throughput"`.
+    pub name: &'static str,
+    /// Renders the figure under the given sweep context.
+    pub run: fn(&Sweep<'_, '_, '_>) -> String,
+}
+
+/// Renders one figure, honoring `HC_JOBS` (1 → exact serial path).
+pub fn render_figure(fig: &Figure) -> String {
+    render_figure_jobs(fig, jobs())
+}
+
+/// Renders one figure with an explicit job count.
+pub fn render_figure_jobs(fig: &Figure, jobs: usize) -> String {
+    if jobs <= 1 {
+        (fig.run)(&Sweep::SERIAL)
+    } else {
+        Pool::new(jobs).scope(|s| (fig.run)(&Sweep::pooled(s)))
+    }
+}
+
+/// Entry point for a standalone figure binary: render, print.
+pub fn figure_main(fig: &Figure) {
+    print!("{}", render_figure(fig));
+}
+
+/// Runs `f(item)` for every item on the pool (ordered outputs), as a
+/// standalone call: builds a pool sized by `HC_JOBS`, or runs a plain
+/// serial loop when `HC_JOBS=1`. This is the entry the test-suite sweeps
+/// (chaos corpus, randomized plans) use — panics from `f` propagate to
+/// the caller, first-recorded payload wins.
+pub fn par_map<I, O, F>(items: Vec<I>, f: F) -> Vec<O>
+where
+    I: Send + 'static,
+    O: Send + 'static,
+    F: Fn(I) -> O + Send + Sync + 'static,
+{
+    let n = jobs().min(items.len().max(1));
+    if n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    Pool::new(n).scope(|s| s.join_map(items, move |_, _, item| f(item)))
+}
+
+/// Runs a figure renderer, converting a panic into `Err(message)` so a
+/// driver can keep going and report the failure at the end.
+pub fn try_render(fig: &Figure, sw: &Sweep<'_, '_, '_>) -> Result<String, String> {
+    catch_unwind(AssertUnwindSafe(|| (fig.run)(sw))).map_err(|payload| {
+        if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else {
+            "non-string panic payload".to_string()
+        }
+    })
+}
+
+/// FNV-1a over bytes — the suite's output fingerprint (same constants as
+/// the trace digest in `testbed`).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_map_preserves_order() {
+        let out = Sweep::SERIAL.map(vec![3u64, 1, 2], |x| x * 10);
+        assert_eq!(out, vec![30, 10, 20]);
+    }
+
+    #[test]
+    fn pooled_map_matches_serial() {
+        let serial = Sweep::SERIAL.map((0..64u64).collect(), |x| x * x + 1);
+        let pooled = Pool::new(4).scope(|s| {
+            let sw = Sweep::pooled(s);
+            sw.map((0..64u64).collect(), |x| x * x + 1)
+        });
+        assert_eq!(serial, pooled);
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        // Pinned: the suite digest must be machine- and run-independent.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"hovercraft"), fnv1a64(b"hovercraft"));
+        assert_ne!(fnv1a64(b"a"), fnv1a64(b"b"));
+    }
+}

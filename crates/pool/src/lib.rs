@@ -1,0 +1,578 @@
+//! Scoped work-stealing thread pool for the experiment suite.
+//!
+//! Every simulation in this reproduction is an independent, seeded,
+//! deterministic world, so the figure grids, the chaos corpus, and the
+//! randomized property sweeps are embarrassingly parallel — as long as the
+//! *scheduling* layer never leaks nondeterminism into the results. This
+//! crate provides the minimal pool that makes that safe:
+//!
+//! * **Scoped**: [`Pool::scope`] mirrors `std::thread::scope`, so jobs may
+//!   borrow data owned by the caller's stack frame (`'env`) without any
+//!   `unsafe` or reference counting gymnastics at the call sites.
+//! * **Work-stealing**: one shared injector queue plus a per-worker LIFO
+//!   deque. A worker pops its own deque from the back (cache-warm, depth
+//!   first), steals from other deques and the injector from the front
+//!   (oldest work first). The structure is guarded by a single mutex +
+//!   condvar — jobs here are whole simulator runs (hundreds of
+//!   microseconds to minutes), so queue contention is noise and the
+//!   simplicity buys obvious correctness.
+//! * **Deterministic merges**: [`Scope::join_map`] fans a `Vec` of items
+//!   out as subtasks and returns outputs **in input order**, regardless of
+//!   which worker ran what when. Callers that write results in job-index
+//!   order are byte-identical to a serial run by construction.
+//! * **Panic propagation**: a panicking job never hangs the pool. The
+//!   first payload is captured and re-raised — at the owning
+//!   [`Scope::join_map`] call for batch subtasks, or at [`Pool::scope`]
+//!   exit for detached [`Scope::spawn`] tasks.
+//! * **Nested fan-out without deadlock**: a job may call
+//!   [`Scope::join_map`] itself. While waiting for its batch, the caller
+//!   *helps*: it executes queued tasks instead of blocking, so a pool of
+//!   `N` workers can sit under arbitrarily nested sweeps (figure → load
+//!   grid → seeds) without reserving threads per level.
+//!
+//! Like the other vendored crates in this workspace (`fxhash`,
+//! `criterion`, …) this is dependency-free and implements exactly the
+//! subset the suite needs — it is not a general-purpose rayon stand-in.
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Panic payload carried from a worker to the thread that re-raises it.
+type Payload = Box<dyn Any + Send + 'static>;
+
+/// A queued unit of work. Tasks receive the scope handle so they can fan
+/// out further work onto the same pool.
+type Task<'scope, 'env> = Box<dyn FnOnce(&Scope<'scope, 'env>) + Send + 'scope>;
+
+/// Number of workers to use, from the environment.
+///
+/// `HC_JOBS` overrides; unset or unparsable falls back to
+/// `std::thread::available_parallelism`. A value of `1` means "run
+/// serially" — sweep layers built on this crate bypass the pool entirely
+/// in that case, so `HC_JOBS=1` is an *exact* serial execution, not a
+/// one-worker approximation of one.
+pub fn default_jobs() -> usize {
+    if let Ok(v) = std::env::var("HC_JOBS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// A fixed-size scoped work-stealing pool.
+///
+/// The pool itself is just a worker count; threads are spawned per
+/// [`Pool::scope`] call (via `std::thread::scope`) and joined before it
+/// returns. That keeps the lifetime story identical to std's scoped
+/// threads and means an idle `Pool` holds no OS resources.
+#[derive(Debug, Clone, Copy)]
+pub struct Pool {
+    workers: usize,
+}
+
+impl Pool {
+    /// A pool with `workers` worker threads (clamped to at least 1).
+    pub fn new(workers: usize) -> Self {
+        Pool {
+            workers: workers.max(1),
+        }
+    }
+
+    /// A pool sized by `HC_JOBS` / available parallelism.
+    pub fn from_env() -> Self {
+        Pool::new(default_jobs())
+    }
+
+    /// Number of worker threads `scope` will spawn.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs `f` with a [`Scope`] on which tasks can be spawned. Blocks
+    /// until `f` *and every task spawned on the scope* have finished, then
+    /// returns `f`'s value. If any detached task panicked, the first
+    /// payload is re-raised here; batch-task panics are re-raised at the
+    /// owning [`Scope::join_map`] instead.
+    pub fn scope<'env, T, F>(&self, f: F) -> T
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> T,
+    {
+        // The shared state lives in an `Arc` (like std's own `ScopeData`)
+        // so worker threads move owned handles instead of borrowing a
+        // local — borrowing would tie `'scope` to the borrow region and
+        // trip the drop checker on the task queues.
+        let shared = Arc::new(Shared::new(self.workers));
+        let out = std::thread::scope(|ts| {
+            for w in 0..self.workers {
+                let sh = Arc::clone(&shared);
+                ts.spawn(move || worker_loop(&sh, w));
+            }
+            let caller = Scope {
+                shared: Arc::clone(&shared),
+                worker: None,
+            };
+            // If `f` unwinds, the guard still flips `shutdown` so the
+            // workers drain and exit instead of hanging the implicit join
+            // at the end of `std::thread::scope`.
+            let guard = ShutdownGuard(Arc::clone(&shared));
+            let out = f(&caller);
+            caller.wait_idle();
+            drop(guard);
+            out
+        });
+        if let Some(p) = shared.panic.lock().unwrap().take() {
+            resume_unwind(p);
+        }
+        out
+    }
+}
+
+/// Handle for spawning work onto an active pool scope.
+///
+/// `'scope` is the lifetime of the scope itself (tasks must outlive it),
+/// `'env` the environment borrowed by the scope — the same split as
+/// `std::thread::scope`.
+pub struct Scope<'scope, 'env: 'scope> {
+    shared: Arc<Shared<'scope, 'env>>,
+    /// `Some(i)` when this handle lives on worker `i` (its spawns go to
+    /// its own deque); `None` on the caller thread (spawns go to the
+    /// injector).
+    worker: Option<usize>,
+}
+
+/// Shared pool state for one `scope` invocation.
+struct Shared<'scope, 'env: 'scope> {
+    state: Mutex<State<'scope, 'env>>,
+    /// Signalled on new work, shutdown, and when `pending` hits zero.
+    work_cv: Condvar,
+    /// First panic payload from a detached (non-batch) task.
+    panic: Mutex<Option<Payload>>,
+}
+
+struct State<'scope, 'env: 'scope> {
+    /// Global FIFO queue: work from the caller thread and overflow.
+    injector: VecDeque<Task<'scope, 'env>>,
+    /// Per-worker deques: owner pops the back, thieves steal the front.
+    deques: Vec<VecDeque<Task<'scope, 'env>>>,
+    /// Tasks spawned but not yet completed.
+    pending: usize,
+    shutdown: bool,
+}
+
+impl<'scope, 'env> Shared<'scope, 'env> {
+    fn new(workers: usize) -> Self {
+        Shared {
+            state: Mutex::new(State {
+                injector: VecDeque::new(),
+                deques: (0..workers).map(|_| VecDeque::new()).collect(),
+                pending: 0,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            panic: Mutex::new(None),
+        }
+    }
+
+    /// Queues a task from `worker` (or the caller thread when `None`).
+    fn push(&self, worker: Option<usize>, task: Task<'scope, 'env>) {
+        let mut g = self.state.lock().unwrap();
+        match worker {
+            Some(w) => g.deques[w].push_back(task),
+            None => g.injector.push_back(task),
+        }
+        g.pending += 1;
+        drop(g);
+        self.work_cv.notify_one();
+    }
+
+    /// Records the completion of one task.
+    fn complete_one(&self) {
+        let mut g = self.state.lock().unwrap();
+        g.pending -= 1;
+        let idle = g.pending == 0;
+        drop(g);
+        if idle {
+            self.work_cv.notify_all();
+        }
+    }
+
+    /// Stores the first detached-task panic payload.
+    fn record_panic(&self, payload: Payload) {
+        let mut g = self.panic.lock().unwrap();
+        if g.is_none() {
+            *g = Some(payload);
+        }
+    }
+
+    fn shutdown(&self) {
+        self.state.lock().unwrap().shutdown = true;
+        self.work_cv.notify_all();
+    }
+}
+
+/// Pops runnable work for `worker` under the state lock: own deque from
+/// the back first (LIFO — depth-first, cache-warm), then the injector,
+/// then steals the front of the other deques (oldest first).
+fn pop_task<'scope, 'env>(
+    g: &mut State<'scope, 'env>,
+    worker: Option<usize>,
+) -> Option<Task<'scope, 'env>> {
+    if let Some(w) = worker {
+        if let Some(t) = g.deques[w].pop_back() {
+            return Some(t);
+        }
+    }
+    if let Some(t) = g.injector.pop_front() {
+        return Some(t);
+    }
+    let own = worker.unwrap_or(usize::MAX);
+    for (i, dq) in g.deques.iter_mut().enumerate() {
+        if i != own {
+            if let Some(t) = dq.pop_front() {
+                return Some(t);
+            }
+        }
+    }
+    None
+}
+
+fn worker_loop<'scope, 'env>(shared: &Arc<Shared<'scope, 'env>>, w: usize) {
+    let scope = Scope {
+        shared: Arc::clone(shared),
+        worker: Some(w),
+    };
+    loop {
+        let task = {
+            let mut g = shared.state.lock().unwrap();
+            loop {
+                if let Some(t) = pop_task(&mut g, Some(w)) {
+                    break t;
+                }
+                if g.shutdown {
+                    return;
+                }
+                g = shared.work_cv.wait(g).unwrap();
+            }
+        };
+        scope.run_task(task);
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Runs one queued task on this thread, routing a panic to the
+    /// detached-panic slot unless the task handles it itself (batch
+    /// subtasks catch their own panics before this sees them).
+    fn run_task(&self, task: Task<'scope, 'env>) {
+        let result = catch_unwind(AssertUnwindSafe(|| task(self)));
+        if let Err(payload) = result {
+            self.shared.record_panic(payload);
+        }
+        self.shared.complete_one();
+    }
+
+    /// Spawns a detached task. A panic in `f` is captured and re-raised
+    /// when the owning [`Pool::scope`] returns.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        self.spawn_scoped(move |_| f());
+    }
+
+    /// Like [`Scope::spawn`], but the task receives the scope handle so it
+    /// can spawn or `join_map` further work on the same pool.
+    pub fn spawn_scoped<F>(&self, f: F)
+    where
+        F: for<'a> FnOnce(&'a Scope<'scope, 'env>) + Send + 'scope,
+    {
+        self.shared.push(self.worker, Box::new(f));
+    }
+
+    /// Fans `items` out as one subtask each, running `f(scope, index,
+    /// item)` on pool workers, and returns the outputs **in input order**.
+    ///
+    /// The calling thread *helps*: while its batch is outstanding it
+    /// executes queued tasks (its own deque, the injector, steals) instead
+    /// of blocking, so `join_map` may be freely nested — a figure task can
+    /// fan out its load grid, whose points fan out seeds — without
+    /// deadlocking a fixed-size pool.
+    ///
+    /// If any subtask panics, the lowest-indexed payload wins nothing —
+    /// the *first recorded* payload is re-raised here once the whole batch
+    /// has drained, so a panic never leaks tasks that still borrow live
+    /// state.
+    ///
+    /// `'static` bounds: subtasks may outlive the frame of the task that
+    /// spawned them (only `'env` outlives the scope), so items, outputs,
+    /// and the map function must own their data.
+    pub fn join_map<I, O, F>(&self, items: Vec<I>, f: F) -> Vec<O>
+    where
+        I: Send + 'static,
+        O: Send + 'static,
+        F: Fn(&Scope<'scope, 'env>, usize, I) -> O + Send + Sync + 'static,
+    {
+        let n = items.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let batch = Arc::new(Batch {
+            slots: Mutex::new((0..n).map(|_| None).collect::<Vec<Option<O>>>()),
+            left: Mutex::new(n),
+            done_cv: Condvar::new(),
+            panic: Mutex::new(None),
+        });
+        let f = Arc::new(f);
+        {
+            let mut g = self.shared.state.lock().unwrap();
+            for (i, item) in items.into_iter().enumerate() {
+                let b = Arc::clone(&batch);
+                let f = Arc::clone(&f);
+                let task: Task<'scope, 'env> = Box::new(move |sc: &Scope<'scope, 'env>| {
+                    let out = catch_unwind(AssertUnwindSafe(|| f(sc, i, item)));
+                    match out {
+                        Ok(o) => b.slots.lock().unwrap()[i] = Some(o),
+                        Err(p) => {
+                            let mut slot = b.panic.lock().unwrap();
+                            if slot.is_none() {
+                                *slot = Some(p);
+                            }
+                        }
+                    }
+                    let mut left = b.left.lock().unwrap();
+                    *left -= 1;
+                    if *left == 0 {
+                        b.done_cv.notify_all();
+                    }
+                });
+                match self.worker {
+                    Some(w) => g.deques[w].push_back(task),
+                    None => g.injector.push_back(task),
+                }
+                g.pending += 1;
+            }
+            drop(g);
+            self.shared.work_cv.notify_all();
+        }
+
+        // Help until the batch drains: run anything runnable; only sleep
+        // (on the batch condvar) when the queues are momentarily empty.
+        loop {
+            if *batch.left.lock().unwrap() == 0 {
+                break;
+            }
+            let task = {
+                let mut g = self.shared.state.lock().unwrap();
+                pop_task(&mut g, self.worker)
+            };
+            match task {
+                Some(t) => self.run_task(t),
+                None => {
+                    let left = batch.left.lock().unwrap();
+                    if *left == 0 {
+                        break;
+                    }
+                    // Batch subtasks may be running on other workers (or
+                    // be spawned by them); wake on completion and rescan.
+                    drop(batch.done_cv.wait(left).unwrap());
+                }
+            }
+        }
+
+        if let Some(p) = batch.panic.lock().unwrap().take() {
+            resume_unwind(p);
+        }
+        let mut slots = batch.slots.lock().unwrap();
+        slots
+            .iter_mut()
+            .map(|s| s.take().expect("join_map: missing output without panic"))
+            .collect()
+    }
+
+    /// Blocks the caller until every task on the scope has completed,
+    /// helping with queued work while it waits.
+    fn wait_idle(&self) {
+        loop {
+            enum Step<'scope, 'env: 'scope> {
+                Run(Task<'scope, 'env>),
+                Done,
+                Wait,
+            }
+            let step = {
+                let mut g = self.shared.state.lock().unwrap();
+                if let Some(t) = pop_task(&mut g, self.worker) {
+                    Step::Run(t)
+                } else if g.pending == 0 {
+                    Step::Done
+                } else {
+                    drop(self.shared.work_cv.wait(g).unwrap());
+                    Step::Wait
+                }
+            };
+            match step {
+                Step::Run(t) => self.run_task(t),
+                Step::Done => return,
+                Step::Wait => continue,
+            }
+        }
+    }
+}
+
+/// Flips `shutdown` when dropped — including during an unwind of the
+/// caller closure — so `Pool::scope` can never hang its worker join.
+struct ShutdownGuard<'scope, 'env: 'scope>(Arc<Shared<'scope, 'env>>);
+
+impl Drop for ShutdownGuard<'_, '_> {
+    fn drop(&mut self) {
+        self.0.shutdown();
+    }
+}
+
+/// Join state for one `join_map` batch.
+struct Batch<O> {
+    /// Output slots, indexed by input position.
+    slots: Mutex<Vec<Option<O>>>,
+    /// Subtasks not yet completed.
+    left: Mutex<usize>,
+    /// Signalled when `left` reaches zero.
+    done_cv: Condvar,
+    /// First panic payload from a subtask of *this* batch.
+    panic: Mutex<Option<Payload>>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn join_map_returns_outputs_in_input_order() {
+        let pool = Pool::new(4);
+        let out = pool.scope(|s| {
+            s.join_map((0..100u64).collect(), |_, i, x| {
+                // Stagger completion so out-of-order finishes are likely.
+                if i % 7 == 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+                x * x
+            })
+        });
+        assert_eq!(out.len(), 100);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, (i as u64) * (i as u64));
+        }
+    }
+
+    #[test]
+    fn scope_tasks_can_borrow_env() {
+        let data = vec![1u64, 2, 3, 4];
+        let sum = AtomicUsize::new(0);
+        Pool::new(2).scope(|s| {
+            for chunk in data.chunks(2) {
+                let sum = &sum;
+                s.spawn(move || {
+                    let part: u64 = chunk.iter().sum();
+                    sum.fetch_add(part as usize, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(sum.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn nested_join_map_on_same_pool_completes() {
+        // 2 workers, 4 outer tasks each fanning out 8 inner tasks: only
+        // possible without deadlock because waiting tasks help execute.
+        let pool = Pool::new(2);
+        let out = pool.scope(|s| {
+            s.join_map((0..4u64).collect(), |sc, _, outer| {
+                let inner = sc.join_map((0..8u64).collect(), move |_, _, j| outer * 10 + j);
+                inner.iter().sum::<u64>()
+            })
+        });
+        let expect: Vec<u64> = (0..4).map(|o| (0..8).map(|j| o * 10 + j).sum()).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn nested_scope_inside_task_completes() {
+        // A task may open a whole nested Pool::scope of its own.
+        let pool = Pool::new(2);
+        let out = pool.scope(|s| {
+            s.join_map(vec![10u64, 20], |_, _, base| {
+                Pool::new(2)
+                    .scope(|inner| inner.join_map(vec![1u64, 2, 3], move |_, _, x| base + x))
+            })
+        });
+        assert_eq!(out, vec![vec![11, 12, 13], vec![21, 22, 23]]);
+    }
+
+    #[test]
+    fn join_map_propagates_subtask_panic() {
+        let pool = Pool::new(3);
+        let res = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                s.join_map((0..16u32).collect(), |_, _, x| {
+                    if x == 11 {
+                        panic!("boom at {x}");
+                    }
+                    x
+                })
+            })
+        }));
+        let payload = res.expect_err("panic must propagate out of join_map");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("boom at 11"), "unexpected payload: {msg:?}");
+    }
+
+    #[test]
+    fn spawn_panic_propagates_at_scope_exit() {
+        let pool = Pool::new(2);
+        let res = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                s.spawn(|| panic!("detached boom"));
+            });
+        }));
+        let payload = res.expect_err("detached panic must propagate at scope exit");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "detached boom");
+    }
+
+    #[test]
+    fn panic_in_nested_join_map_reaches_outer_caller() {
+        let pool = Pool::new(2);
+        let res = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                s.join_map(vec![0u32, 1], |sc, _, outer| {
+                    sc.join_map(vec![0u32, 1, 2], move |_, _, inner| {
+                        if outer == 1 && inner == 2 {
+                            panic!("deep boom");
+                        }
+                        inner
+                    })
+                })
+            })
+        }));
+        assert!(res.is_err(), "nested panic must reach the outer caller");
+    }
+
+    #[test]
+    fn empty_join_map_is_fine() {
+        let out: Vec<u32> = Pool::new(2).scope(|s| s.join_map(Vec::<u32>::new(), |_, _, x| x));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn default_jobs_honors_env_override() {
+        // Can't set env safely across parallel tests; just sanity-check
+        // the fallback is at least 1.
+        assert!(default_jobs() >= 1);
+    }
+}

@@ -19,10 +19,9 @@
 
 use crate::packet::{Addr, NodeId};
 use crate::time::SimTime;
-use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// Renders a lazily recorded detail payload from its three raw words.
 ///
@@ -150,9 +149,16 @@ struct Inner {
 /// All clones append to the same buffer; when the ring is full the oldest
 /// event is evicted (its `seq` is never reused, so incremental consumers
 /// can detect gaps).
+///
+/// The handle is `Send + Sync` (an `Arc<Mutex<_>>`, not `Rc<RefCell<_>>`)
+/// so a whole `Sim` world — which clones the tracer into every server,
+/// switch program, and restart hook — can be *constructed and driven on a
+/// pool worker thread*. Each simulation still owns a private tracer; the
+/// mutex is never contended in practice, so the hot `record_lazy` path
+/// stays a handful of word moves (the `sim_throughput` gate pins this).
 #[derive(Clone)]
 pub struct Tracer {
-    inner: Rc<RefCell<Inner>>,
+    inner: Arc<Mutex<Inner>>,
 }
 
 /// Default ring capacity: enough to hold the interesting tail of a
@@ -169,7 +175,7 @@ impl Tracer {
     /// Creates a tracer whose ring holds at most `cap` events.
     pub fn new(cap: usize) -> Self {
         Tracer {
-            inner: Rc::new(RefCell::new(Inner {
+            inner: Arc::new(Mutex::new(Inner {
                 cap: cap.max(1),
                 next_seq: 0,
                 buf: VecDeque::new(),
@@ -186,7 +192,7 @@ impl Tracer {
         key: u64,
         detail: impl Into<Detail>,
     ) {
-        let mut g = self.inner.borrow_mut();
+        let mut g = self.inner.lock().unwrap();
         let seq = g.next_seq;
         g.next_seq += 1;
         if g.buf.len() == g.cap {
@@ -237,12 +243,12 @@ impl Tracer {
 
     /// Total events ever recorded (including evicted ones).
     pub fn total_recorded(&self) -> u64 {
-        self.inner.borrow().next_seq
+        self.inner.lock().unwrap().next_seq
     }
 
     /// Events currently held in the ring.
     pub fn len(&self) -> usize {
-        self.inner.borrow().buf.len()
+        self.inner.lock().unwrap().buf.len()
     }
 
     /// True when the ring holds no events.
@@ -258,7 +264,7 @@ impl Tracer {
     /// requested — compare the first visited `seq` against `since` to
     /// detect the gap.
     pub fn for_each_since(&self, since: u64, mut f: impl FnMut(&TraceEvent)) {
-        let g = self.inner.borrow();
+        let g = self.inner.lock().unwrap();
         let Some(first) = g.buf.front().map(|e| e.seq) else {
             return;
         };
@@ -280,7 +286,7 @@ impl Tracer {
 
     /// Snapshot of everything currently in the ring, oldest first.
     pub fn events(&self) -> Vec<TraceEvent> {
-        self.inner.borrow().buf.iter().cloned().collect()
+        self.inner.lock().unwrap().buf.iter().cloned().collect()
     }
 
     /// Events with `seq >= since`, oldest first. Use for incremental scans:
@@ -289,7 +295,8 @@ impl Tracer {
     /// returned `seq` against `since` to detect the gap.
     pub fn events_since(&self, since: u64) -> Vec<TraceEvent> {
         self.inner
-            .borrow()
+            .lock()
+            .unwrap()
             .buf
             .iter()
             .filter(|e| e.seq >= since)
@@ -299,7 +306,7 @@ impl Tracer {
 
     /// The last `n` events, oldest first.
     pub fn tail(&self, n: usize) -> Vec<TraceEvent> {
-        let g = self.inner.borrow();
+        let g = self.inner.lock().unwrap();
         let skip = g.buf.len().saturating_sub(n);
         g.buf.iter().skip(skip).cloned().collect()
     }
@@ -310,7 +317,7 @@ impl Tracer {
     /// through here.
     pub fn render_tail(&self, n: usize) -> String {
         use fmt::Write as _;
-        let g = self.inner.borrow();
+        let g = self.inner.lock().unwrap();
         let take = n.min(g.buf.len());
         let skip = g.buf.len() - take;
         let mut out = String::with_capacity(take * 56);
@@ -322,13 +329,13 @@ impl Tracer {
 
     /// Drops all buffered events (sequence numbers keep advancing).
     pub fn clear(&self) {
-        self.inner.borrow_mut().buf.clear();
+        self.inner.lock().unwrap().buf.clear();
     }
 }
 
 impl fmt::Debug for Tracer {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let g = self.inner.borrow();
+        let g = self.inner.lock().unwrap();
         f.debug_struct("Tracer")
             .field("cap", &g.cap)
             .field("len", &g.buf.len())
@@ -385,6 +392,16 @@ mod tests {
         let s = t.render_tail(10);
         assert_eq!(s.lines().count(), 2);
         assert!(s.contains("one") && s.contains("two"));
+    }
+
+    #[test]
+    fn tracer_and_events_are_send_and_sync() {
+        // Compile-time assertion: the tracing seam must stay `Send` so
+        // whole simulator worlds can run on pool worker threads.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Tracer>();
+        assert_send_sync::<TraceEvent>();
+        assert_send_sync::<Detail>();
     }
 
     #[test]

@@ -123,4 +123,14 @@ mod tests {
         };
         assert!(!slow.meets_slo(500_000));
     }
+
+    /// The parallel sweep layer moves experiment inputs and outputs across
+    /// pool workers; these types must stay `Send` (compile-time check).
+    #[test]
+    fn sweep_payload_types_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<ExpResult>();
+        assert_send::<crate::ClusterOpts>();
+        assert_send::<crate::DigestReport>();
+    }
 }

@@ -1,8 +1,19 @@
 #!/bin/bash
-cd /root/repo
-for fig in fig7_latency_throughput fig8_request_size fig9_cluster_size fig10_reply_lb fig11_readonly_lb fig12_failover fig13_ycsbe table1_msg_counts; do
-  echo "=== running $fig ==="
-  ./target/release/$fig > results/$fig.txt 2>&1
-  echo "=== done $fig (rc=$?) ==="
-done
-echo ALL-FIGURES-DONE
+# Runs the full figure suite through the run_all_figs driver, which
+# schedules figures and their load grids across cores (HC_JOBS, default
+# all cores; HC_JOBS=1 forces exact serial execution). Extra arguments are
+# forwarded, e.g.:
+#
+#   ./run_figs.sh --compare-serial --gate --bench-out BENCH_sim.json
+#
+# Unlike the old serial loop, a failing figure fails the whole run: the
+# driver prints ALL-FIGURES-DONE only when every figure succeeded and
+# exits with the first non-zero status otherwise — and so does this
+# wrapper.
+cd /root/repo || exit 1
+./target/release/run_all_figs --results results "$@"
+rc=$?
+if [ "$rc" -ne 0 ]; then
+  echo "FIGURES-FAILED rc=$rc" >&2
+fi
+exit "$rc"

@@ -4,8 +4,10 @@
 //! stall-aware replier routing around a paused node (§3.4), and
 //! crash–restart rejoin via log catch-up plus body recovery (§5) — while
 //! randomized [`FaultPlan`]s (env-scalable via `CHAOS_CASES` /
-//! `CHAOS_SEED`) and a committed seed corpus sweep the space. Every run is
-//! replayable from `(opts, seed)` alone; a meta-test proves it.
+//! `CHAOS_SEED`) and a committed seed corpus sweep the space, sharded
+//! across cores by the workspace pool (`HC_JOBS`; each seed is one
+//! single-threaded deterministic simulation). Every run is replayable
+//! from `(opts, seed)` alone; a meta-test proves it.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -265,26 +267,30 @@ fn env_u64(name: &str, default: u64) -> u64 {
 fn random_fault_plans_preserve_invariants_and_liveness() {
     let cases = env_u64("CHAOS_CASES", 3);
     let base = env_u64("CHAOS_SEED", 0xc0ffee);
-    for i in 0..cases {
-        run_chaos_case(base.wrapping_add(i.wrapping_mul(7919)));
-    }
+    let seeds: Vec<u64> = (0..cases)
+        .map(|i| base.wrapping_add(i.wrapping_mul(7919)))
+        .collect();
+    // Each seed is an independent single-threaded simulation; shard them
+    // across HC_JOBS workers. A failing seed's panic propagates here.
+    hovercraft_bench::sweep::par_map(seeds, run_chaos_case);
 }
 
 /// Every seed in the committed corpus replays a fault mix that once ran in
 /// CI; keeping them green makes past chaos runs regression tests.
 #[test]
 fn committed_fault_plan_corpus_stays_green() {
-    let mut ran = 0;
-    for line in include_str!("chaos_corpus.txt").lines() {
-        let line = line.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        let seed: u64 = line.parse().expect("corpus lines are bare seeds");
-        run_chaos_case(seed);
-        ran += 1;
-    }
-    assert!(ran >= 4, "corpus unexpectedly small: {ran} seeds");
+    let seeds: Vec<u64> = include_str!("chaos_corpus.txt")
+        .lines()
+        .map(str::trim)
+        .filter(|line| !line.is_empty() && !line.starts_with('#'))
+        .map(|line| line.parse().expect("corpus lines are bare seeds"))
+        .collect();
+    assert!(
+        seeds.len() >= 4,
+        "corpus unexpectedly small: {} seeds",
+        seeds.len()
+    );
+    hovercraft_bench::sweep::par_map(seeds, run_chaos_case);
 }
 
 #[test]

@@ -108,3 +108,23 @@ fn digest_is_observer_independent() {
     let b = digest_chaos_run(7);
     assert_eq!(a, b, "same-process repeat of seed 7 diverged");
 }
+
+/// Running the same seeds inline, on a 1-worker pool, and on a 4-worker
+/// pool must produce identical digest reports (digests *and* event
+/// counts): each job is a self-contained single-threaded simulation, so
+/// the scheduler that carried it must be unobservable in its output. This
+/// is the contract the parallel figure suite and chaos sweeps rest on.
+#[test]
+fn pool_execution_is_digest_invariant() {
+    let seeds: Vec<u64> = PINNED.iter().map(|&(seed, _)| seed).collect();
+    let inline: Vec<DigestReport> = seeds.iter().map(|&s| digest_chaos_run(s)).collect();
+    for workers in [1usize, 4] {
+        let on_pool = pool::Pool::new(workers)
+            .scope(|s| s.join_map(seeds.clone(), |_, _, seed| digest_chaos_run(seed)));
+        assert_eq!(
+            inline, on_pool,
+            "{workers}-worker pool changed a digest report — scheduling leaked \
+             into simulation output"
+        );
+    }
+}

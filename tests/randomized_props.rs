@@ -31,6 +31,7 @@ fn quick(setup: Setup, n: u32, rate: f64, seed: u64) -> ClusterOpts {
 proptest! {
     #![proptest_config(ProptestConfig {
         cases: 12, // each case is a full cluster simulation
+        parallel: true, // bodies run on the HC_JOBS pool; reporting is serial-identical
         .. ProptestConfig::default()
     })]
 
@@ -118,6 +119,7 @@ proptest! {
 proptest! {
     #![proptest_config(ProptestConfig {
         cases: 6, // each case is a full chaos simulation
+        parallel: true, // bodies run on the HC_JOBS pool; reporting is serial-identical
         .. ProptestConfig::default()
     })]
 
