@@ -1,0 +1,140 @@
+//! The flat one-pair-per-line BENCH JSON format, shared by every writer.
+//!
+//! `BENCH_sim.json` is a single JSON object written as exactly one
+//! `"key": value` pair per line (no serde in the vendored environment; the
+//! flat shape keeps `git diff` reviewable and `grep`-able). Two binaries
+//! write into the *same* file — `sim_throughput` owns the throughput keys,
+//! `run_all_figs` owns the `suite_*` and stats keys — so every write MUST
+//! be a merge: parse what's there, replace the keys you own in place,
+//! append your new keys, and leave everything you don't recognize exactly
+//! where it was. (`sim_throughput --out` used to rewrite the file from
+//! scratch and only grandfathered `suite_*`-prefixed lines, so any other
+//! key — and any future writer's keys — were silently dropped, clobbering
+//! the baseline the next gate run compared against.)
+
+use std::fmt::Write as _;
+
+/// Parses a flat BENCH JSON document into ordered `(key, value)` pairs.
+/// Values are kept verbatim (numbers unparsed, strings still quoted) so a
+/// rewrite is byte-faithful for untouched pairs.
+pub fn parse_pairs(text: &str) -> Vec<(String, String)> {
+    let mut pairs = Vec::new();
+    for line in text.lines() {
+        let t = line.trim();
+        if let Some(rest) = t.strip_prefix('"') {
+            if let Some((key, val)) = rest.split_once("\":") {
+                pairs.push((
+                    key.to_string(),
+                    val.trim().trim_end_matches(',').to_string(),
+                ));
+            }
+        }
+    }
+    pairs
+}
+
+/// Renders ordered pairs back into the canonical flat document.
+pub fn render(pairs: &[(String, String)]) -> String {
+    let mut out = String::from("{\n");
+    for (i, (k, v)) in pairs.iter().enumerate() {
+        let comma = if i + 1 == pairs.len() { "" } else { "," };
+        let _ = writeln!(out, "  \"{k}\": {v}{comma}");
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Merges `updates` into an existing document: existing keys keep their
+/// position (values replaced in place), new keys append in update order,
+/// and **every unrecognized key survives verbatim**.
+pub fn merge(existing: &str, updates: &[(String, String)]) -> String {
+    let mut pairs = parse_pairs(existing);
+    for (k, v) in updates {
+        if let Some(slot) = pairs.iter_mut().find(|(key, _)| key == k) {
+            slot.1 = v.clone();
+        } else {
+            pairs.push((k.clone(), v.clone()));
+        }
+    }
+    render(&pairs)
+}
+
+/// Merges `updates` into the document at `path` (a missing file merges
+/// into an empty object) and writes the result back.
+pub fn merge_file(path: &str, updates: &[(String, String)]) -> std::io::Result<()> {
+    let existing = std::fs::read_to_string(path).unwrap_or_else(|_| "{\n}\n".to_string());
+    std::fs::write(path, merge(&existing, updates))
+}
+
+/// Finds `"key": value` in a flat document, unquoting string values.
+pub fn lookup(report: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\":");
+    for line in report.lines() {
+        if let Some(pos) = line.find(&needle) {
+            let v = line[pos + needle.len()..].trim().trim_end_matches(',');
+            return Some(v.trim_matches('"').to_string());
+        }
+    }
+    None
+}
+
+/// [`lookup`] parsed as `f64`.
+pub fn lookup_f64(report: &str, key: &str) -> Option<f64> {
+    lookup(report, key)?.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_preserves_unknown_keys_and_order() {
+        let existing = "{\n  \"schema\": 1,\n  \"custom_note\": \"keep me\",\n  \
+                        \"fig7_events\": 100,\n  \"suite_jobs\": 4\n}\n";
+        let updates = vec![
+            ("fig7_events".to_string(), "200".to_string()),
+            ("new_key".to_string(), "7".to_string()),
+        ];
+        let merged = merge(existing, &updates);
+        let pairs = parse_pairs(&merged);
+        let keys: Vec<&str> = pairs.iter().map(|(k, _)| k.as_str()).collect();
+        // Unknown keys survive in place; updated key keeps its slot; the
+        // new key appends.
+        assert_eq!(
+            keys,
+            [
+                "schema",
+                "custom_note",
+                "fig7_events",
+                "suite_jobs",
+                "new_key"
+            ]
+        );
+        assert_eq!(lookup(&merged, "custom_note").unwrap(), "keep me");
+        assert_eq!(lookup_f64(&merged, "fig7_events").unwrap(), 200.0);
+        assert_eq!(lookup_f64(&merged, "suite_jobs").unwrap(), 4.0);
+    }
+
+    #[test]
+    fn merge_round_trips_byte_identically_when_nothing_changes() {
+        let doc = "{\n  \"a\": 1,\n  \"b\": \"0x0abc\",\n  \"c_wall_s\": 1.500000\n}\n";
+        assert_eq!(merge(doc, &[]), doc, "no-op merge must be byte-identical");
+        // Twice through parse/render is also stable.
+        assert_eq!(render(&parse_pairs(doc)), doc);
+    }
+
+    #[test]
+    fn merge_into_missing_or_empty_document_works() {
+        let updates = vec![("only".to_string(), "1".to_string())];
+        assert_eq!(merge("", &updates), "{\n  \"only\": 1\n}\n");
+        assert_eq!(merge("{\n}\n", &updates), "{\n  \"only\": 1\n}\n");
+    }
+
+    #[test]
+    fn lookup_unquotes_strings() {
+        let doc = "{\n  \"digest\": \"0x0123\",\n  \"n\": 3\n}\n";
+        assert_eq!(lookup(doc, "digest").unwrap(), "0x0123");
+        assert_eq!(lookup_f64(doc, "n").unwrap(), 3.0);
+        assert_eq!(lookup(doc, "missing"), None);
+    }
+}

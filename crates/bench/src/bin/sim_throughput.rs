@@ -31,6 +31,7 @@
 use std::time::Instant;
 
 use hovercraft::PolicyKind;
+use hovercraft_bench::bench_json::{self, lookup, lookup_f64};
 use hovercraft_bench::fast;
 use simnet::{FaultPlan, FaultPlanConfig, SimDur, SimTime};
 use testbed::{chaos_digest_opts, Cluster, ClusterOpts, Setup, TraceDigest};
@@ -160,54 +161,17 @@ fn render_report(fig7: &Metrics, chaos: &Metrics, digest: &TraceDigest) -> Strin
     s
 }
 
-/// Carries the `suite_*` keys (written by `run_all_figs`) from the
-/// previous report at `out_path` into the freshly rendered `report`, so
-/// rerunning `sim_throughput` never erases the suite wall-clock record.
-fn preserve_suite_keys(out_path: &str, report: &str) -> String {
-    let Ok(existing) = std::fs::read_to_string(out_path) else {
-        return report.to_string();
-    };
-    let suite_lines: Vec<String> = existing
-        .lines()
-        .filter(|l| l.trim_start().starts_with("\"suite_"))
-        .map(|l| l.trim_end().trim_end_matches(',').to_string())
-        .collect();
-    if suite_lines.is_empty() {
-        return report.to_string();
-    }
-    let mut out = String::new();
-    for line in report.lines() {
-        if line == "}" {
-            // Re-comma the previous last pair, then append suite keys.
-            let trimmed = out.trim_end().to_string();
-            out = trimmed + ",\n";
-            for (i, l) in suite_lines.iter().enumerate() {
-                let comma = if i + 1 == suite_lines.len() { "" } else { "," };
-                out.push_str(l);
-                out.push_str(comma);
-                out.push('\n');
-            }
-        }
-        out.push_str(line);
-        out.push('\n');
-    }
-    out
-}
-
-/// Finds `"key": value` in a flat one-pair-per-line JSON report.
-fn lookup(report: &str, key: &str) -> Option<String> {
-    let needle = format!("\"{key}\":");
-    for line in report.lines() {
-        if let Some(pos) = line.find(&needle) {
-            let v = line[pos + needle.len()..].trim().trim_end_matches(',');
-            return Some(v.trim_matches('"').to_string());
-        }
-    }
-    None
-}
-
-fn lookup_f64(report: &str, key: &str) -> Option<f64> {
-    lookup(report, key)?.parse().ok()
+/// Folds the freshly rendered `report` into whatever already sits at
+/// `out_path`: the throughput keys this binary owns are replaced in
+/// place, and **every other key survives verbatim** — `suite_*` from
+/// `run_all_figs`, profile stats, hand-added notes, future writers'
+/// keys. (The old version rewrote the file from scratch and only
+/// grandfathered `suite_*`-prefixed lines, so a local `--out
+/// BENCH_sim.json` run silently dropped everything else and the next
+/// gate run failed confusingly.)
+fn merge_into_existing(out_path: &str, report: &str) -> String {
+    let existing = std::fs::read_to_string(out_path).unwrap_or_default();
+    bench_json::merge(&existing, &bench_json::parse_pairs(report))
 }
 
 /// Compares this run against a committed baseline; returns the failures.
@@ -347,7 +311,7 @@ fn main() {
         digest.count(),
     );
 
-    let report = preserve_suite_keys(&out, &render_report(&fig7, &chaos, &digest));
+    let report = merge_into_existing(&out, &render_report(&fig7, &chaos, &digest));
     std::fs::write(&out, &report).expect("write report");
     println!("report written to {out}");
 

@@ -24,6 +24,7 @@
 
 #![warn(missing_docs)]
 
+pub mod bench_json;
 pub mod figs;
 pub mod micro;
 pub mod sweep;

@@ -21,13 +21,104 @@
 //! onto one shared pool, nesting their inner sweeps on the same workers.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 
 use pool::{Pool, Scope};
+use simnet::ProfileSnapshot;
 
 /// Number of parallel jobs the sweep layer will use (`HC_JOBS`, default
 /// `available_parallelism`). `1` means strictly serial execution.
+///
+/// This is a *sharding* count: [`pool::Pool::new`] caps actual executors
+/// at the machine's core count, so `HC_JOBS=4` on a single-core box keeps
+/// the 4-way task decomposition but runs it one world at a time (measured
+/// 10–20 % cheaper than interleaving them; see DESIGN.md §13).
 pub fn jobs() -> usize {
     pool::default_jobs()
+}
+
+/// Batch tasks submitted per executor by [`Sweep::map`]: enough slack for
+/// work stealing to balance uneven job costs, small enough that a 13-figure
+/// suite's load grids don't queue hundreds of tiny tasks through one lock.
+const CHUNKS_PER_EXECUTOR: usize = 8;
+
+/// Suite-wide accumulator for per-world simulator profiling deltas
+/// (`--profile` on `run_all_figs`). Jobs run whole worlds start-to-finish
+/// on one thread, so each [`Sweep::map`] task brackets itself with
+/// [`ProfileSnapshot`]s on its executing thread and adds the delta here.
+/// Disabled (one relaxed load per task) unless a driver opts in.
+pub mod sim_profile {
+    use super::*;
+
+    static ENABLED: AtomicBool = AtomicBool::new(false);
+    static TASKS: AtomicU64 = AtomicU64::new(0);
+    static TRACER_LOCKS: AtomicU64 = AtomicU64::new(0);
+    static SCHED_OPS: AtomicU64 = AtomicU64::new(0);
+    static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+    static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+    /// Totals accumulated across all swept jobs since [`enable`].
+    #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+    pub struct SimStats {
+        /// Sweep tasks that contributed a delta.
+        pub tasks: u64,
+        /// Tracer ring-lock acquisitions inside swept jobs.
+        pub tracer_locks: u64,
+        /// Engine event-queue operations inside swept jobs.
+        pub sched_ops: u64,
+        /// Global-allocator calls inside swept jobs (needs
+        /// [`simnet::CountingAlloc`] installed in the binary).
+        pub alloc_calls: u64,
+        /// Bytes requested from the allocator inside swept jobs.
+        pub alloc_bytes: u64,
+    }
+
+    /// Starts collecting (and zeroes any previous totals).
+    pub fn enable() {
+        TASKS.store(0, Ordering::Relaxed);
+        TRACER_LOCKS.store(0, Ordering::Relaxed);
+        SCHED_OPS.store(0, Ordering::Relaxed);
+        ALLOC_CALLS.store(0, Ordering::Relaxed);
+        ALLOC_BYTES.store(0, Ordering::Relaxed);
+        ENABLED.store(true, Ordering::Release);
+    }
+
+    /// True when sweeps are currently bracketing their jobs.
+    pub fn enabled() -> bool {
+        ENABLED.load(Ordering::Relaxed)
+    }
+
+    /// Reads the totals accumulated so far.
+    pub fn totals() -> SimStats {
+        SimStats {
+            tasks: TASKS.load(Ordering::Relaxed),
+            tracer_locks: TRACER_LOCKS.load(Ordering::Relaxed),
+            sched_ops: SCHED_OPS.load(Ordering::Relaxed),
+            alloc_calls: ALLOC_CALLS.load(Ordering::Relaxed),
+            alloc_bytes: ALLOC_BYTES.load(Ordering::Relaxed),
+        }
+    }
+
+    pub(super) fn add(delta: &ProfileSnapshot) {
+        TASKS.fetch_add(1, Ordering::Relaxed);
+        TRACER_LOCKS.fetch_add(delta.tracer_locks, Ordering::Relaxed);
+        SCHED_OPS.fetch_add(delta.sched_ops, Ordering::Relaxed);
+        ALLOC_CALLS.fetch_add(delta.alloc_calls, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(delta.alloc_bytes, Ordering::Relaxed);
+    }
+}
+
+/// Runs `f()` and, when profiling is enabled, adds this thread's counter
+/// delta for the call into the [`sim_profile`] totals.
+fn run_measured<O>(f: impl FnOnce() -> O) -> O {
+    if !sim_profile::enabled() {
+        return f();
+    }
+    let before = ProfileSnapshot::now();
+    let out = f();
+    sim_profile::add(&ProfileSnapshot::now().delta_since(&before));
+    out
 }
 
 /// Execution context for one figure: either strictly serial, or fanning
@@ -59,19 +150,48 @@ impl<'a, 'scope, 'env> Sweep<'a, 'scope, 'env> {
     /// Runs `f` over `items`, returning outputs **in input order**.
     ///
     /// Serially this is exactly `items.into_iter().map(f).collect()`; on a
-    /// pool each item becomes one subtask and the calling task helps until
-    /// its batch completes. `f` must own its captures (`'static`): jobs
-    /// may run on any worker and outlive the caller's locals.
+    /// pool the items are submitted in contiguous **chunks** (targeting
+    /// [`CHUNKS_PER_EXECUTOR`] tasks per executor) and each chunk maps its
+    /// items in order on one worker, so flattening the chunk outputs
+    /// reproduces input order exactly. Chunking turns a 40-point load grid
+    /// on a 4-executor pool into ~32 queue transitions instead of 80+,
+    /// without giving up stealing granularity for uneven job costs. `f`
+    /// must own its captures (`'static`): jobs may run on any worker and
+    /// outlive the caller's locals.
     pub fn map<I, O, F>(&self, items: Vec<I>, f: F) -> Vec<O>
     where
         I: Send + 'static,
         O: Send + 'static,
         F: Fn(I) -> O + Send + Sync + 'static,
     {
-        match self.scope {
-            None => items.into_iter().map(f).collect(),
-            Some(s) => s.join_map(items, move |_, _, item| f(item)),
+        let Some(s) = self.scope else {
+            return items
+                .into_iter()
+                .map(|item| run_measured(|| f(item)))
+                .collect();
+        };
+        let n = items.len();
+        let target = s.executors() * CHUNKS_PER_EXECUTOR;
+        let chunk = n.div_ceil(target.max(1)).max(1);
+        if chunk <= 1 {
+            return s.join_map(items, move |_, _, item| run_measured(|| f(item)));
         }
+        let mut chunks: Vec<Vec<I>> = Vec::with_capacity(n.div_ceil(chunk));
+        let mut it = items.into_iter();
+        loop {
+            let c: Vec<I> = it.by_ref().take(chunk).collect();
+            if c.is_empty() {
+                break;
+            }
+            chunks.push(c);
+        }
+        let f = Arc::new(f);
+        let outs = s.join_map(chunks, move |_, _, c| {
+            c.into_iter()
+                .map(|item| run_measured(|| f(item)))
+                .collect::<Vec<O>>()
+        });
+        outs.into_iter().flatten().collect()
     }
 }
 
@@ -117,9 +237,12 @@ where
 {
     let n = jobs().min(items.len().max(1));
     if n <= 1 {
-        return items.into_iter().map(f).collect();
+        return items
+            .into_iter()
+            .map(|item| run_measured(|| f(item)))
+            .collect();
     }
-    Pool::new(n).scope(|s| s.join_map(items, move |_, _, item| f(item)))
+    Pool::new(n).scope(|s| Sweep::pooled(s).map(items, f))
 }
 
 /// Runs a figure renderer, converting a panic into `Err(message)` so a
@@ -165,6 +288,42 @@ mod tests {
             sw.map((0..64u64).collect(), |x| x * x + 1)
         });
         assert_eq!(serial, pooled);
+    }
+
+    #[test]
+    fn chunked_map_preserves_order_across_sizes() {
+        // Sizes straddling every chunking regime: below one chunk per
+        // executor, exactly on a chunk boundary, one leftover item, and
+        // far more items than chunk slots. Oversubscribed `exact` pools
+        // maximize out-of-order completion pressure.
+        for pool in [Pool::exact(2), Pool::exact(5)] {
+            for n in [0u64, 1, 7, 8, 9, 63, 64, 65, 257] {
+                let serial = Sweep::SERIAL.map((0..n).collect(), |x| x.wrapping_mul(31) ^ 5);
+                let pooled = pool
+                    .scope(|s| Sweep::pooled(s).map((0..n).collect(), |x| x.wrapping_mul(31) ^ 5));
+                assert_eq!(serial, pooled, "n={n} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn par_map_matches_serial_loop() {
+        let serial: Vec<u64> = (0..33u64).map(|x| x + 7).collect();
+        assert_eq!(par_map((0..33u64).collect(), |x| x + 7), serial);
+    }
+
+    #[test]
+    fn sim_profile_accumulates_only_when_enabled() {
+        // Disabled by default: mapping adds nothing.
+        let before = sim_profile::totals();
+        let _ = Sweep::SERIAL.map(vec![1u64, 2, 3], |x| x);
+        if !sim_profile::enabled() {
+            assert_eq!(sim_profile::totals(), before);
+        }
+        sim_profile::enable();
+        let _ = Sweep::SERIAL.map(vec![1u64, 2, 3], |x| x);
+        let t = sim_profile::totals();
+        assert!(t.tasks >= 3, "each job contributes a delta, got {t:?}");
     }
 
     #[test]

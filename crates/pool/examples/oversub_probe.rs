@@ -1,0 +1,92 @@
+//! Diagnostic probe: user-time inflation of *oversubscribed* pools on
+//! this machine, by workload class. Run:
+//! `cargo run --release -p pool --example oversub_probe`.
+//!
+//! This is the experiment that located the HC_JOBS=4 suite regression on
+//! a single-core container: pure ALU work shows ~0 % inflation when four
+//! workers share one core (timeslicing is free), memory-streaming over
+//! private multi-MB buffers ~4 % (cache interference), and
+//! allocator-heavy work ~10 % with default glibc arenas — and *worse*
+//! (~23 %) under `MALLOC_ARENA_MAX=1`, where the threads serialize on one
+//! arena lock. Simulator worlds are allocator-heavy, which is why
+//! `Pool::new` caps executors at the core count; this probe uses
+//! `Pool::exact` to deliberately reproduce the oversubscription that cap
+//! prevents.
+
+use pool::Pool;
+use std::time::Instant;
+
+fn cpu_times() -> (f64, f64) {
+    let s = std::fs::read_to_string("/proc/self/stat").unwrap();
+    // fields 14/15 (1-based) are utime/stime in clock ticks; the comm field
+    // can contain spaces, so split after the closing paren.
+    let after = s.rsplit_once(')').unwrap().1;
+    let f: Vec<&str> = after.split_whitespace().collect();
+    let tck = 100.0;
+    (
+        f[11].parse::<f64>().unwrap() / tck,
+        f[12].parse::<f64>().unwrap() / tck,
+    )
+}
+
+fn run(label: &str, workers: usize, n: usize, f: impl Fn() -> u64 + Send + Sync + 'static) {
+    let (u0, s0) = cpu_times();
+    let t = Instant::now();
+    let out =
+        Pool::exact(workers).scope(|s| s.join_map((0..n).collect::<Vec<_>>(), move |_, _, _| f()));
+    let wall = t.elapsed().as_secs_f64();
+    let (u1, s1) = cpu_times();
+    let sink: u64 = out.iter().sum();
+    println!(
+        "{label:20} workers={workers} wall={wall:7.3}s user={:7.3}s sys={:6.3}s (sink {sink})",
+        u1 - u0,
+        s1 - s0
+    );
+}
+
+fn main() {
+    // ALU-bound: no memory traffic beyond registers.
+    let alu = || {
+        let mut x = 0x9e3779b97f4a7c15u64;
+        for _ in 0..300_000_000u64 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+        }
+        x
+    };
+    // Memory-streaming over a private 8 MB buffer (larger than L2).
+    let mem = || {
+        let mut v = vec![1u64; 1 << 20];
+        let mut acc = 0u64;
+        for _ in 0..120 {
+            for (i, x) in v.iter_mut().enumerate() {
+                *x = x.wrapping_add(i as u64);
+                acc = acc.wrapping_add(*x);
+            }
+        }
+        acc
+    };
+    // Allocator-heavy: many short-lived heterogeneous allocations.
+    let alloc = || {
+        let mut acc = 0u64;
+        for r in 0..600u64 {
+            let mut keep: Vec<Vec<u8>> = Vec::new();
+            for i in 0..4_000u64 {
+                let sz = 16 + ((i * 2654435761 + r) % 2048) as usize;
+                keep.push(vec![(i & 0xff) as u8; sz]);
+            }
+            acc = acc.wrapping_add(keep.iter().map(|k| k[0] as u64).sum::<u64>());
+        }
+        acc
+    };
+    for workers in [1usize, 4] {
+        run("alu", workers, 8, alu);
+    }
+    for workers in [1usize, 4] {
+        run("mem-8MB", workers, 8, mem);
+    }
+    for workers in [1usize, 4] {
+        run("alloc-heavy", workers, 8, alloc);
+    }
+}

@@ -16,19 +16,37 @@
 //!   condvar — jobs here are whole simulator runs (hundreds of
 //!   microseconds to minutes), so queue contention is noise and the
 //!   simplicity buys obvious correctness.
+//! * **Never oversubscribed**: [`Pool::new`] treats the worker count as a
+//!   *sharding hint*, not a thread mandate. The number of executors (the
+//!   caller, which helps at every join, plus spawned workers) is capped at
+//!   `available_parallelism`. Running more allocation-heavy simulator
+//!   worlds than cores concurrently was measured to cost 10–20 % in pure
+//!   user time on this container (allocator arena churn + cache
+//!   interference between interleaved worlds; see DESIGN.md §13), so
+//!   `HC_JOBS=4` on a single-core box now degrades to serial-equivalent
+//!   execution instead of paying that tax. [`Pool::exact`] opts out for
+//!   tests that deliberately exercise cross-thread interleaving.
 //! * **Deterministic merges**: [`Scope::join_map`] fans a `Vec` of items
 //!   out as subtasks and returns outputs **in input order**, regardless of
 //!   which worker ran what when. Callers that write results in job-index
-//!   order are byte-identical to a serial run by construction.
-//! * **Panic propagation**: a panicking job never hangs the pool. The
-//!   first payload is captured and re-raised — at the owning
-//!   [`Scope::join_map`] call for batch subtasks, or at [`Pool::scope`]
-//!   exit for detached [`Scope::spawn`] tasks.
+//!   order are byte-identical to a serial run by construction. Executor
+//!   capping never touches outputs — only *when* a job runs changes.
+//! * **Panic propagation without poisoning**: a panicking job never hangs
+//!   the pool, and never poisons it either — every internal lock recovers
+//!   from [`std::sync::PoisonError`], so the *first* panic payload is
+//!   carried out intact (re-raised at the owning [`Scope::join_map`] for
+//!   batch subtasks, or at [`Pool::scope`] exit for detached
+//!   [`Scope::spawn`] tasks) instead of being buried under secondary
+//!   `PoisonError` panics from other workers.
 //! * **Nested fan-out without deadlock**: a job may call
 //!   [`Scope::join_map`] itself. While waiting for its batch, the caller
 //!   *helps*: it executes queued tasks instead of blocking, so a pool of
 //!   `N` workers can sit under arbitrarily nested sweeps (figure → load
 //!   grid → seeds) without reserving threads per level.
+//! * **Observable**: the pool keeps per-executor counters (tasks run,
+//!   local/injector/steal hit classes, park/wake transitions, and — under
+//!   [`Pool::scope_profiled`] — lock-wait and task-busy nanoseconds).
+//!   `run_all_figs --profile` surfaces them as `pool_stats_*` keys.
 //!
 //! Like the other vendored crates in this workspace (`fxhash`,
 //! `criterion`, …) this is dependency-free and implements exactly the
@@ -37,7 +55,8 @@
 use std::any::Any;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::Instant;
 
 /// Panic payload carried from a worker to the thread that re-raises it.
 type Payload = Box<dyn Any + Send + 'static>;
@@ -46,19 +65,36 @@ type Payload = Box<dyn Any + Send + 'static>;
 /// out further work onto the same pool.
 type Task<'scope, 'env> = Box<dyn FnOnce(&Scope<'scope, 'env>) + Send + 'scope>;
 
-/// Number of workers to use, from the environment.
+/// Locks a mutex, recovering the guard if a previous holder panicked.
+///
+/// Pool state is always consistent at lock-release boundaries (tasks run
+/// *outside* the lock), so a poisoned lock carries no torn invariants —
+/// recovering keeps the first panic's payload propagating instead of
+/// cascading `PoisonError` panics through every other worker.
+fn plock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Number of jobs to shard across, from the environment.
 ///
 /// `HC_JOBS` overrides; unset or unparsable falls back to
 /// `std::thread::available_parallelism`. A value of `1` means "run
 /// serially" — sweep layers built on this crate bypass the pool entirely
 /// in that case, so `HC_JOBS=1` is an *exact* serial execution, not a
-/// one-worker approximation of one.
+/// one-worker approximation of one. Values above the core count are
+/// accepted (they shape sharding) but [`Pool::new`] will not spawn more
+/// executors than cores.
 pub fn default_jobs() -> usize {
     if let Ok(v) = std::env::var("HC_JOBS") {
         if let Ok(n) = v.trim().parse::<usize>() {
             return n.max(1);
         }
     }
+    available_cores()
+}
+
+/// `std::thread::available_parallelism` with a safe fallback.
+pub fn available_cores() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
@@ -72,14 +108,37 @@ pub fn default_jobs() -> usize {
 /// threads and means an idle `Pool` holds no OS resources.
 #[derive(Debug, Clone, Copy)]
 pub struct Pool {
-    workers: usize,
+    /// Requested job count (the sharding hint; what `HC_JOBS` asked for).
+    requested: usize,
+    /// OS threads `scope` will actually spawn alongside the caller.
+    spawn: usize,
 }
 
 impl Pool {
-    /// A pool with `workers` worker threads (clamped to at least 1).
-    pub fn new(workers: usize) -> Self {
+    /// A pool sharding across `jobs` (clamped to at least 1). The caller
+    /// thread is one executor (it helps at every join); additional worker
+    /// threads are spawned so that the total executor count is
+    /// `min(jobs, available_parallelism)` — never more runnable
+    /// simulation threads than cores.
+    pub fn new(jobs: usize) -> Self {
+        let requested = jobs.max(1);
+        let executors = requested.min(available_cores());
         Pool {
-            workers: workers.max(1),
+            requested,
+            spawn: executors - 1,
+        }
+    }
+
+    /// A pool that spawns exactly `workers` OS worker threads regardless
+    /// of the core count (the caller still helps at joins, so there are
+    /// `workers + 1` potential executors). For tests that deliberately
+    /// exercise cross-thread interleaving and oversubscription; production
+    /// sweeps use [`Pool::new`].
+    pub fn exact(workers: usize) -> Self {
+        let requested = workers.max(1);
+        Pool {
+            requested,
+            spawn: requested,
         }
     }
 
@@ -88,9 +147,19 @@ impl Pool {
         Pool::new(default_jobs())
     }
 
-    /// Number of worker threads `scope` will spawn.
+    /// The requested job count (sharding hint).
     pub fn workers(&self) -> usize {
-        self.workers
+        self.requested
+    }
+
+    /// OS worker threads `scope` will spawn (executors minus the caller).
+    pub fn spawned_workers(&self) -> usize {
+        self.spawn
+    }
+
+    /// Total executors: spawned workers plus the helping caller.
+    pub fn executors(&self) -> usize {
+        self.spawn + 1
     }
 
     /// Runs `f` with a [`Scope`] on which tasks can be spawned. Blocks
@@ -102,13 +171,30 @@ impl Pool {
     where
         F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> T,
     {
+        self.scope_inner(f, false).0
+    }
+
+    /// Like [`Pool::scope`], but times lock waits and task bodies and
+    /// returns the pool's counters alongside the result.
+    pub fn scope_profiled<'env, T, F>(&self, f: F) -> (T, PoolStats)
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> T,
+    {
+        self.scope_inner(f, true)
+    }
+
+    fn scope_inner<'env, T, F>(&self, f: F, profile: bool) -> (T, PoolStats)
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> T,
+    {
         // The shared state lives in an `Arc` (like std's own `ScopeData`)
         // so worker threads move owned handles instead of borrowing a
         // local — borrowing would tie `'scope` to the borrow region and
         // trip the drop checker on the task queues.
-        let shared = Arc::new(Shared::new(self.workers));
+        let t0 = Instant::now();
+        let shared = Arc::new(Shared::new(self.spawn, profile));
         let out = std::thread::scope(|ts| {
-            for w in 0..self.workers {
+            for w in 0..self.spawn {
                 let sh = Arc::clone(&shared);
                 ts.spawn(move || worker_loop(&sh, w));
             }
@@ -125,10 +211,128 @@ impl Pool {
             drop(guard);
             out
         });
-        if let Some(p) = shared.panic.lock().unwrap().take() {
+        if let Some(p) = plock(&shared.panic).take() {
             resume_unwind(p);
         }
-        out
+        let mut stats = {
+            let g = plock(&shared.state);
+            g.stats.clone()
+        };
+        stats.requested = self.requested;
+        stats.spawned = self.spawn;
+        stats.wall_ns = t0.elapsed().as_nanos() as u64;
+        (out, stats)
+    }
+}
+
+/// Counters for one executor (the caller or one worker thread).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Tasks this executor ran to completion.
+    pub tasks_run: u64,
+    /// Pops satisfied from the executor's own deque (cache-warm LIFO).
+    pub local_hits: u64,
+    /// Pops satisfied from the shared injector queue.
+    pub injector_hits: u64,
+    /// Pops satisfied by stealing another worker's deque.
+    pub steals: u64,
+    /// Times this executor blocked on the work condvar.
+    pub parks: u64,
+    /// Times this executor was woken from the work condvar.
+    pub wakes: u64,
+    /// Nanoseconds spent waiting to acquire the pool lock (profiled runs
+    /// only; zero otherwise).
+    pub lock_wait_ns: u64,
+    /// Nanoseconds spent inside task bodies (profiled runs only).
+    pub busy_ns: u64,
+}
+
+impl ExecStats {
+    fn add(&mut self, o: &ExecStats) {
+        self.tasks_run += o.tasks_run;
+        self.local_hits += o.local_hits;
+        self.injector_hits += o.injector_hits;
+        self.steals += o.steals;
+        self.parks += o.parks;
+        self.wakes += o.wakes;
+        self.lock_wait_ns += o.lock_wait_ns;
+        self.busy_ns += o.busy_ns;
+    }
+}
+
+/// Counters for one [`Pool::scope`] invocation. Slot 0 is the caller
+/// thread; slot `w + 1` is worker `w`.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Requested job count (the sharding hint).
+    pub requested: usize,
+    /// Worker threads actually spawned.
+    pub spawned: usize,
+    /// Scope wall-clock, nanoseconds.
+    pub wall_ns: u64,
+    /// Per-executor counters: `[caller, worker 0, worker 1, ...]`.
+    pub per_exec: Vec<ExecStats>,
+    /// Tasks pushed to the shared injector queue.
+    pub injector_pushes: u64,
+    /// Tasks pushed to a worker's own deque.
+    pub deque_pushes: u64,
+    /// Condvar notifications issued.
+    pub notifies: u64,
+}
+
+impl PoolStats {
+    fn new(workers: usize) -> Self {
+        PoolStats {
+            per_exec: vec![ExecStats::default(); workers + 1],
+            ..PoolStats::default()
+        }
+    }
+
+    /// Sum of all per-executor counters.
+    pub fn totals(&self) -> ExecStats {
+        let mut t = ExecStats::default();
+        for e in &self.per_exec {
+            t.add(e);
+        }
+        t
+    }
+
+    /// One-line-per-executor human-readable table.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "pool: requested {} jobs, spawned {} workers (+caller), wall {:.3}s, \
+             {} injector / {} deque pushes, {} notifies",
+            self.requested,
+            self.spawned,
+            self.wall_ns as f64 / 1e9,
+            self.injector_pushes,
+            self.deque_pushes,
+            self.notifies,
+        );
+        for (i, e) in self.per_exec.iter().enumerate() {
+            let name = if i == 0 {
+                "caller".to_string()
+            } else {
+                format!("w{}", i - 1)
+            };
+            let _ = writeln!(
+                s,
+                "  {name:>6}: {} tasks ({} local, {} injector, {} stolen), \
+                 {} parks / {} wakes, lock-wait {:.3}ms, busy {:.3}s",
+                e.tasks_run,
+                e.local_hits,
+                e.injector_hits,
+                e.steals,
+                e.parks,
+                e.wakes,
+                e.lock_wait_ns as f64 / 1e6,
+                e.busy_ns as f64 / 1e9,
+            );
+        }
+        s
     }
 }
 
@@ -152,6 +356,9 @@ struct Shared<'scope, 'env: 'scope> {
     work_cv: Condvar,
     /// First panic payload from a detached (non-batch) task.
     panic: Mutex<Option<Payload>>,
+    /// Time lock waits and task bodies (adds two `Instant::now` per task
+    /// and per contended acquire; off for plain `scope`).
+    profile: bool,
 }
 
 struct State<'scope, 'env: 'scope> {
@@ -162,38 +369,74 @@ struct State<'scope, 'env: 'scope> {
     /// Tasks spawned but not yet completed.
     pending: usize,
     shutdown: bool,
+    /// Per-executor and queue counters (cheap in-lock increments; always
+    /// maintained).
+    stats: PoolStats,
+}
+
+/// Stats slot for an executor: 0 = caller, w + 1 = worker w.
+fn slot(worker: Option<usize>) -> usize {
+    worker.map_or(0, |w| w + 1)
 }
 
 impl<'scope, 'env> Shared<'scope, 'env> {
-    fn new(workers: usize) -> Self {
+    fn new(workers: usize, profile: bool) -> Self {
         Shared {
             state: Mutex::new(State {
                 injector: VecDeque::new(),
                 deques: (0..workers).map(|_| VecDeque::new()).collect(),
                 pending: 0,
                 shutdown: false,
+                stats: PoolStats::new(workers),
             }),
             work_cv: Condvar::new(),
             panic: Mutex::new(None),
+            profile,
+        }
+    }
+
+    /// Acquires the state lock, attributing wait time to `who` when
+    /// profiling.
+    fn lock(&self, who: Option<usize>) -> MutexGuard<'_, State<'scope, 'env>> {
+        if self.profile {
+            let t = Instant::now();
+            let mut g = plock(&self.state);
+            let wait = t.elapsed().as_nanos() as u64;
+            if wait > 0 {
+                g.stats.per_exec[slot(who)].lock_wait_ns += wait;
+            }
+            g
+        } else {
+            plock(&self.state)
         }
     }
 
     /// Queues a task from `worker` (or the caller thread when `None`).
     fn push(&self, worker: Option<usize>, task: Task<'scope, 'env>) {
-        let mut g = self.state.lock().unwrap();
+        let mut g = self.lock(worker);
         match worker {
-            Some(w) => g.deques[w].push_back(task),
-            None => g.injector.push_back(task),
+            Some(w) => {
+                g.deques[w].push_back(task);
+                g.stats.deque_pushes += 1;
+            }
+            None => {
+                g.injector.push_back(task);
+                g.stats.injector_pushes += 1;
+            }
         }
         g.pending += 1;
+        g.stats.notifies += 1;
         drop(g);
         self.work_cv.notify_one();
     }
 
-    /// Records the completion of one task.
-    fn complete_one(&self) {
-        let mut g = self.state.lock().unwrap();
+    /// Records the completion of one task by `who`.
+    fn complete_one(&self, who: Option<usize>, busy_ns: u64) {
+        let mut g = self.lock(who);
         g.pending -= 1;
+        let e = &mut g.stats.per_exec[slot(who)];
+        e.tasks_run += 1;
+        e.busy_ns += busy_ns;
         let idle = g.pending == 0;
         drop(g);
         if idle {
@@ -203,37 +446,42 @@ impl<'scope, 'env> Shared<'scope, 'env> {
 
     /// Stores the first detached-task panic payload.
     fn record_panic(&self, payload: Payload) {
-        let mut g = self.panic.lock().unwrap();
+        let mut g = plock(&self.panic);
         if g.is_none() {
             *g = Some(payload);
         }
     }
 
     fn shutdown(&self) {
-        self.state.lock().unwrap().shutdown = true;
+        plock(&self.state).shutdown = true;
         self.work_cv.notify_all();
     }
 }
 
 /// Pops runnable work for `worker` under the state lock: own deque from
 /// the back first (LIFO — depth-first, cache-warm), then the injector,
-/// then steals the front of the other deques (oldest first).
+/// then steals the front of the other deques (oldest first). Classifies
+/// the hit into the executor's counters.
 fn pop_task<'scope, 'env>(
     g: &mut State<'scope, 'env>,
     worker: Option<usize>,
 ) -> Option<Task<'scope, 'env>> {
+    let si = slot(worker);
     if let Some(w) = worker {
         if let Some(t) = g.deques[w].pop_back() {
+            g.stats.per_exec[si].local_hits += 1;
             return Some(t);
         }
     }
     if let Some(t) = g.injector.pop_front() {
+        g.stats.per_exec[si].injector_hits += 1;
         return Some(t);
     }
     let own = worker.unwrap_or(usize::MAX);
-    for (i, dq) in g.deques.iter_mut().enumerate() {
+    for i in 0..g.deques.len() {
         if i != own {
-            if let Some(t) = dq.pop_front() {
+            if let Some(t) = g.deques[i].pop_front() {
+                g.stats.per_exec[si].steals += 1;
                 return Some(t);
             }
         }
@@ -248,7 +496,7 @@ fn worker_loop<'scope, 'env>(shared: &Arc<Shared<'scope, 'env>>, w: usize) {
     };
     loop {
         let task = {
-            let mut g = shared.state.lock().unwrap();
+            let mut g = shared.lock(Some(w));
             loop {
                 if let Some(t) = pop_task(&mut g, Some(w)) {
                     break t;
@@ -256,7 +504,12 @@ fn worker_loop<'scope, 'env>(shared: &Arc<Shared<'scope, 'env>>, w: usize) {
                 if g.shutdown {
                     return;
                 }
-                g = shared.work_cv.wait(g).unwrap();
+                g.stats.per_exec[w + 1].parks += 1;
+                g = shared
+                    .work_cv
+                    .wait(g)
+                    .unwrap_or_else(PoisonError::into_inner);
+                g.stats.per_exec[w + 1].wakes += 1;
             }
         };
         scope.run_task(task);
@@ -268,11 +521,38 @@ impl<'scope, 'env> Scope<'scope, 'env> {
     /// detached-panic slot unless the task handles it itself (batch
     /// subtasks catch their own panics before this sees them).
     fn run_task(&self, task: Task<'scope, 'env>) {
+        // Busy time is only charged by the *outermost* task on this
+        // thread: helping joins re-enter run_task, and an inner batch's
+        // time is already inside the outer task's interval — charging both
+        // would report more busy time than wall time.
+        thread_local! {
+            static TASK_DEPTH: std::cell::Cell<u32> = const { std::cell::Cell::new(0) };
+        }
+        let t0 = self.shared.profile.then(|| {
+            TASK_DEPTH.with(|d| d.set(d.get() + 1));
+            Instant::now()
+        });
         let result = catch_unwind(AssertUnwindSafe(|| task(self)));
         if let Err(payload) = result {
             self.shared.record_panic(payload);
         }
-        self.shared.complete_one();
+        let busy = t0.map_or(0, |t| {
+            let outermost = TASK_DEPTH.with(|d| {
+                d.set(d.get() - 1);
+                d.get() == 0
+            });
+            if outermost {
+                t.elapsed().as_nanos() as u64
+            } else {
+                0
+            }
+        });
+        self.shared.complete_one(self.worker, busy);
+    }
+
+    /// Total executors of the owning pool (spawned workers + caller).
+    pub fn executors(&self) -> usize {
+        plock(&self.shared.state).deques.len() + 1
     }
 
     /// Spawns a detached task. A panic in `f` is captured and re-raised
@@ -327,66 +607,85 @@ impl<'scope, 'env> Scope<'scope, 'env> {
             panic: Mutex::new(None),
         });
         let f = Arc::new(f);
-        {
-            let mut g = self.shared.state.lock().unwrap();
+        let wake = {
+            let mut g = self.shared.lock(self.worker);
             for (i, item) in items.into_iter().enumerate() {
                 let b = Arc::clone(&batch);
                 let f = Arc::clone(&f);
                 let task: Task<'scope, 'env> = Box::new(move |sc: &Scope<'scope, 'env>| {
                     let out = catch_unwind(AssertUnwindSafe(|| f(sc, i, item)));
                     match out {
-                        Ok(o) => b.slots.lock().unwrap()[i] = Some(o),
+                        Ok(o) => plock(&b.slots)[i] = Some(o),
                         Err(p) => {
-                            let mut slot = b.panic.lock().unwrap();
+                            let mut slot = plock(&b.panic);
                             if slot.is_none() {
                                 *slot = Some(p);
                             }
                         }
                     }
-                    let mut left = b.left.lock().unwrap();
+                    let mut left = plock(&b.left);
                     *left -= 1;
                     if *left == 0 {
                         b.done_cv.notify_all();
                     }
                 });
                 match self.worker {
-                    Some(w) => g.deques[w].push_back(task),
-                    None => g.injector.push_back(task),
+                    Some(w) => {
+                        g.deques[w].push_back(task);
+                        g.stats.deque_pushes += 1;
+                    }
+                    None => {
+                        g.injector.push_back(task);
+                        g.stats.injector_pushes += 1;
+                    }
                 }
                 g.pending += 1;
             }
+            // Wake only as many parked workers as there are new tasks —
+            // `notify_all` on every batch made each idle worker take (and
+            // fight over) the state lock just to find nothing.
+            let wake = n.min(g.deques.len());
+            g.stats.notifies += wake as u64;
             drop(g);
-            self.shared.work_cv.notify_all();
+            wake
+        };
+        for _ in 0..wake {
+            self.shared.work_cv.notify_one();
         }
 
         // Help until the batch drains: run anything runnable; only sleep
         // (on the batch condvar) when the queues are momentarily empty.
         loop {
-            if *batch.left.lock().unwrap() == 0 {
+            if *plock(&batch.left) == 0 {
                 break;
             }
             let task = {
-                let mut g = self.shared.state.lock().unwrap();
+                let mut g = self.shared.lock(self.worker);
                 pop_task(&mut g, self.worker)
             };
             match task {
                 Some(t) => self.run_task(t),
                 None => {
-                    let left = batch.left.lock().unwrap();
+                    let left = plock(&batch.left);
                     if *left == 0 {
                         break;
                     }
                     // Batch subtasks may be running on other workers (or
                     // be spawned by them); wake on completion and rescan.
-                    drop(batch.done_cv.wait(left).unwrap());
+                    drop(
+                        batch
+                            .done_cv
+                            .wait(left)
+                            .unwrap_or_else(PoisonError::into_inner),
+                    );
                 }
             }
         }
 
-        if let Some(p) = batch.panic.lock().unwrap().take() {
+        if let Some(p) = plock(&batch.panic).take() {
             resume_unwind(p);
         }
-        let mut slots = batch.slots.lock().unwrap();
+        let mut slots = plock(&batch.slots);
         slots
             .iter_mut()
             .map(|s| s.take().expect("join_map: missing output without panic"))
@@ -403,13 +702,19 @@ impl<'scope, 'env> Scope<'scope, 'env> {
                 Wait,
             }
             let step = {
-                let mut g = self.shared.state.lock().unwrap();
+                let mut g = self.shared.lock(self.worker);
                 if let Some(t) = pop_task(&mut g, self.worker) {
                     Step::Run(t)
                 } else if g.pending == 0 {
                     Step::Done
                 } else {
-                    drop(self.shared.work_cv.wait(g).unwrap());
+                    g.stats.per_exec[slot(self.worker)].parks += 1;
+                    drop(
+                        self.shared
+                            .work_cv
+                            .wait(g)
+                            .unwrap_or_else(PoisonError::into_inner),
+                    );
                     Step::Wait
                 }
             };
@@ -487,7 +792,7 @@ mod tests {
     fn nested_join_map_on_same_pool_completes() {
         // 2 workers, 4 outer tasks each fanning out 8 inner tasks: only
         // possible without deadlock because waiting tasks help execute.
-        let pool = Pool::new(2);
+        let pool = Pool::exact(2);
         let out = pool.scope(|s| {
             s.join_map((0..4u64).collect(), |sc, _, outer| {
                 let inner = sc.join_map((0..8u64).collect(), move |_, _, j| outer * 10 + j);
@@ -501,10 +806,10 @@ mod tests {
     #[test]
     fn nested_scope_inside_task_completes() {
         // A task may open a whole nested Pool::scope of its own.
-        let pool = Pool::new(2);
+        let pool = Pool::exact(2);
         let out = pool.scope(|s| {
             s.join_map(vec![10u64, 20], |_, _, base| {
-                Pool::new(2)
+                Pool::exact(2)
                     .scope(|inner| inner.join_map(vec![1u64, 2, 3], move |_, _, x| base + x))
             })
         });
@@ -513,7 +818,7 @@ mod tests {
 
     #[test]
     fn join_map_propagates_subtask_panic() {
-        let pool = Pool::new(3);
+        let pool = Pool::exact(3);
         let res = std::panic::catch_unwind(AssertUnwindSafe(|| {
             pool.scope(|s| {
                 s.join_map((0..16u32).collect(), |_, _, x| {
@@ -534,7 +839,7 @@ mod tests {
 
     #[test]
     fn spawn_panic_propagates_at_scope_exit() {
-        let pool = Pool::new(2);
+        let pool = Pool::exact(2);
         let res = std::panic::catch_unwind(AssertUnwindSafe(|| {
             pool.scope(|s| {
                 s.spawn(|| panic!("detached boom"));
@@ -547,7 +852,7 @@ mod tests {
 
     #[test]
     fn panic_in_nested_join_map_reaches_outer_caller() {
-        let pool = Pool::new(2);
+        let pool = Pool::exact(2);
         let res = std::panic::catch_unwind(AssertUnwindSafe(|| {
             pool.scope(|s| {
                 s.join_map(vec![0u32, 1], |sc, _, outer| {
@@ -574,5 +879,70 @@ mod tests {
         // Can't set env safely across parallel tests; just sanity-check
         // the fallback is at least 1.
         assert!(default_jobs() >= 1);
+    }
+
+    #[test]
+    fn new_caps_executors_at_core_count() {
+        let cores = available_cores();
+        let p = Pool::new(64);
+        assert_eq!(p.workers(), 64, "requested count is preserved as a hint");
+        assert_eq!(p.executors(), 64.min(cores));
+        assert_eq!(p.spawned_workers(), p.executors() - 1);
+        // `exact` bypasses the cap for interleaving tests.
+        let e = Pool::exact(4);
+        assert_eq!(e.spawned_workers(), 4);
+        assert_eq!(e.executors(), 5);
+    }
+
+    #[test]
+    fn stats_account_for_every_task() {
+        let pool = Pool::exact(3);
+        let (out, stats) = pool.scope_profiled(|s| {
+            s.join_map((0..40u64).collect(), |_, _, x| {
+                std::thread::sleep(std::time::Duration::from_micros(200));
+                x + 1
+            })
+        });
+        assert_eq!(out.len(), 40);
+        let t = stats.totals();
+        assert_eq!(t.tasks_run, 40, "every task runs exactly once");
+        assert_eq!(
+            t.local_hits + t.injector_hits + t.steals,
+            40,
+            "every run task was popped from exactly one queue class"
+        );
+        assert_eq!(stats.injector_pushes + stats.deque_pushes, 40);
+        assert_eq!(stats.spawned, 3);
+        assert_eq!(stats.per_exec.len(), 4);
+        assert!(t.busy_ns > 0, "profiled runs time task bodies");
+    }
+
+    #[test]
+    fn scope_survives_a_panicking_task_without_poisoning() {
+        // After one batch panics, the same scope must keep scheduling:
+        // internal locks recover from poisoning so the *first* payload is
+        // the only panic anyone observes.
+        let pool = Pool::exact(2);
+        let out = pool.scope(|s| {
+            let first = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                s.join_map((0..8u32).collect(), |_, _, x| {
+                    if x == 3 {
+                        panic!("original failure x={x}");
+                    }
+                    x
+                })
+            }));
+            let msg = match first {
+                Err(p) => p.downcast_ref::<String>().cloned().unwrap_or_default(),
+                Ok(_) => panic!("batch with a panicking subtask must fail"),
+            };
+            assert!(
+                msg.contains("original failure x=3"),
+                "first panic message must survive intact, got {msg:?}"
+            );
+            // The pool is still fully operational afterwards.
+            s.join_map((0..8u32).collect(), |_, _, x| x * 2)
+        });
+        assert_eq!(out, vec![0, 2, 4, 6, 8, 10, 12, 14]);
     }
 }

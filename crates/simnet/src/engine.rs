@@ -501,6 +501,7 @@ impl<M: Clone + Debug + 'static> Sim<M> {
     // ---- internals -------------------------------------------------------
 
     fn push(&mut self, at: SimTime, ev: Ev<M>) {
+        crate::profile::note_sched_op();
         let seq = self.seq;
         self.seq += 1;
         let slot = self.slab.insert(ev);
@@ -530,6 +531,7 @@ impl<M: Clone + Debug + 'static> Sim<M> {
         if take_bucket {
             // Bucket entries are stamped `now <= limit` by construction.
             let (_, slot) = self.now_bucket.pop_front().expect("checked front");
+            crate::profile::note_sched_op();
             Some((self.now, slot))
         } else {
             let head = *self.queue.peek().expect("checked peek");
@@ -537,6 +539,7 @@ impl<M: Clone + Debug + 'static> Sim<M> {
                 return None;
             }
             self.queue.pop();
+            crate::profile::note_sched_op();
             Some((head.at, head.slot))
         }
     }

@@ -65,6 +65,7 @@ mod engine;
 mod fault;
 mod packet;
 mod params;
+mod profile;
 mod switch;
 mod time;
 mod trace;
@@ -75,6 +76,7 @@ pub use engine::{DropFilter, RestartHook, Sim};
 pub use fault::{FaultCmd, FaultPlan, FaultPlanConfig, LinkFault};
 pub use packet::{Addr, NodeId, Packet};
 pub use params::{FabricParams, NicParams};
+pub use profile::{CountingAlloc, ProfileSnapshot, SpinGuard, SpinLock};
 pub use switch::{GroupTable, SwitchEmit, SwitchProgram, Verdict};
 pub use time::{SimDur, SimTime};
 pub use trace::{Detail, DetailFn, TraceEvent, Tracer, DEFAULT_TRACE_CAP};

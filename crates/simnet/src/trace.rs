@@ -18,10 +18,11 @@
 //! load the simulator records millions of events and renders none of them.
 
 use crate::packet::{Addr, NodeId};
+use crate::profile::{self, SpinGuard, SpinLock};
 use crate::time::SimTime;
 use std::collections::VecDeque;
 use std::fmt;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// Renders a lazily recorded detail payload from its three raw words.
 ///
@@ -150,15 +151,21 @@ struct Inner {
 /// event is evicted (its `seq` is never reused, so incremental consumers
 /// can detect gaps).
 ///
-/// The handle is `Send + Sync` (an `Arc<Mutex<_>>`, not `Rc<RefCell<_>>`)
-/// so a whole `Sim` world — which clones the tracer into every server,
-/// switch program, and restart hook — can be *constructed and driven on a
-/// pool worker thread*. Each simulation still owns a private tracer; the
-/// mutex is never contended in practice, so the hot `record_lazy` path
-/// stays a handful of word moves (the `sim_throughput` gate pins this).
+/// The handle is `Send + Sync` (an `Arc<SpinLock<_>>`, not
+/// `Rc<RefCell<_>>`) so a whole `Sim` world — which clones the tracer into
+/// every server, switch program, and restart hook — can be *constructed
+/// and driven on a pool worker thread*. Each simulation still owns a
+/// private tracer, so the lock is uncontended by construction; the spin
+/// lock keeps the uncontended acquire to one compare-exchange with no
+/// futex bookkeeping, and — unlike a std `Mutex` — it **cannot poison**: a
+/// checker panicking inside [`Tracer::for_each_since`] releases the lock
+/// on unwind and every other clone holder keeps working, so the original
+/// panic message and the violation-bundle dump survive intact. Lock
+/// acquisitions are counted into the thread's
+/// [`crate::ProfileSnapshot::tracer_locks`].
 #[derive(Clone)]
 pub struct Tracer {
-    inner: Arc<Mutex<Inner>>,
+    inner: Arc<SpinLock<Inner>>,
 }
 
 /// Default ring capacity: enough to hold the interesting tail of a
@@ -175,12 +182,19 @@ impl Tracer {
     /// Creates a tracer whose ring holds at most `cap` events.
     pub fn new(cap: usize) -> Self {
         Tracer {
-            inner: Arc::new(Mutex::new(Inner {
+            inner: Arc::new(SpinLock::new(Inner {
                 cap: cap.max(1),
                 next_seq: 0,
                 buf: VecDeque::new(),
             })),
         }
+    }
+
+    /// Acquires the ring lock, counting the acquisition into the calling
+    /// thread's profiling counters. Every method goes through here.
+    fn ring(&self) -> SpinGuard<'_, Inner> {
+        profile::note_tracer_lock();
+        self.inner.lock()
     }
 
     /// Appends one event, evicting the oldest if the ring is full.
@@ -192,7 +206,7 @@ impl Tracer {
         key: u64,
         detail: impl Into<Detail>,
     ) {
-        let mut g = self.inner.lock().unwrap();
+        let mut g = self.ring();
         let seq = g.next_seq;
         g.next_seq += 1;
         if g.buf.len() == g.cap {
@@ -243,12 +257,12 @@ impl Tracer {
 
     /// Total events ever recorded (including evicted ones).
     pub fn total_recorded(&self) -> u64 {
-        self.inner.lock().unwrap().next_seq
+        self.ring().next_seq
     }
 
     /// Events currently held in the ring.
     pub fn len(&self) -> usize {
-        self.inner.lock().unwrap().buf.len()
+        self.ring().buf.len()
     }
 
     /// True when the ring holds no events.
@@ -264,7 +278,7 @@ impl Tracer {
     /// requested — compare the first visited `seq` against `since` to
     /// detect the gap.
     pub fn for_each_since(&self, since: u64, mut f: impl FnMut(&TraceEvent)) {
-        let g = self.inner.lock().unwrap();
+        let g = self.ring();
         let Some(first) = g.buf.front().map(|e| e.seq) else {
             return;
         };
@@ -286,7 +300,7 @@ impl Tracer {
 
     /// Snapshot of everything currently in the ring, oldest first.
     pub fn events(&self) -> Vec<TraceEvent> {
-        self.inner.lock().unwrap().buf.iter().cloned().collect()
+        self.ring().buf.iter().cloned().collect()
     }
 
     /// Events with `seq >= since`, oldest first. Use for incremental scans:
@@ -294,9 +308,7 @@ impl Tracer {
     /// the returned slice starts later than requested — compare the first
     /// returned `seq` against `since` to detect the gap.
     pub fn events_since(&self, since: u64) -> Vec<TraceEvent> {
-        self.inner
-            .lock()
-            .unwrap()
+        self.ring()
             .buf
             .iter()
             .filter(|e| e.seq >= since)
@@ -306,7 +318,7 @@ impl Tracer {
 
     /// The last `n` events, oldest first.
     pub fn tail(&self, n: usize) -> Vec<TraceEvent> {
-        let g = self.inner.lock().unwrap();
+        let g = self.ring();
         let skip = g.buf.len().saturating_sub(n);
         g.buf.iter().skip(skip).cloned().collect()
     }
@@ -317,7 +329,7 @@ impl Tracer {
     /// through here.
     pub fn render_tail(&self, n: usize) -> String {
         use fmt::Write as _;
-        let g = self.inner.lock().unwrap();
+        let g = self.ring();
         let take = n.min(g.buf.len());
         let skip = g.buf.len() - take;
         let mut out = String::with_capacity(take * 56);
@@ -329,13 +341,13 @@ impl Tracer {
 
     /// Drops all buffered events (sequence numbers keep advancing).
     pub fn clear(&self) {
-        self.inner.lock().unwrap().buf.clear();
+        self.ring().buf.clear();
     }
 }
 
 impl fmt::Debug for Tracer {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let g = self.inner.lock().unwrap();
+        let g = self.ring();
         f.debug_struct("Tracer")
             .field("cap", &g.cap)
             .field("len", &g.buf.len())
@@ -402,6 +414,37 @@ mod tests {
         assert_send_sync::<Tracer>();
         assert_send_sync::<TraceEvent>();
         assert_send_sync::<Detail>();
+    }
+
+    #[test]
+    fn panic_during_scan_does_not_poison_the_tracer() {
+        // A checker panicking inside `for_each_since` (while the ring lock
+        // is held) must leave the tracer fully usable: recording, scanning,
+        // and dumping all still work, and no secondary panic ever replaces
+        // the checker's own message. This is what lets a violation bundle
+        // be rendered *after* the invariant checker has already panicked.
+        let t = Tracer::new(8);
+        t.record(SimTime::ZERO, 0, "before", 1, "pre-panic");
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            t.for_each_since(0, |_| panic!("checker violation: original message"));
+        }));
+        let payload = res.expect_err("checker panic must propagate");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(
+            msg.contains("checker violation: original message"),
+            "first panic message must survive intact, got {msg:?}"
+        );
+        // Every clone holder keeps working after the unwind.
+        let t2 = t.clone();
+        t2.record(SimTime::ZERO, 0, "after", 2, "post-panic");
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.total_recorded(), 2);
+        let dump = t.render_tail(10);
+        assert!(dump.contains("pre-panic") && dump.contains("post-panic"));
     }
 
     #[test]

@@ -109,17 +109,24 @@ fn digest_is_observer_independent() {
     assert_eq!(a, b, "same-process repeat of seed 7 diverged");
 }
 
-/// Running the same seeds inline, on a 1-worker pool, and on a 4-worker
-/// pool must produce identical digest reports (digests *and* event
-/// counts): each job is a self-contained single-threaded simulation, so
-/// the scheduler that carried it must be unobservable in its output. This
-/// is the contract the parallel figure suite and chaos sweeps rest on.
+/// Running the same seeds inline and on pools of 1, 4, and 8 workers must
+/// produce identical digest reports (digests *and* event counts): each
+/// job is a self-contained single-threaded simulation, so the scheduler
+/// that carried it must be unobservable in its output. This is the
+/// contract the parallel figure suite and chaos sweeps rest on.
+///
+/// `Pool::exact` (not `Pool::new`) so the worker threads really exist:
+/// `Pool::new` caps executors at the core count, and on a small machine
+/// the 4- and 8-worker rows would silently degenerate to the same
+/// near-serial schedule. `exact` oversubscribes on purpose — maximum
+/// cross-thread interleaving pressure, every worker-count a genuinely
+/// different schedule.
 #[test]
 fn pool_execution_is_digest_invariant() {
     let seeds: Vec<u64> = PINNED.iter().map(|&(seed, _)| seed).collect();
     let inline: Vec<DigestReport> = seeds.iter().map(|&s| digest_chaos_run(s)).collect();
-    for workers in [1usize, 4] {
-        let on_pool = pool::Pool::new(workers)
+    for workers in [1usize, 4, 8] {
+        let on_pool = pool::Pool::exact(workers)
             .scope(|s| s.join_map(seeds.clone(), |_, _, seed| digest_chaos_run(seed)));
         assert_eq!(
             inline, on_pool,
@@ -127,4 +134,67 @@ fn pool_execution_is_digest_invariant() {
              into simulation output"
         );
     }
+}
+
+/// Trace sequence numbers must be a stable, dense property of the run
+/// itself — never of the lock, the buffering, or which thread drove the
+/// world. Guards the tracer's internal locking against changes that
+/// would reorder or re-number events (the digest tests above would
+/// catch a reorder too, but this pins the *mechanism*: dense monotone
+/// seqs under eviction, identical streams across threads, and correct
+/// seq accounting when clones interleave appends).
+#[test]
+fn trace_sequences_are_stable_and_dense() {
+    use simnet::{SimTime, Tracer};
+
+    // Same recording pattern on different threads -> identical streams.
+    let record_world = || {
+        let t = Tracer::new(64);
+        for i in 0..200u64 {
+            t.record_kv(SimTime::ZERO, (i % 5) as u32, "ev", i);
+        }
+        t.events()
+            .iter()
+            .map(|e| (e.seq, e.kind, e.key))
+            .collect::<Vec<_>>()
+    };
+    let on_main = record_world();
+    let on_worker = std::thread::spawn(record_world).join().unwrap();
+    assert_eq!(
+        on_main, on_worker,
+        "recording thread leaked into the stream"
+    );
+
+    // Eviction keeps seqs dense and monotone: a 64-cap ring after 200
+    // appends holds exactly seqs 136..=199.
+    let seqs: Vec<u64> = on_main.iter().map(|&(s, _, _)| s).collect();
+    assert_eq!(seqs.first(), Some(&136));
+    assert_eq!(seqs.last(), Some(&199));
+    for w in seqs.windows(2) {
+        assert_eq!(w[1], w[0] + 1, "sequence gap inside the ring");
+    }
+
+    // Clones interleaving appends share one dense seq space, and an
+    // incremental cursor over `for_each_since` sees each event once.
+    let t = Tracer::new(1024);
+    let t2 = t.clone();
+    for i in 0..50u64 {
+        if i % 2 == 0 {
+            t.record_kv(SimTime::ZERO, 0, "a", i);
+        } else {
+            t2.record_kv(SimTime::ZERO, 1, "b", i);
+        }
+    }
+    assert_eq!(t.total_recorded(), 50);
+    let mut cursor = 0u64;
+    let mut seen = Vec::new();
+    while cursor < t.total_recorded() {
+        t.for_each_since(cursor, |e| {
+            if e.seq >= cursor {
+                seen.push(e.seq);
+            }
+        });
+        cursor = seen.last().map_or(0, |s| s + 1);
+    }
+    assert_eq!(seen, (0..50).collect::<Vec<u64>>());
 }
