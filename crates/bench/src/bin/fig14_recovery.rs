@@ -1,0 +1,6 @@
+//! Thin wrapper: renders `Figure 14` via the shared figure registry (see
+//! `hovercraft_bench::figs`), honoring `HC_JOBS` for parallel sweeps.
+
+fn main() {
+    hovercraft_bench::sweep::figure_main(&hovercraft_bench::figs::fig14::FIG);
+}

@@ -18,6 +18,7 @@ pub mod fig10;
 pub mod fig11;
 pub mod fig12;
 pub mod fig13;
+pub mod fig14;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
@@ -40,6 +41,7 @@ pub fn all() -> Vec<Figure> {
         fig11::FIG,
         fig12::FIG,
         fig13::FIG,
+        fig14::FIG,
         table1::FIG,
         ycsb_suite::FIG,
         ablation_bound::FIG,

@@ -23,6 +23,8 @@ enum Repr {
     Static(&'static [u8]),
     /// Shared heap allocation; clones bump a refcount.
     Shared(Arc<[u8]>),
+    /// A sub-range of a shared allocation (zero-copy `slice`).
+    Sliced(Arc<[u8]>, usize, usize),
 }
 
 impl Bytes {
@@ -51,10 +53,37 @@ impl Bytes {
         self.as_slice().is_empty()
     }
 
+    /// Returns a sub-range of the bytes as a new `Bytes`, without copying
+    /// (shared allocations bump the refcount, like the real crate).
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, range: impl std::ops::RangeBounds<usize>) -> Bytes {
+        use std::ops::Bound;
+        let len = self.len();
+        let start = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => len,
+        };
+        assert!(start <= end && end <= len, "slice out of bounds");
+        match &self.0 {
+            Repr::Static(s) => Bytes(Repr::Static(&s[start..end])),
+            Repr::Shared(s) => Bytes(Repr::Sliced(s.clone(), start, end)),
+            Repr::Sliced(s, lo, _) => Bytes(Repr::Sliced(s.clone(), lo + start, lo + end)),
+        }
+    }
+
     fn as_slice(&self) -> &[u8] {
         match &self.0 {
             Repr::Static(s) => s,
             Repr::Shared(s) => s,
+            Repr::Sliced(s, lo, hi) => &s[*lo..*hi],
         }
     }
 }
@@ -291,5 +320,21 @@ mod tests {
         let a = Bytes::from(vec![9u8; 1024]);
         let b = a.clone();
         assert_eq!(a.as_ptr(), b.as_ptr());
+    }
+
+    #[test]
+    fn slice_is_zero_copy_and_composable() {
+        let a = Bytes::from((0u8..=99).collect::<Vec<u8>>());
+        let mid = a.slice(10..90);
+        assert_eq!(mid.len(), 80);
+        assert_eq!(mid[0], 10);
+        assert_eq!(a.as_ptr(), mid.as_ptr().wrapping_sub(10), "no copy");
+        let inner = mid.slice(5..=6);
+        assert_eq!(&inner[..], &[15, 16]);
+        assert_eq!(&a.slice(..3)[..], &[0, 1, 2]);
+        assert!(a.slice(95..).slice(..).len() == 5);
+        let s = Bytes::from_static(b"static");
+        assert_eq!(&s.slice(1..3)[..], b"ta");
+        assert_eq!(a.slice(40..40).len(), 0, "empty slice allowed");
     }
 }

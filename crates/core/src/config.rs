@@ -55,6 +55,17 @@ pub struct HcConfig {
     /// treated as stalled and excluded from replier selection until it
     /// reports progress again.
     pub stall_timeout_ns: u64,
+    /// Applied-index horizon between snapshots: once `applied` is this many
+    /// entries past the last snapshot, the node serializes its state
+    /// machine, compacts the ordering log below the applied index, and
+    /// drops the archived bodies the compacted entries referenced. `0`
+    /// (the default) disables snapshotting entirely — the log grows without
+    /// bound, as before this mechanism existed.
+    pub snapshot_interval: u64,
+    /// Maximum snapshot bytes per SNAP_CHUNK during follower state
+    /// transfer. Transfers are stop-and-wait per chunk, so this bounds both
+    /// the in-flight transfer data and the retransmit unit.
+    pub snap_chunk_bytes: usize,
 }
 
 impl HcConfig {
@@ -78,6 +89,8 @@ impl HcConfig {
             // never trips it, short enough that a stalled node stops
             // receiving assignments well before its bounded queue fills.
             stall_timeout_ns: 5_000_000, // 5 ms
+            snapshot_interval: 0,        // disabled
+            snap_chunk_bytes: 16 * 1024,
         }
     }
 }

@@ -79,6 +79,47 @@ pub enum WireMsg {
         /// Register snapshot per follower.
         status: Vec<AggStatus>,
     },
+    /// Serving peer → recovering node: one chunk of a snapshot state
+    /// transfer (InstallSnapshot, chunked so the chaos layer can kill,
+    /// pause, partition, or duplicate-deliver mid-transfer). Transfers are
+    /// peer-served (§5): usually the leader streams to a lagging follower,
+    /// but any replica answers a RecoveryReq for a compacted body this way
+    /// — including healing a rejoined *leader* that won election on log
+    /// completeness while missing compacted bodies. Offsets address the
+    /// snapshot blob, so duplicates and reorderings are idempotent; the
+    /// receiver acks cumulatively and the sender streams stop-and-wait.
+    SnapChunk {
+        /// Serving peer's term.
+        term: Term,
+        /// Serving peer's id (counts as peer contact: suppresses elections
+        /// on a catching-up follower without asserting leadership).
+        from: RaftId,
+        /// Log index the snapshot covers.
+        snap_index: LogIndex,
+        /// Term of the entry at `snap_index`.
+        snap_term: Term,
+        /// Byte offset of this chunk within the snapshot blob.
+        offset: u64,
+        /// Total snapshot size in bytes.
+        total: u64,
+        /// The chunk payload.
+        data: Bytes,
+    },
+    /// Recovering node → serving peer: cumulative snapshot-transfer ack;
+    /// `next_offset` is the first byte not yet received (== the blob size
+    /// once the snapshot is fully received and installed). A node that
+    /// restarted mid-transfer acks 0, rewinding the sender cleanly across
+    /// incarnation epochs.
+    SnapAck {
+        /// Responder's current term.
+        term: Term,
+        /// Echo of the transfer's snapshot index.
+        snap_index: LogIndex,
+        /// First byte offset still missing.
+        next_offset: u64,
+        /// Responder id.
+        from: RaftId,
+    },
     /// New leader → aggregator: liveness probe (§6.4). The aggregator
     /// flushes and answers; it never votes.
     VoteProbe {
@@ -112,6 +153,8 @@ impl WireMsg {
             },
             WireMsg::RecoveryReq { .. } => MsgType::RecoveryReq,
             WireMsg::RecoveryRep { .. } => MsgType::RecoveryRep,
+            WireMsg::SnapChunk { .. } => MsgType::RaftReq,
+            WireMsg::SnapAck { .. } => MsgType::RaftRep,
             WireMsg::AggCommit { .. } => MsgType::RaftRep,
             WireMsg::VoteProbe { .. } => MsgType::RaftReq,
             WireMsg::VoteProbeRep { .. } => MsgType::RaftRep,
@@ -139,6 +182,8 @@ impl WireMsg {
             },
             WireMsg::RecoveryReq { .. } => msg_wire_size(16, MTU),
             WireMsg::RecoveryRep { body, .. } => msg_wire_size(16 + body.len(), MTU),
+            WireMsg::SnapChunk { data, .. } => msg_wire_size(RAFT_FIXED + data.len(), MTU),
+            WireMsg::SnapAck { .. } => msg_wire_size(RAFT_FIXED, MTU),
             WireMsg::AggCommit { status, .. } => msg_wire_size(24 + 20 * status.len(), MTU),
             WireMsg::VoteProbe { .. } | WireMsg::VoteProbeRep { .. } => msg_wire_size(16, MTU),
         }
@@ -237,6 +282,29 @@ mod tests {
             from: 1,
         });
         assert_eq!(rep.r2p2_type(), MsgType::RaftRep);
+    }
+
+    #[test]
+    fn snap_chunk_size_tracks_payload() {
+        let chunk = |n: usize| WireMsg::SnapChunk {
+            term: 2,
+            from: 0,
+            snap_index: 100,
+            snap_term: 2,
+            offset: 0,
+            total: n as u64,
+            data: Bytes::from(vec![0u8; n]),
+        };
+        assert!(chunk(4096).wire_size() > chunk(64).wire_size() + 4000);
+        assert_eq!(chunk(0).r2p2_type(), MsgType::RaftReq);
+        let ack = WireMsg::SnapAck {
+            term: 2,
+            snap_index: 100,
+            next_offset: 64,
+            from: 1,
+        };
+        assert_eq!(ack.r2p2_type(), MsgType::RaftRep);
+        assert!(ack.wire_size() < 120, "acks are a single small packet");
     }
 
     #[test]

@@ -22,6 +22,7 @@
 //! clock and the wires.
 
 use std::collections::VecDeque;
+use std::fmt;
 
 use fxhash::{FxHashMap, FxHashSet};
 
@@ -84,6 +85,155 @@ pub struct HcStats {
     pub recoveries_served: u64,
     /// Entries whose apply stalled on a missing body at least once.
     pub apply_stalls: u64,
+    /// Snapshots taken (state serialized + log compacted).
+    pub snapshots: u64,
+    /// Snapshot state transfers started toward followers (leader side).
+    pub transfers: u64,
+    /// Snapshot chunks sent (leader side, retransmits included).
+    pub chunks_sent: u64,
+    /// Snapshots fully received and installed (follower side).
+    pub installs: u64,
+}
+
+/// Durable per-node state captured across a crash–restart: what a real
+/// deployment would have fsynced — the Raft hard state, the log suffix
+/// above the last snapshot, the snapshot blob itself, and the incarnation
+/// epoch that wrote it all.
+#[derive(Clone, Debug)]
+pub struct DurableState {
+    /// Persisted current term.
+    pub term: u64,
+    /// Persisted vote in `term`.
+    pub voted_for: Option<RaftId>,
+    /// Snapshot boundary index (0 = no snapshot was ever taken).
+    pub snap_index: LogIndex,
+    /// Term of the entry at `snap_index`.
+    pub snap_term: u64,
+    /// Framed snapshot blob at `snap_index`: the serialized state machine
+    /// ([`Service::snapshot`]) plus the dedupe ids the snapshot covers.
+    pub snapshot: Bytes,
+    /// Log entries above the snapshot boundary.
+    pub entries: Vec<raft::Entry<Cmd>>,
+    /// Incarnation epoch of the node that wrote this state.
+    pub epoch: u64,
+}
+
+/// Error from [`HcNode::restore`]: the durable state belongs to a stale
+/// incarnation epoch. Restoring from it would silently resurrect state a
+/// later incarnation has already superseded, so the restore is refused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RestoreRejected {
+    /// Epoch the offered durable state was written by.
+    pub from_epoch: u64,
+    /// The incarnation epoch the restore was attempted for.
+    pub new_epoch: u64,
+}
+
+impl RestoreRejected {
+    /// The traced form of this rejection, for drivers to record.
+    pub fn event(&self) -> ProtoEvent {
+        ProtoEvent::RestoreRejected {
+            from_epoch: self.from_epoch,
+            new_epoch: self.new_epoch,
+        }
+    }
+}
+
+impl fmt::Display for RestoreRejected {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "restore rejected: durable state from epoch {} cannot start incarnation {}",
+            self.from_epoch, self.new_epoch
+        )
+    }
+}
+impl std::error::Error for RestoreRejected {}
+
+/// A serialized state-machine snapshot held in memory. `data` is the framed
+/// blob produced by [`encode_snapshot_blob`] — the service state plus the
+/// dedupe-id set covering everything ordered at or below `index` — and is
+/// what gets chunked over the wire and persisted in [`DurableState`].
+#[derive(Clone)]
+struct Snapshot {
+    index: LogIndex,
+    term: u64,
+    data: Bytes,
+}
+
+/// Frames a snapshot blob: `[service_len][service][n_ids][packed ids…]`,
+/// all integers u64 little-endian. The id set travels *inside* the snapshot
+/// because it is exactly the state an installer cannot reconstruct: ids of
+/// entries it never received leave no tombstone when its own log compacts,
+/// so a covered request parked in its unordered pool would be re-proposed
+/// — and re-executed — by a later leader election (§5's new-leader backlog
+/// flush), violating exactly-one-reply. The set is bounded: tombstones
+/// expire on the pool GC boundary, so it holds at most one GC window of
+/// ids plus the entries of the snapshot interval being compacted.
+fn encode_snapshot_blob(service: Bytes, mut ids: Vec<ReqId>) -> Bytes {
+    ids.sort_unstable();
+    ids.dedup();
+    let mut buf = Vec::with_capacity(16 + service.len() + 8 * ids.len());
+    buf.extend_from_slice(&(service.len() as u64).to_le_bytes());
+    buf.extend_from_slice(&service);
+    buf.extend_from_slice(&(ids.len() as u64).to_le_bytes());
+    for id in &ids {
+        buf.extend_from_slice(&id.as_u64().to_le_bytes());
+    }
+    Bytes::from(buf)
+}
+
+/// Inverse of [`encode_snapshot_blob`]. An unframed or truncated blob (the
+/// empty default of a node that never snapshotted) degrades to the whole
+/// input as service state with no carried ids.
+fn decode_snapshot_blob(data: &Bytes) -> (Bytes, Vec<ReqId>) {
+    let read_u64 = |off: usize| -> Option<u64> {
+        off.checked_add(8)
+            .and_then(|end| data.get(off..end))
+            .map(|b| u64::from_le_bytes(b.try_into().expect("8-byte slice")))
+    };
+    let fallback = || (data.clone(), Vec::new());
+    let Some(service_len) = read_u64(0) else {
+        return fallback();
+    };
+    let service_len = service_len as usize;
+    let Some(n_ids) = read_u64(8usize.saturating_add(service_len)) else {
+        return fallback();
+    };
+    let Some(tail) = data.get(16usize.saturating_add(service_len)..) else {
+        return fallback();
+    };
+    if tail.len() != (n_ids as usize).saturating_mul(8) {
+        return fallback();
+    }
+    let service = data.slice(8..8 + service_len);
+    let ids = tail
+        .chunks_exact(8)
+        .map(|c| ReqId::from_u64(u64::from_le_bytes(c.try_into().expect("8-byte chunk"))))
+        .collect();
+    (service, ids)
+}
+
+/// Leader side of one in-flight snapshot transfer (stop-and-wait).
+struct OutXfer {
+    /// The snapshot being streamed (pinned for the transfer's lifetime,
+    /// even if a newer snapshot is taken meanwhile — `Bytes` is refcounted).
+    snap: Snapshot,
+    /// Cumulatively acked byte offset; the next chunk starts here.
+    acked: u64,
+    /// When the last chunk was sent, for retransmit.
+    last_sent: u64,
+}
+
+/// Follower side of one in-flight snapshot transfer.
+struct InXfer {
+    snap_index: LogIndex,
+    snap_term: u64,
+    total: u64,
+    buf: Vec<u8>,
+    /// When the reassembly buffer last grew; a stream that stalls for a
+    /// full retry interval loses the buffer to a competing transfer.
+    last_progress: u64,
 }
 
 struct PendingReply {
@@ -128,6 +278,24 @@ pub struct HcNode<S> {
     /// Leader only: members currently considered stalled by the replier
     /// selector (tracked to emit one transition event per episode).
     stalled_members: FxHashSet<RaftId>,
+    /// The most recent snapshot taken or installed by this node (serves
+    /// restarts and outbound transfers).
+    last_snapshot: Option<Snapshot>,
+    /// A snapshot captured at issue time (the service has executed exactly
+    /// the entries up to its index) but not yet publishable: it becomes
+    /// [`Self::last_snapshot`] once `applied` catches up to it. Capturing
+    /// at the moment of issue is the only point where the serialized state
+    /// corresponds to a known log index — the service runs ahead of
+    /// `applied` by the depth of the app-thread pipeline.
+    pending_snap: Option<Snapshot>,
+    /// Leader only: in-flight outbound snapshot transfers, per follower.
+    xfers: FxHashMap<RaftId, OutXfer>,
+    /// Follower only: the inbound snapshot transfer being reassembled.
+    incoming: Option<InXfer>,
+    /// Incarnation epoch: 0 for a fresh node, incremented by every
+    /// successful [`HcNode::restore`]. Guards against restoring from a
+    /// stale incarnation's durable state.
+    epoch: u64,
 }
 
 impl<S: Service> HcNode<S> {
@@ -155,26 +323,86 @@ impl<S: Service> HcNode<S> {
             last_election_term: 0,
             last_prevote_term: 0,
             stalled_members: FxHashSet::default(),
+            last_snapshot: None,
+            pending_snap: None,
+            xfers: FxHashMap::default(),
+            incoming: None,
+            epoch: 0,
         }
     }
 
-    /// Rebuilds a node after a crash–restart from its durable Raft state
-    /// (current term, vote, and log). Everything volatile — the unordered
-    /// pool, the replier ledger, the apply cursor, the commit index — comes
-    /// back empty: committed entries re-execute from index 1 against the
-    /// freshly constructed `service`, and bodies lost with the old pool are
-    /// re-fetched through the recovery protocol (§5).
+    /// Captures the durable state a crash–restart would recover from: Raft
+    /// hard state, the log suffix above the snapshot boundary, the snapshot
+    /// blob, and this incarnation's epoch.
+    pub fn durable_state(&self) -> DurableState {
+        let log = self.raft.log();
+        DurableState {
+            term: self.raft.term(),
+            voted_for: self.raft.voted_for(),
+            snap_index: log.snapshot_index(),
+            snap_term: log.snapshot_term(),
+            snapshot: self
+                .last_snapshot
+                .as_ref()
+                .map(|s| s.data.clone())
+                .unwrap_or_default(),
+            entries: log.range(log.first_index(), log.last_index()).to_vec(),
+            epoch: self.epoch,
+        }
+    }
+
+    /// Rebuilds a node after a crash–restart from its durable state.
+    /// The state machine resumes from the snapshot (if any) and committed
+    /// entries above it re-execute; everything volatile — the unordered
+    /// pool, the replier ledger, the commit index — comes back empty, and
+    /// bodies lost with the old pool are re-fetched through the recovery
+    /// protocol (§5).
+    ///
+    /// `new_epoch` must be exactly `durable.epoch + 1`: each restart is one
+    /// incarnation, and restoring from any other epoch's state (a stale
+    /// copy from two crashes ago, or a future epoch that cannot exist)
+    /// is rejected with [`RestoreRejected`] instead of silently
+    /// reinitializing. Drivers should trace [`RestoreRejected::event`].
     pub fn restore(
         cfg: HcConfig,
         service: S,
         now: u64,
-        term: u64,
-        voted_for: Option<RaftId>,
-        entries: Vec<raft::Entry<Cmd>>,
-    ) -> Self {
+        durable: DurableState,
+        new_epoch: u64,
+    ) -> Result<Self, RestoreRejected> {
+        if new_epoch != durable.epoch + 1 {
+            return Err(RestoreRejected {
+                from_epoch: durable.epoch,
+                new_epoch,
+            });
+        }
         let mut node = HcNode::new(cfg, service, now);
-        node.raft = RaftNode::restore(node.cfg.raft.clone(), now, term, voted_for, entries);
-        node
+        node.epoch = new_epoch;
+        node.raft = RaftNode::restore(
+            node.cfg.raft.clone(),
+            now,
+            durable.term,
+            durable.voted_for,
+            durable.snap_index,
+            durable.snap_term,
+            durable.entries,
+        );
+        if durable.snap_index > 0 {
+            let (service_blob, covered) = decode_snapshot_blob(&durable.snapshot);
+            node.service.restore(&service_blob);
+            // Re-seed the snapshot's dedupe tombstones into the fresh pool:
+            // late duplicates of covered requests may still be in flight
+            // and must not be re-ordered by this incarnation.
+            node.pool.seed_tombstones(&covered, now);
+            node.applied = durable.snap_index;
+            node.next_apply = durable.snap_index + 1;
+            node.last_snapshot = Some(Snapshot {
+                index: durable.snap_index,
+                term: durable.snap_term,
+                data: durable.snapshot,
+            });
+        }
+        Ok(node)
     }
 
     fn push_event(&mut self, ev: ProtoEvent) {
@@ -226,6 +454,19 @@ impl<S: Service> HcNode<S> {
     pub fn aggregator_confirmed(&self) -> bool {
         self.agg_confirmed
     }
+    /// This node's incarnation epoch (0 = never restarted).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+    /// Index covered by the last snapshot taken or installed (0 = none).
+    pub fn snapshot_index(&self) -> LogIndex {
+        self.last_snapshot.as_ref().map_or(0, |s| s.index)
+    }
+    /// The unordered pool (read-only; tests and figures inspect retained
+    /// bodies and tombstones to chart the dual compaction schedule).
+    pub fn pool(&self) -> &UnorderedPool {
+        &self.pool
+    }
     /// Outstanding replier-queue depth for `node` (leader only; §3.6).
     pub fn queue_depth(&self, node: RaftId) -> usize {
         self.ledger.depth(node)
@@ -271,6 +512,24 @@ impl<S: Service> HcNode<S> {
                         dst: src,
                         msg: WireMsg::RecoveryRep { id, kind, body },
                     });
+                } else if (self.last_snapshot.is_some() || self.raft.log().snapshot_index() > 0)
+                    && src != self.id()
+                    && self.cfg.raft.members.contains(&src)
+                {
+                    // The body is gone — compacted below the snapshot
+                    // horizon (everywhere, if it is gone here). Per-request
+                    // recovery can never serve this requester again; stream
+                    // the snapshot instead, which jumps it past the horizon
+                    // entirely. Any replica can serve this (§5): snapshots
+                    // are taken at identical indexes from an identical
+                    // deterministic apply sequence, so a follower's snapshot
+                    // is as good as the leader's — and the requester may
+                    // *be* the leader (a rejoined node can win an election
+                    // on log completeness while still missing compacted
+                    // bodies; only its peers can heal it). A requester that
+                    // turns out to be already caught up acks the transfer
+                    // complete immediately.
+                    self.ensure_transfer(src, now, &mut out);
                 }
             }
             WireMsg::RecoveryRep { id, kind, body } => {
@@ -290,6 +549,27 @@ impl<S: Service> HcNode<S> {
                     self.agg_confirmed = true;
                 }
             }
+            WireMsg::SnapChunk {
+                term,
+                from,
+                snap_index,
+                snap_term,
+                offset,
+                total,
+                data,
+            } => {
+                self.on_snap_chunk(
+                    term, from, snap_index, snap_term, offset, total, data, now, &mut out,
+                );
+            }
+            WireMsg::SnapAck {
+                term,
+                snap_index,
+                next_offset,
+                from,
+            } => {
+                self.on_snap_ack(term, snap_index, next_offset, from, now, &mut out);
+            }
             // Servers are not the audience for these.
             WireMsg::Response { .. }
             | WireMsg::Nack { .. }
@@ -308,6 +588,16 @@ impl<S: Service> HcNode<S> {
         self.drain(actions, now, &mut out);
         self.pool.gc(now, self.cfg.gc_timeout_ns);
         self.retry_recoveries(now, &mut out);
+        self.retry_transfers(now, &mut out);
+        // An inbound transfer overtaken by ordinary replication (we applied
+        // past its horizon) will never install; drop the buffer.
+        if self
+            .incoming
+            .as_ref()
+            .is_some_and(|x| x.snap_index <= self.applied)
+        {
+            self.incoming = None;
+        }
         self.try_announce(now, &mut out);
         out
     }
@@ -315,6 +605,14 @@ impl<S: Service> HcNode<S> {
     /// The application thread finished executing entry `index`.
     pub fn on_exec_done(&mut self, index: LogIndex, now: u64) -> Vec<Output> {
         let mut out = Vec::new();
+        if index <= self.applied {
+            // A snapshot install jumped the applied cursor past this
+            // execution while it sat on the app thread. Its effects are
+            // subsumed by the restored snapshot and its reply duty was
+            // voided by the install; completing it must not regress
+            // `applied` (or re-answer).
+            return out;
+        }
         debug_assert_eq!(index, self.applied + 1, "app thread must be FIFO");
         self.applied = index;
         self.raft.set_applied(index);
@@ -346,6 +644,7 @@ impl<S: Service> HcNode<S> {
                 }
             }
         }
+        self.maybe_snapshot(now);
         out
     }
 
@@ -595,6 +894,10 @@ impl<S: Service> HcNode<S> {
                     self.stalled_members.clear();
                     self.recovering.clear();
                     self.agg_confirmed = false;
+                    self.xfers.clear();
+                }
+                Action::NeedsSnapshot { to } => {
+                    self.ensure_transfer(to, now, out);
                 }
                 Action::SaveHardState { .. } => {}
             }
@@ -685,6 +988,8 @@ impl<S: Service> HcNode<S> {
     fn on_became_leader(&mut self, now: u64, out: &mut Vec<Output>) {
         self.ledger.reset();
         self.stalled_members.clear();
+        self.xfers.clear();
+        self.incoming = None;
         // The election instant counts as hearing from everyone: stall
         // detection starts with a full timeout of grace, like check-quorum.
         for m in self.cfg.raft.members.clone() {
@@ -903,6 +1208,33 @@ impl<S: Service> HcNode<S> {
                 cost_ns: cost,
             });
             self.next_apply += 1;
+            // Capture the snapshot blob *here*, where the service state is
+            // exactly the prefix through `idx`; it is published once the
+            // app thread completes `idx` (see `maybe_snapshot`). If applied
+            // lags more than a full interval, the unpublished capture is
+            // superseded in place.
+            let interval = self.cfg.snapshot_interval;
+            if interval > 0
+                && idx >= self.raft.log().snapshot_index() + interval
+                && self
+                    .pending_snap
+                    .as_ref()
+                    .is_none_or(|p| idx >= p.index + interval)
+            {
+                if let Some(term) = self.raft.log().term_at(idx) {
+                    // The blob carries the ids of everything ordered at or
+                    // below `idx`: the retained entries being compacted plus
+                    // the live tombstones from earlier compactions (older
+                    // ids have expired along with their duplicates).
+                    let mut ids = self.ids_upto(idx);
+                    ids.extend(self.pool.tombstone_ids());
+                    self.pending_snap = Some(Snapshot {
+                        index: idx,
+                        term,
+                        data: encode_snapshot_blob(self.service.snapshot(), ids),
+                    });
+                }
+            }
         }
     }
 
@@ -985,5 +1317,435 @@ impl<S: Service> HcNode<S> {
         for e in evs {
             self.push_event(e);
         }
+    }
+
+    // ---- snapshotting & state transfer (log compaction + InstallSnapshot) --
+
+    /// Ids of the requests referenced by retained log entries up to `upto`
+    /// (inclusive). Enumerated *before* compaction so their archived bodies
+    /// can be dropped with the entries that reference them.
+    fn ids_upto(&self, upto: LogIndex) -> Vec<ReqId> {
+        let log = self.raft.log();
+        let lo = log.first_index();
+        let hi = upto.min(log.last_index());
+        let mut ids = Vec::new();
+        for idx in lo..=hi {
+            if let Some(e) = log.get(idx) {
+                ids.push(e.cmd.desc.id);
+            }
+        }
+        ids
+    }
+
+    /// Takes a snapshot at the configured horizon: every
+    /// `snapshot_interval` applied entries (0 disables snapshotting
+    /// entirely, preserving pre-snapshot behavior bit-for-bit).
+    fn maybe_snapshot(&mut self, now: u64) {
+        if self
+            .pending_snap
+            .as_ref()
+            .is_none_or(|p| p.index > self.applied)
+        {
+            return;
+        }
+        let snap = self.pending_snap.take().expect("checked above");
+        self.commit_snapshot(snap, now);
+    }
+
+    /// Serializes the state machine immediately at the applied index — only
+    /// sound when the app pipeline is drained (the service holds the effects
+    /// of every *issued* entry, which runs ahead of `applied`). Fallback for
+    /// restored nodes that own a compacted log without a snapshot in memory;
+    /// the steady-state path captures at issue time instead (`try_apply`).
+    fn take_snapshot(&mut self, now: u64) {
+        if self.next_apply != self.applied + 1 {
+            return;
+        }
+        let index = self.applied;
+        if index == 0 || index <= self.raft.log().snapshot_index() {
+            return;
+        }
+        let Some(term) = self.raft.log().term_at(index) else {
+            return;
+        };
+        let mut ids = self.ids_upto(index);
+        ids.extend(self.pool.tombstone_ids());
+        let data = encode_snapshot_blob(self.service.snapshot(), ids);
+        self.commit_snapshot(Snapshot { index, term, data }, now);
+    }
+
+    /// Publishes a snapshot whose blob is known to correspond exactly to
+    /// its index: compacts the ordering log below it and drops the archived
+    /// bodies the compacted entries referenced (leaving dedupe tombstones —
+    /// the dual compaction schedule: bodies and ordering metadata compact
+    /// independently).
+    fn commit_snapshot(&mut self, snap: Snapshot, now: u64) {
+        if snap.index == 0 || snap.index <= self.raft.log().snapshot_index() {
+            return;
+        }
+        let ids = self.ids_upto(snap.index);
+        let dropped = self.pool.compact_archive(&ids, now);
+        self.raft.compact_to(snap.index);
+        self.stats.snapshots += 1;
+        self.push_event(ProtoEvent::SnapshotTaken {
+            index: snap.index,
+            bytes: snap.data.len() as u64,
+        });
+        if dropped > 0 {
+            self.push_event(ProtoEvent::BodiesCompacted {
+                upto: snap.index,
+                dropped: dropped as u64,
+            });
+        }
+        self.last_snapshot = Some(snap);
+    }
+
+    /// Starts streaming the latest snapshot to `to` unless a transfer to it
+    /// is already running. Entered from [`raft::Action::NeedsSnapshot`]
+    /// (leader replication fell below the compaction horizon) or from a
+    /// RecoveryReq for a body that was compacted away — the latter on any
+    /// replica, leader or follower (peer-served recovery, §5).
+    fn ensure_transfer(&mut self, to: RaftId, now: u64, out: &mut Vec<Output>) {
+        if to == self.id() || self.xfers.contains_key(&to) {
+            return;
+        }
+        if self.last_snapshot.is_none() {
+            // Restored leaders can own a compacted log without holding the
+            // snapshot in memory yet; re-serialize at the applied index.
+            self.take_snapshot(now);
+        }
+        let Some(snap) = self.last_snapshot.clone() else {
+            return;
+        };
+        self.stats.transfers += 1;
+        self.push_event(ProtoEvent::TransferStarted {
+            to,
+            index: snap.index,
+            bytes: snap.data.len() as u64,
+        });
+        self.xfers.insert(
+            to,
+            OutXfer {
+                snap,
+                acked: 0,
+                last_sent: now,
+            },
+        );
+        self.send_chunk(to, now, out);
+    }
+
+    /// Sends the next stop-and-wait chunk of the transfer to `to`, starting
+    /// at the cumulatively acked offset.
+    fn send_chunk(&mut self, to: RaftId, now: u64, out: &mut Vec<Output>) {
+        let term = self.raft.term();
+        let me = self.id();
+        let chunk_bytes = self.cfg.snap_chunk_bytes.max(1) as u64;
+        let Some(x) = self.xfers.get_mut(&to) else {
+            return;
+        };
+        let total = x.snap.data.len() as u64;
+        let offset = x.acked.min(total);
+        let end = (offset + chunk_bytes).min(total);
+        let data = x.snap.data.slice(offset as usize..end as usize);
+        let snap_index = x.snap.index;
+        let snap_term = x.snap.term;
+        x.last_sent = now;
+        self.stats.chunks_sent += 1;
+        self.push_event(ProtoEvent::ChunkSent {
+            to,
+            index: snap_index,
+            offset,
+        });
+        out.push(Output::Send {
+            dst: to,
+            msg: WireMsg::SnapChunk {
+                term,
+                from: me,
+                snap_index,
+                snap_term,
+                offset,
+                total,
+                data,
+            },
+        });
+    }
+
+    /// Retransmits the current chunk of every transfer that has gone one
+    /// recovery-retry interval without an ack (lost chunk or lost ack; also
+    /// how a transfer reaches a follower that restarted mid-stream).
+    fn retry_transfers(&mut self, now: u64, out: &mut Vec<Output>) {
+        if self.xfers.is_empty() {
+            return;
+        }
+        let retry = self.cfg.recovery_retry_ns.max(1);
+        let mut due: Vec<RaftId> = self
+            .xfers
+            .iter()
+            .filter(|(_, x)| now.saturating_sub(x.last_sent) >= retry)
+            .map(|(&peer, _)| peer)
+            .collect();
+        due.sort_unstable();
+        for peer in due {
+            self.send_chunk(peer, now, out);
+        }
+    }
+
+    /// Receiving side: one snapshot chunk arrived from a serving peer.
+    /// Chunks are offset-addressed, so duplicates and reorderings are
+    /// idempotent; the ack is cumulative (`next_offset` = first byte still
+    /// missing). A restarted node naturally acks 0, rewinding the sender
+    /// cleanly across incarnation epochs.
+    #[allow(clippy::too_many_arguments)]
+    fn on_snap_chunk(
+        &mut self,
+        term: u64,
+        from: RaftId,
+        snap_index: LogIndex,
+        snap_term: u64,
+        offset: u64,
+        total: u64,
+        data: Bytes,
+        now: u64,
+        out: &mut Vec<Output>,
+    ) {
+        if term < self.raft.term() {
+            return;
+        }
+        // A chunk is proof of a live peer streaming to us: it must suppress
+        // elections for the whole (possibly long) transfer, since no
+        // AppendEntries can be built for us below the sender's compaction
+        // horizon. Peer contact, not leader contact: the sender may be a
+        // follower healing us (§5), and a leader receiving a chunk must not
+        // depose itself.
+        let actions = self.raft.note_peer_contact(term, now);
+        self.drain(actions, now, out);
+        let me = self.id();
+        if snap_index < self.next_apply {
+            // Already at or past this horizon (e.g. a duplicate of the
+            // final chunk, or replication overtook the transfer). The guard
+            // is on the *issue* cursor, not `applied`: the service executes
+            // entries when they are issued to the app thread, so a snapshot
+            // landing below `next_apply` could only wipe effects of entries
+            // already executing — the node provably holds every body up to
+            // `next_apply - 1` and will apply past the horizon on its own.
+            // Ack completion so the sender stops streaming.
+            out.push(Output::Send {
+                dst: from,
+                msg: WireMsg::SnapAck {
+                    term: self.raft.term(),
+                    snap_index,
+                    next_offset: total,
+                    from: me,
+                },
+            });
+            return;
+        }
+        // With several peers serving concurrently (round-robin RecoveryReqs
+        // fan out), transfers at the *same* index merge idempotently below.
+        // A transfer at a different index must not thrash the single
+        // reassembly buffer: prefer the higher horizon, and ignore the
+        // lower-index stream (unacked, it retries once per retry interval)
+        // — unless the preferred stream itself has stalled for a full retry
+        // interval (its server died), in which case fail over.
+        let replace = match &self.incoming {
+            Some(x) => {
+                x.snap_index != snap_index
+                    && (snap_index > x.snap_index
+                        || now.saturating_sub(x.last_progress) >= self.cfg.recovery_retry_ns.max(1))
+            }
+            None => true,
+        };
+        if let Some(x) = &self.incoming {
+            if !replace && x.snap_index != snap_index {
+                return;
+            }
+        }
+        if replace {
+            self.incoming = Some(InXfer {
+                snap_index,
+                snap_term,
+                total,
+                buf: Vec::with_capacity(total.min(1 << 22) as usize),
+                last_progress: now,
+            });
+        }
+        let (next, complete) = {
+            let x = self.incoming.as_mut().expect("ensured above");
+            if offset == x.buf.len() as u64 && offset < x.total {
+                let want = ((x.total - offset) as usize).min(data.len());
+                x.buf.extend_from_slice(&data[..want]);
+                x.last_progress = now;
+            }
+            let next = (x.buf.len() as u64).min(x.total);
+            (next, next >= x.total)
+        };
+        self.push_event(ProtoEvent::ChunkAcked {
+            index: snap_index,
+            next,
+        });
+        if complete {
+            let x = self.incoming.take().expect("present");
+            self.finish_install(x.snap_index, x.snap_term, Bytes::from(x.buf), now, out);
+        }
+        out.push(Output::Send {
+            dst: from,
+            msg: WireMsg::SnapAck {
+                term: self.raft.term(),
+                snap_index,
+                next_offset: next,
+                from: me,
+            },
+        });
+    }
+
+    /// Serving side: a cumulative transfer ack arrived.
+    fn on_snap_ack(
+        &mut self,
+        term: u64,
+        snap_index: LogIndex,
+        next_offset: u64,
+        from: RaftId,
+        now: u64,
+        out: &mut Vec<Output>,
+    ) {
+        if term != self.raft.term() {
+            return;
+        }
+        // Acks feed check-quorum: a leader spending many election timeouts
+        // streaming to its only reachable follower must not self-depose.
+        // (Both calls degrade to liveness bookkeeping on a follower server.)
+        self.raft.note_peer_heard(from, now);
+        self.ledger.note_heard(from, now);
+        let Some(x) = self.xfers.get_mut(&from) else {
+            return;
+        };
+        if x.snap.index != snap_index {
+            // Ack for a superseded transfer; the retransmit timer keeps the
+            // live one moving.
+            return;
+        }
+        let total = x.snap.data.len() as u64;
+        if next_offset >= total {
+            self.xfers.remove(&from);
+            self.push_event(ProtoEvent::TransferDone {
+                to: from,
+                index: snap_index,
+            });
+            let actions = self.raft.on_snapshot_installed(from, snap_index, now);
+            self.drain(actions, now, out);
+            self.try_announce(now, out);
+        } else {
+            // Cumulative: a lower-than-acked offset legitimately rewinds
+            // the stream (the follower restarted and lost its buffer).
+            x.acked = next_offset;
+            self.send_chunk(from, now, out);
+        }
+    }
+
+    /// Fully received a snapshot: restore the state machine, jump the Raft
+    /// log/commit/applied cursors past the horizon, and drop bookkeeping
+    /// for everything the snapshot covers.
+    fn finish_install(
+        &mut self,
+        snap_index: LogIndex,
+        snap_term: u64,
+        data: Bytes,
+        now: u64,
+        out: &mut Vec<Output>,
+    ) {
+        // Guard on the issue cursor, not `applied`: entries in
+        // `(applied, next_apply)` have already executed against the service
+        // (completion only moves the cursor), so restoring a snapshot below
+        // `next_apply` would silently wipe their effects while their
+        // completions still advance `applied` past the restored state.
+        if snap_index < self.next_apply {
+            return;
+        }
+        // Bodies referenced by entries the install will discard leave the
+        // archive with them (enumerated before the log changes).
+        let ids = self.ids_upto(snap_index);
+        let mut dropped = self.pool.compact_archive(&ids, now);
+        // The snapshot carries the ids of *every* request it covers —
+        // including entries this node never received, which its own log
+        // cannot enumerate. Seeding them as tombstones purges parked
+        // unordered copies so a later leader election cannot re-propose
+        // (and re-execute) a request the snapshot already ordered.
+        let (service_blob, covered) = decode_snapshot_blob(&data);
+        dropped += self.pool.seed_tombstones(&covered, now);
+        self.service.restore(&service_blob);
+        let actions = self.raft.install_snapshot(snap_index, snap_term);
+        self.applied = snap_index;
+        self.next_apply = self.next_apply.max(snap_index + 1);
+        // Any unpublished capture predates the install horizon (installs
+        // are refused below `next_apply`, and captures sit below it too).
+        self.pending_snap = None;
+        // Replies for entries the install jumped over are void: their
+        // repliers re-elect elsewhere, bounded by B per episode (§3.4).
+        self.pending.retain(|&i, _| i > snap_index);
+        // Outstanding body recoveries survive only if a retained log entry
+        // still references them.
+        let retained: FxHashSet<ReqId> = self
+            .ids_upto(self.raft.log().last_index())
+            .into_iter()
+            .collect();
+        self.missing.retain(|id, _| retained.contains(id));
+        self.last_snapshot = Some(Snapshot {
+            index: snap_index,
+            term: snap_term,
+            data,
+        });
+        self.stats.installs += 1;
+        self.push_event(ProtoEvent::SnapshotInstalled {
+            index: snap_index,
+            term: snap_term,
+        });
+        if dropped > 0 {
+            self.push_event(ProtoEvent::BodiesCompacted {
+                upto: snap_index,
+                dropped: dropped as u64,
+            });
+        }
+        self.drain(actions, now, out);
+        self.try_apply(now, out);
+    }
+}
+
+#[cfg(test)]
+mod snapshot_blob_tests {
+    use super::*;
+
+    #[test]
+    fn blob_round_trips_service_and_ids() {
+        let service = Bytes::from_static(b"state-machine-bytes");
+        let ids = vec![
+            ReqId::new(5, 1000, 994),
+            ReqId::new(1, 2, 3),
+            ReqId::new(1, 2, 3),
+        ];
+        let blob = encode_snapshot_blob(service.clone(), ids);
+        let (svc, got) = decode_snapshot_blob(&blob);
+        assert_eq!(svc, service);
+        assert_eq!(got, vec![ReqId::new(1, 2, 3), ReqId::new(5, 1000, 994)]);
+    }
+
+    #[test]
+    fn empty_service_and_empty_ids_round_trip() {
+        let blob = encode_snapshot_blob(Bytes::new(), Vec::new());
+        let (svc, ids) = decode_snapshot_blob(&blob);
+        assert!(svc.is_empty());
+        assert!(ids.is_empty());
+    }
+
+    #[test]
+    fn unframed_blob_degrades_to_plain_service_state() {
+        // The empty default of a node that never snapshotted, and any
+        // short unframed blob, decode as service state with no ids.
+        let (svc, ids) = decode_snapshot_blob(&Bytes::new());
+        assert!(svc.is_empty());
+        assert!(ids.is_empty());
+        let raw = Bytes::from_static(b"abc");
+        let (svc, ids) = decode_snapshot_blob(&raw);
+        assert_eq!(svc, raw);
+        assert!(ids.is_empty());
     }
 }

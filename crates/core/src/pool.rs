@@ -34,6 +34,14 @@ pub struct PooledReq {
 pub struct UnorderedPool {
     unordered: FxHashMap<ReqId, PooledReq>,
     archive: FxHashMap<ReqId, PooledReq>,
+    /// Dedupe tombstones for bodies dropped by snapshot compaction: id →
+    /// compaction time. The archive doubles as the duplicate-suppression
+    /// set, so a body cannot simply vanish when its log entry is compacted
+    /// — a delayed duplicate or client retry would get re-ordered and
+    /// re-executed. Tombstones keep the id (16 bytes, no body) until the
+    /// GC timeout expires them, which bounds memory by the request rate
+    /// times the timeout instead of the full history.
+    compacted: FxHashMap<ReqId, u64>,
 }
 
 impl UnorderedPool {
@@ -45,7 +53,7 @@ impl UnorderedPool {
     /// Parks a client request awaiting ordering. Duplicate arrivals (e.g.
     /// client retries) keep the first copy.
     pub fn insert(&mut self, id: ReqId, kind: OpKind, body: Bytes, now: u64) {
-        if self.archive.contains_key(&id) {
+        if self.archive.contains_key(&id) || self.compacted.contains_key(&id) {
             return;
         }
         self.unordered.entry(id).or_insert(PooledReq {
@@ -61,9 +69,10 @@ impl UnorderedPool {
     }
 
     /// True if the request has already been bound to a log slot (it sits in
-    /// the archive). Used for duplicate suppression on the leader.
+    /// the archive, or was compacted out of it by a snapshot). Used for
+    /// duplicate suppression on the leader.
     pub fn is_archived(&self, id: ReqId) -> bool {
-        self.archive.contains_key(&id)
+        self.archive.contains_key(&id) || self.compacted.contains_key(&id)
     }
 
     /// Looks up a request body wherever it lives.
@@ -76,7 +85,7 @@ impl UnorderedPool {
     /// peers can recover it). Returns false if the body is missing — the
     /// caller should start recovery.
     pub fn mark_ordered(&mut self, id: ReqId) -> bool {
-        if self.archive.contains_key(&id) {
+        if self.archive.contains_key(&id) || self.compacted.contains_key(&id) {
             return true;
         }
         match self.unordered.remove(&id) {
@@ -107,6 +116,10 @@ impl UnorderedPool {
         let before = self.unordered.len();
         self.unordered
             .retain(|_, r| now.saturating_sub(r.arrived) <= timeout);
+        // Compaction tombstones expire on the same boundary: by then every
+        // client retry and delayed duplicate of the request has died out.
+        self.compacted
+            .retain(|_, t| now.saturating_sub(*t) <= timeout);
         before - self.unordered.len()
     }
 
@@ -127,6 +140,58 @@ impl UnorderedPool {
     /// Number of ordered (archived) request bodies retained.
     pub fn archived_len(&self) -> usize {
         self.archive.len()
+    }
+
+    /// Ids of all live (unexpired) compaction tombstones.
+    pub fn tombstone_ids(&self) -> Vec<ReqId> {
+        self.compacted.keys().copied().collect()
+    }
+
+    /// Number of live (unexpired) compaction tombstones.
+    pub fn tombstone_len(&self) -> usize {
+        self.compacted.len()
+    }
+
+    /// Seeds the dedupe tombstones carried inside an installed snapshot:
+    /// every id is marked ordered-and-compacted, and any parked unordered
+    /// or archived copy this node still holds is dropped. This is what
+    /// makes snapshot installation safe for exactly-one-reply: an
+    /// installer that never received the log entries below the snapshot
+    /// horizon has no way to enumerate their ids from its own log, so
+    /// without the carried set a request covered by the snapshot could
+    /// linger in its unordered pool — and a later leader election would
+    /// re-propose (and re-execute) it via [`UnorderedPool::unordered_ids`].
+    /// Returns how many parked bodies were dropped.
+    pub fn seed_tombstones(&mut self, ids: &[ReqId], now: u64) -> usize {
+        let mut dropped = 0;
+        for id in ids {
+            if self.unordered.remove(id).is_some() {
+                dropped += 1;
+            }
+            if self.archive.remove(id).is_some() {
+                dropped += 1;
+            }
+            self.compacted.entry(*id).or_insert(now);
+        }
+        dropped
+    }
+
+    /// Drops the archived bodies of the given ordered requests, leaving
+    /// dedupe tombstones behind (expired by [`UnorderedPool::gc`]). Called
+    /// when a snapshot compacts the log entries referencing them: peers
+    /// that still need those operations receive the snapshot
+    /// (InstallSnapshot) instead of per-request body recovery, so the
+    /// bodies can finally leave memory. This is the payload half of the
+    /// dual compaction schedule — bodies and ordering metadata compact
+    /// independently. Returns how many bodies were dropped.
+    pub fn compact_archive(&mut self, ids: &[ReqId], now: u64) -> usize {
+        let before = self.archive.len();
+        for id in ids {
+            if self.archive.remove(id).is_some() {
+                self.compacted.insert(*id, now);
+            }
+        }
+        before - self.archive.len()
     }
 }
 
@@ -210,6 +275,52 @@ mod tests {
         assert!(p.contains(id(1)));
         assert_eq!(p.gc(1000 + 601, 600), 1, "age == timeout + 1 collected");
         assert!(!p.contains(id(1)));
+    }
+
+    #[test]
+    fn archive_compaction_drops_bodies_but_keeps_dedupe() {
+        let mut p = UnorderedPool::new();
+        for n in 1..=3 {
+            p.insert(id(n), OpKind::ReadWrite, body(), 0);
+            p.mark_ordered(id(n));
+        }
+        assert_eq!(p.compact_archive(&[id(1), id(2), id(9)], 100), 2);
+        assert!(!p.contains(id(1)), "body is gone");
+        assert!(p.contains(id(3)), "uncompacted body survives");
+        // The tombstone still suppresses duplicates: a delayed copy or a
+        // client retry of a compacted request must not be re-ordered and
+        // re-executed (exactly-one-reply).
+        assert!(p.is_archived(id(1)));
+        p.insert(id(1), OpKind::ReadWrite, Bytes::from_static(b"dup"), 200);
+        assert_eq!(p.unordered_len(), 0);
+        assert!(p.mark_ordered(id(1)), "treated as already ordered");
+        // Tombstones expire on the GC boundary, bounding their memory.
+        p.gc(100 + 601, 600);
+        assert!(!p.is_archived(id(1)));
+    }
+
+    #[test]
+    fn seeded_tombstones_purge_parked_copies_and_suppress_duplicates() {
+        let mut p = UnorderedPool::new();
+        // A copy of a snapshot-covered request is still parked unordered
+        // (this node never saw the entry that ordered it).
+        p.insert(id(1), OpKind::ReadWrite, body(), 0);
+        // Another covered request sits archived locally.
+        p.insert(id(2), OpKind::ReadWrite, body(), 0);
+        p.mark_ordered(id(2));
+        assert_eq!(p.seed_tombstones(&[id(1), id(2), id(7)], 50), 2);
+        assert_eq!(p.unordered_len(), 0, "no re-proposal candidate remains");
+        assert_eq!(p.archived_len(), 0);
+        assert!(p.is_archived(id(1)), "tombstone suppresses late duplicates");
+        assert!(p.is_archived(id(7)));
+        p.insert(id(1), OpKind::ReadWrite, Bytes::from_static(b"dup"), 60);
+        assert_eq!(p.unordered_len(), 0);
+        let mut ids = p.tombstone_ids();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![id(1), id(2), id(7)]);
+        // Seeded tombstones expire on the normal GC boundary.
+        p.gc(50 + 601, 600);
+        assert!(!p.is_archived(id(7)));
     }
 
     #[test]

@@ -81,6 +81,30 @@ fn d_index(f: &mut fmt::Formatter<'_>, a: u64, _b: u64, _c: u64) -> fmt::Result 
 fn d_node(f: &mut fmt::Formatter<'_>, a: u64, _b: u64, _c: u64) -> fmt::Result {
     write!(f, "node=n{a}")
 }
+fn d_index_bytes(f: &mut fmt::Formatter<'_>, a: u64, b: u64, _c: u64) -> fmt::Result {
+    write!(f, "index={a} bytes={b}")
+}
+fn d_index_term(f: &mut fmt::Formatter<'_>, a: u64, b: u64, _c: u64) -> fmt::Result {
+    write!(f, "index={a} term={b}")
+}
+fn d_upto_dropped(f: &mut fmt::Formatter<'_>, a: u64, b: u64, _c: u64) -> fmt::Result {
+    write!(f, "upto={a} dropped={b}")
+}
+fn d_to_index_bytes(f: &mut fmt::Formatter<'_>, a: u64, b: u64, c: u64) -> fmt::Result {
+    write!(f, "to=n{a} index={b} bytes={c}")
+}
+fn d_to_index_off(f: &mut fmt::Formatter<'_>, a: u64, b: u64, c: u64) -> fmt::Result {
+    write!(f, "to=n{a} index={b} offset={c}")
+}
+fn d_to_index(f: &mut fmt::Formatter<'_>, a: u64, b: u64, _c: u64) -> fmt::Result {
+    write!(f, "to=n{a} index={b}")
+}
+fn d_index_next(f: &mut fmt::Formatter<'_>, a: u64, b: u64, _c: u64) -> fmt::Result {
+    write!(f, "index={a} next={b}")
+}
+fn d_epochs(f: &mut fmt::Formatter<'_>, a: u64, b: u64, _c: u64) -> fmt::Result {
+    write!(f, "from_epoch={a} new_epoch={b}")
+}
 
 /// One protocol-level event in the life of a node.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -220,6 +244,74 @@ pub enum ProtoEvent {
         /// The recovered node.
         node: RaftId,
     },
+    /// This node serialized its state machine and compacted the ordering
+    /// log up to `index`.
+    SnapshotTaken {
+        /// Applied index the snapshot covers.
+        index: LogIndex,
+        /// Snapshot blob size.
+        bytes: u64,
+    },
+    /// Snapshot compaction dropped archived request bodies — the payload
+    /// half of the dual compaction schedule.
+    BodiesCompacted {
+        /// Log horizon whose bodies were dropped.
+        upto: LogIndex,
+        /// Number of bodies dropped from the archive.
+        dropped: u64,
+    },
+    /// Leader began streaming a snapshot to a behind-horizon follower.
+    TransferStarted {
+        /// The receiving follower.
+        to: RaftId,
+        /// Snapshot index being transferred.
+        index: LogIndex,
+        /// Snapshot blob size.
+        bytes: u64,
+    },
+    /// Leader sent one snapshot chunk.
+    ChunkSent {
+        /// The receiving follower.
+        to: RaftId,
+        /// Snapshot index being transferred.
+        index: LogIndex,
+        /// Byte offset of the chunk.
+        offset: u64,
+    },
+    /// Follower acked transfer progress: bytes below `next` are on hand.
+    /// Within one (incarnation, snapshot index) this is monotone — the
+    /// invariant checker enforces transfer-resume monotonicity on it.
+    ChunkAcked {
+        /// Snapshot index being transferred.
+        index: LogIndex,
+        /// First byte offset still missing.
+        next: u64,
+    },
+    /// Follower received the full snapshot and installed it: the state
+    /// machine was restored, the log reset/compacted to `index`.
+    SnapshotInstalled {
+        /// The installed snapshot's index.
+        index: LogIndex,
+        /// The installed snapshot's term.
+        term: u64,
+    },
+    /// Leader saw the transfer to `to` complete; replication resumes from
+    /// `index + 1`.
+    TransferDone {
+        /// The follower that finished installing.
+        to: RaftId,
+        /// The installed snapshot's index.
+        index: LogIndex,
+    },
+    /// A restart-restore was rejected: the durable state came from a stale
+    /// incarnation epoch (satellite: `HcNode::restore` must never silently
+    /// reinitialize from old state).
+    RestoreRejected {
+        /// Epoch of the durable state offered for restore.
+        from_epoch: u64,
+        /// The incarnation epoch the restore was attempted for.
+        new_epoch: u64,
+    },
 }
 
 impl ProtoEvent {
@@ -248,6 +340,14 @@ impl ProtoEvent {
             ProtoEvent::NackSent { .. } => "nack",
             ProtoEvent::ReplierStalled { .. } => "replier_stalled",
             ProtoEvent::ReplierRecovered { .. } => "replier_recovered",
+            ProtoEvent::SnapshotTaken { .. } => "snapshot_taken",
+            ProtoEvent::BodiesCompacted { .. } => "bodies_compacted",
+            ProtoEvent::TransferStarted { .. } => "transfer_started",
+            ProtoEvent::ChunkSent { .. } => "chunk_sent",
+            ProtoEvent::ChunkAcked { .. } => "chunk_acked",
+            ProtoEvent::SnapshotInstalled { .. } => "snapshot_installed",
+            ProtoEvent::TransferDone { .. } => "transfer_done",
+            ProtoEvent::RestoreRejected { .. } => "restore_rejected",
         }
     }
 
@@ -277,6 +377,14 @@ impl ProtoEvent {
             | ProtoEvent::RoSkipped { id, .. }
             | ProtoEvent::ReplySent { id, .. }
             | ProtoEvent::NackSent { id } => req_key(id),
+            ProtoEvent::SnapshotTaken { index, .. }
+            | ProtoEvent::TransferStarted { index, .. }
+            | ProtoEvent::ChunkSent { index, .. }
+            | ProtoEvent::ChunkAcked { index, .. }
+            | ProtoEvent::SnapshotInstalled { index, .. }
+            | ProtoEvent::TransferDone { index, .. } => index,
+            ProtoEvent::BodiesCompacted { upto, .. } => upto,
+            ProtoEvent::RestoreRejected { new_epoch, .. } => new_epoch,
         }
     }
 
@@ -319,6 +427,21 @@ impl ProtoEvent {
             ProtoEvent::ReplierStalled { node } | ProtoEvent::ReplierRecovered { node } => {
                 (d_node, node as u64, 0, 0)
             }
+            ProtoEvent::SnapshotTaken { index, bytes } => (d_index_bytes, index, bytes, 0),
+            ProtoEvent::BodiesCompacted { upto, dropped } => (d_upto_dropped, upto, dropped, 0),
+            ProtoEvent::TransferStarted { to, index, bytes } => {
+                (d_to_index_bytes, to as u64, index, bytes)
+            }
+            ProtoEvent::ChunkSent { to, index, offset } => {
+                (d_to_index_off, to as u64, index, offset)
+            }
+            ProtoEvent::ChunkAcked { index, next } => (d_index_next, index, next, 0),
+            ProtoEvent::SnapshotInstalled { index, term } => (d_index_term, index, term, 0),
+            ProtoEvent::TransferDone { to, index } => (d_to_index, to as u64, index, 0),
+            ProtoEvent::RestoreRejected {
+                from_epoch,
+                new_epoch,
+            } => (d_epochs, from_epoch, new_epoch, 0),
         }
     }
 
@@ -426,6 +549,61 @@ mod tests {
             ),
             (ProtoEvent::FeedbackSent { index: 8 }, "index=8"),
             (ProtoEvent::ReplierStalled { node: 2 }, "node=n2"),
+            (
+                ProtoEvent::SnapshotTaken {
+                    index: 640,
+                    bytes: 4096,
+                },
+                "index=640 bytes=4096",
+            ),
+            (
+                ProtoEvent::BodiesCompacted {
+                    upto: 640,
+                    dropped: 512,
+                },
+                "upto=640 dropped=512",
+            ),
+            (
+                ProtoEvent::TransferStarted {
+                    to: 2,
+                    index: 640,
+                    bytes: 4096,
+                },
+                "to=n2 index=640 bytes=4096",
+            ),
+            (
+                ProtoEvent::ChunkSent {
+                    to: 2,
+                    index: 640,
+                    offset: 1024,
+                },
+                "to=n2 index=640 offset=1024",
+            ),
+            (
+                ProtoEvent::ChunkAcked {
+                    index: 640,
+                    next: 2048,
+                },
+                "index=640 next=2048",
+            ),
+            (
+                ProtoEvent::SnapshotInstalled {
+                    index: 640,
+                    term: 3,
+                },
+                "index=640 term=3",
+            ),
+            (
+                ProtoEvent::TransferDone { to: 2, index: 640 },
+                "to=n2 index=640",
+            ),
+            (
+                ProtoEvent::RestoreRejected {
+                    from_epoch: 1,
+                    new_epoch: 3,
+                },
+                "from_epoch=1 new_epoch=3",
+            ),
         ];
         for (ev, want) in cases {
             assert_eq!(ev.detail(), *want, "renderer drift for {:?}", ev.kind());

@@ -71,6 +71,14 @@ impl Service for KvService {
             }
         }
     }
+
+    fn snapshot(&self) -> bytes::Bytes {
+        self.store.snapshot()
+    }
+
+    fn restore(&mut self, snap: &[u8]) {
+        self.store.restore(snap);
+    }
 }
 
 #[cfg(test)]
@@ -100,6 +108,20 @@ mod tests {
         let r = svc.execute(&[0xff, 0x00], false);
         assert!(Reply::decode(&r.reply).unwrap().is_err());
         assert_eq!(svc.decode_errors, 1);
+    }
+
+    #[test]
+    fn service_snapshot_round_trips_through_trait() {
+        use hovercraft::Service as _;
+        let mut a = KvService::default();
+        a.execute(&Command::Set(b("k"), b("v")).encode(), false);
+        a.execute(&Command::SAdd(b("s"), b("m")).encode(), false);
+        let snap = a.snapshot();
+        let mut restored = KvService::default();
+        restored.restore(&snap);
+        let r = restored.execute(&Command::Get(b("k")).encode(), true);
+        assert_eq!(Reply::decode(&r.reply), Some(Reply::Bulk(b("v"))));
+        assert_eq!(restored.snapshot(), snap, "deterministic re-encode");
     }
 
     #[test]

@@ -8,11 +8,17 @@
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
-use bytes::Bytes;
+use bytes::{BufMut, Bytes};
 
 use crate::command::Command;
 use crate::reply::Reply;
 use crate::value::Value;
+
+/// Snapshot type tags, one per [`Value`] variant.
+const TAG_STR: u8 = 0;
+const TAG_LIST: u8 = 1;
+const TAG_HASH: u8 = 2;
+const TAG_SET: u8 = 3;
 
 /// Execution metrics for one command, consumed by the cost model.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -58,6 +64,91 @@ impl Store {
     /// True if the keyspace is empty.
     pub fn is_empty(&self) -> bool {
         self.map.is_empty()
+    }
+
+    /// Serializes the whole keyspace into a snapshot blob. The encoding
+    /// walks the `BTreeMap` (and the ordered structures inside each value)
+    /// in key order, so replicas that applied the same mutation prefix
+    /// produce byte-identical blobs — the determinism requirement of
+    /// snapshot-based state transfer.
+    pub fn snapshot(&self) -> Bytes {
+        let mut out: Vec<u8> = Vec::new();
+        out.put_u64(self.map.len() as u64);
+        let put_bytes = |out: &mut Vec<u8>, b: &Bytes| {
+            out.put_u32(b.len() as u32);
+            out.put_slice(b);
+        };
+        for (k, v) in &self.map {
+            put_bytes(&mut out, k);
+            match v {
+                Value::Str(s) => {
+                    out.put_u8(TAG_STR);
+                    put_bytes(&mut out, s);
+                }
+                Value::List(l) => {
+                    out.put_u8(TAG_LIST);
+                    out.put_u32(l.len() as u32);
+                    for e in l {
+                        put_bytes(&mut out, e);
+                    }
+                }
+                Value::Hash(h) => {
+                    out.put_u8(TAG_HASH);
+                    out.put_u32(h.len() as u32);
+                    for (f, val) in h {
+                        put_bytes(&mut out, f);
+                        put_bytes(&mut out, val);
+                    }
+                }
+                Value::Set(s) => {
+                    out.put_u8(TAG_SET);
+                    out.put_u32(s.len() as u32);
+                    for e in s {
+                        put_bytes(&mut out, e);
+                    }
+                }
+            }
+        }
+        Bytes::from(out)
+    }
+
+    /// Replaces the keyspace with the contents of a [`Store::snapshot`]
+    /// blob. Returns `false` (leaving the store empty) if the blob is
+    /// malformed — which only a corrupted transfer can produce, since the
+    /// encoder is the only writer.
+    pub fn restore(&mut self, snap: &[u8]) -> bool {
+        self.map.clear();
+        let mut cur = snap;
+        let Some(n) = take_u64(&mut cur) else {
+            return snap.is_empty();
+        };
+        for _ in 0..n {
+            let Some(key) = take_bytes(&mut cur) else {
+                self.map.clear();
+                return false;
+            };
+            let value = match take_u8(&mut cur) {
+                Some(TAG_STR) => take_bytes(&mut cur).map(Value::Str),
+                Some(TAG_LIST) => take_seq(&mut cur).map(|v| Value::List(v.into_iter().collect())),
+                Some(TAG_HASH) => take_u32(&mut cur).and_then(|n| {
+                    let mut h = BTreeMap::new();
+                    for _ in 0..n {
+                        let f = take_bytes(&mut cur)?;
+                        let v = take_bytes(&mut cur)?;
+                        h.insert(f, v);
+                    }
+                    Some(Value::Hash(h))
+                }),
+                Some(TAG_SET) => take_seq(&mut cur).map(|v| Value::Set(v.into_iter().collect())),
+                _ => None,
+            };
+            let Some(value) = value else {
+                self.map.clear();
+                return false;
+            };
+            self.map.insert(key, value);
+        }
+        true
     }
 
     /// Executes one command, returning the reply and execution metrics.
@@ -308,6 +399,43 @@ impl Store {
     }
 }
 
+// Snapshot decoding primitives: each consumes from the front of `cur` and
+// returns `None` on underrun.
+
+fn take_u8(cur: &mut &[u8]) -> Option<u8> {
+    let (&b, rest) = cur.split_first()?;
+    *cur = rest;
+    Some(b)
+}
+
+fn take_u32(cur: &mut &[u8]) -> Option<u32> {
+    let (head, rest) = cur.split_at_checked(4)?;
+    *cur = rest;
+    Some(u32::from_be_bytes(head.try_into().expect("4 bytes")))
+}
+
+fn take_u64(cur: &mut &[u8]) -> Option<u64> {
+    let (head, rest) = cur.split_at_checked(8)?;
+    *cur = rest;
+    Some(u64::from_be_bytes(head.try_into().expect("8 bytes")))
+}
+
+fn take_bytes(cur: &mut &[u8]) -> Option<Bytes> {
+    let len = take_u32(cur)? as usize;
+    let (head, rest) = cur.split_at_checked(len)?;
+    *cur = rest;
+    Some(Bytes::copy_from_slice(head))
+}
+
+fn take_seq(cur: &mut &[u8]) -> Option<Vec<Bytes>> {
+    let n = take_u32(cur)?;
+    let mut v = Vec::with_capacity(n.min(1 << 20) as usize);
+    for _ in 0..n {
+        v.push(take_bytes(cur)?);
+    }
+    Some(v)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -483,6 +611,67 @@ mod tests {
         assert_eq!(s.execute(&Command::DbSize).0, Reply::Int(2));
         assert_eq!(s.execute(&Command::FlushAll).0, Reply::Ok);
         assert!(s.is_empty());
+    }
+
+    #[test]
+    fn snapshot_round_trips_every_value_type() {
+        let mut s = Store::new();
+        s.execute(&Command::Set(b("str"), b("hello")));
+        s.execute(&Command::RPush(b("list"), b("x")));
+        s.execute(&Command::RPush(b("list"), b("y")));
+        s.execute(&Command::HSet(b("hash"), b("f"), b("v")));
+        s.execute(&Command::SAdd(b("set"), b("m")));
+        s.execute(&Command::Insert(b("t"), b("user0001"), b("rec")));
+        let snap = s.snapshot();
+        let mut r = Store::new();
+        assert!(r.restore(&snap));
+        assert_eq!(r.len(), s.len());
+        assert_eq!(
+            r.execute(&Command::Get(b("str"))).0,
+            Reply::Bulk(b("hello"))
+        );
+        assert_eq!(
+            r.execute(&Command::LRange(b("list"), 0, 9)).0,
+            Reply::Array(vec![Reply::Bulk(b("x")), Reply::Bulk(b("y"))])
+        );
+        assert_eq!(
+            r.execute(&Command::HGet(b("hash"), b("f"))).0,
+            Reply::Bulk(b("v"))
+        );
+        assert_eq!(
+            r.execute(&Command::SIsMember(b("set"), b("m"))).0,
+            Reply::Int(1)
+        );
+        assert_eq!(
+            r.snapshot(),
+            snap,
+            "restored store re-encodes byte-identically"
+        );
+    }
+
+    #[test]
+    fn snapshot_encoding_is_deterministic_across_insertion_orders() {
+        // Same final state reached via different key insertion orders must
+        // serialize identically (BTreeMap order, not insertion order).
+        let mut a = Store::new();
+        let mut z = Store::new();
+        for i in 0..20 {
+            a.execute(&Command::Set(b(&format!("k{i:02}")), b("v")));
+            z.execute(&Command::Set(b(&format!("k{:02}", 19 - i)), b("v")));
+        }
+        assert_eq!(a.snapshot(), z.snapshot());
+    }
+
+    #[test]
+    fn malformed_snapshot_is_rejected() {
+        let mut s = Store::new();
+        s.execute(&Command::Set(b("k"), b("v")));
+        let snap = s.snapshot();
+        let mut r = Store::new();
+        assert!(!r.restore(&snap[..snap.len() - 1]), "truncated blob");
+        assert!(r.is_empty(), "failed restore leaves the store empty");
+        assert!(r.restore(&[]) || r.is_empty());
+        assert!(Store::new().restore(&Store::new().snapshot()), "empty ok");
     }
 
     #[test]

@@ -145,6 +145,27 @@ impl<C> RaftLog<C> {
         &self.entries[a..=b]
     }
 
+    /// Index of the snapshot boundary: the highest compacted-away index
+    /// (0 when nothing has been compacted).
+    pub fn snapshot_index(&self) -> LogIndex {
+        self.first - 1
+    }
+
+    /// Term at the snapshot boundary (0 when nothing has been compacted).
+    pub fn snapshot_term(&self) -> Term {
+        self.prev_term
+    }
+
+    /// Replaces the entire log with a snapshot boundary at (`idx`, `term`):
+    /// every retained entry is discarded and the next append lands at
+    /// `idx + 1`. Used when installing a snapshot that is not an extension
+    /// of the local log (the local suffix may conflict with it).
+    pub fn reset_to(&mut self, idx: LogIndex, term: Term) {
+        self.entries.clear();
+        self.first = idx + 1;
+        self.prev_term = term;
+    }
+
     /// Discards entries up to and including `idx` (log compaction after a
     /// snapshot). Keeps the boundary term for consistency checks.
     pub fn compact_to(&mut self, idx: LogIndex) {
@@ -237,6 +258,31 @@ mod tests {
         assert_eq!(l.last_index(), 3);
         assert_eq!(l.last_term(), 2);
         assert_eq!(l.append(4, "e"), 4);
+    }
+
+    #[test]
+    fn reset_to_replaces_everything() {
+        let mut l = log3();
+        l.reset_to(10, 4);
+        assert!(l.is_empty());
+        assert_eq!(l.snapshot_index(), 10);
+        assert_eq!(l.snapshot_term(), 4);
+        assert_eq!(l.first_index(), 11);
+        assert_eq!(l.last_index(), 10);
+        assert_eq!(l.last_term(), 4);
+        assert_eq!(l.term_at(10), Some(4));
+        assert_eq!(l.term_at(3), None);
+        assert_eq!(l.append(5, "x"), 11);
+    }
+
+    #[test]
+    fn snapshot_accessors_track_compaction() {
+        let mut l = log3();
+        assert_eq!(l.snapshot_index(), 0);
+        assert_eq!(l.snapshot_term(), 0);
+        l.compact_to(2);
+        assert_eq!(l.snapshot_index(), 2);
+        assert_eq!(l.snapshot_term(), 1);
     }
 
     #[test]

@@ -64,6 +64,15 @@ pub enum Action<C> {
         /// Vote cast in `term`, if any.
         voted_for: Option<RaftId>,
     },
+    /// Leader-only: peer `to` is behind the log's compaction horizon, so no
+    /// AppendEntries can be built for it. The driver must stream the current
+    /// snapshot to `to` (chunked InstallSnapshot) and report completion via
+    /// [`RaftNode::on_snapshot_installed`]. Emitted at most once per
+    /// transfer (deduped by `Progress::pending_snapshot`).
+    NeedsSnapshot {
+        /// The follower that needs a snapshot.
+        to: RaftId,
+    },
 }
 
 /// Error returned by [`RaftNode::propose`] on a non-leader.
@@ -137,16 +146,29 @@ impl<C: Clone + std::fmt::Debug> RaftNode<C> {
     /// and the persisted log entries. All volatile state (commit, applied,
     /// leadership, progress) restarts from zero, as Raft prescribes — the
     /// commit index is re-learned from the next leader contact.
+    /// `snap_index`/`snap_term` describe the durable snapshot boundary the
+    /// entries sit on top of (0/0 when no snapshot was taken): the log
+    /// restarts at `snap_index + 1`, and — unlike the volatile commit index,
+    /// which is re-learned from the next leader — both `commit` and
+    /// `applied` restart *at* `snap_index`, because the snapshot embodies
+    /// durably applied state that can never be re-derived from entries.
     pub fn restore(
         cfg: Config,
         now: u64,
         term: Term,
         voted_for: Option<RaftId>,
+        snap_index: LogIndex,
+        snap_term: Term,
         entries: Vec<Entry<C>>,
     ) -> Self {
         let mut node = RaftNode::new(cfg, now);
         node.term = term;
         node.voted_for = voted_for;
+        if snap_index > 0 {
+            node.log.reset_to(snap_index, snap_term);
+            node.commit = snap_index;
+            node.applied = snap_index;
+        }
         for e in entries {
             node.log.push(e);
         }
@@ -225,6 +247,125 @@ impl<C: Clone + std::fmt::Debug> RaftNode<C> {
     pub fn set_applied(&mut self, idx: LogIndex) {
         debug_assert!(idx <= self.commit);
         self.applied = self.applied.max(idx);
+    }
+
+    /// Compacts the log up to `idx` after the driver has taken a snapshot
+    /// covering it. Only applied entries may be compacted (the snapshot must
+    /// actually contain their effects), so `idx` is clamped to the applied
+    /// index.
+    pub fn compact_to(&mut self, idx: LogIndex) {
+        debug_assert!(idx <= self.applied, "compacting unapplied entries");
+        self.log.compact_to(idx.min(self.applied));
+    }
+
+    /// Follower side of InstallSnapshot: the driver has fully received and
+    /// restored a snapshot at (`index`, `term`). If the local log already
+    /// holds a matching entry at `index` the retained suffix is kept (the
+    /// log is merely compacted); otherwise the whole log is replaced by the
+    /// snapshot boundary. Commit and applied jump to at least `index`. A
+    /// stale snapshot (at or below the local *applied* index) is ignored —
+    /// the guard is on applied, not commit, because a follower can hold
+    /// committed-but-unapplied entries whose bodies were compacted away
+    /// everywhere; the snapshot is exactly what unsticks it.
+    pub fn install_snapshot(&mut self, index: LogIndex, term: Term) -> Vec<Action<C>> {
+        let mut out = Vec::new();
+        if index <= self.applied || index <= self.log.snapshot_index() {
+            return out;
+        }
+        if self.log.term_at(index) == Some(term) {
+            self.log.compact_to(index);
+        } else {
+            // A term mismatch below our commit index is impossible (Raft
+            // safety: committed entries never diverge), so replacing the
+            // log with the snapshot boundary is always safe here.
+            self.log.reset_to(index, term);
+        }
+        self.applied = index;
+        if index > self.commit {
+            self.commit = index;
+            out.push(Action::Commit { upto: index });
+        }
+        out
+    }
+
+    /// Leader side of InstallSnapshot completion: follower `peer` reported
+    /// a fully installed snapshot at `index`. Progress jumps to `index`,
+    /// the pending-snapshot park is lifted, and replication resumes
+    /// immediately from `index + 1`.
+    pub fn on_snapshot_installed(
+        &mut self,
+        peer: RaftId,
+        index: LogIndex,
+        now: u64,
+    ) -> Vec<Action<C>> {
+        let mut out = Vec::new();
+        if !self.is_leader() {
+            return out;
+        }
+        let Some(p) = self.progress.get_mut(&peer) else {
+            return out;
+        };
+        p.pending_snapshot = false;
+        p.last_heard = now;
+        p.on_success(index, index);
+        self.maybe_commit(&mut out);
+        let target = self.log.last_index().min(self.ceiling);
+        self.send_append(peer, target, true, &mut out);
+        out
+    }
+
+    /// Driver hook: a non-AppendEntries message that only the current
+    /// leader sends (e.g. a snapshot chunk) arrived, carrying `term` and
+    /// the sender's id. Counts as leader contact — it feeds leader
+    /// stickiness and resets the election timer — because a follower
+    /// receiving a long snapshot stream gets no AppendEntries (the leader
+    /// cannot build one below its horizon) and must not depose the leader
+    /// mid-transfer. Messages from stale terms are ignored.
+    pub fn note_leader_contact(&mut self, term: Term, leader: RaftId, now: u64) -> Vec<Action<C>> {
+        let mut out = Vec::new();
+        if term < self.term {
+            return out;
+        }
+        if term > self.term || self.role != Role::Follower {
+            self.become_follower(term, Some(leader), now, &mut out);
+        }
+        self.leader_id = Some(leader);
+        self.last_leader_contact = now;
+        self.reset_election_deadline(now);
+        out
+    }
+
+    /// Driver hook: a snapshot chunk arrived from *some* peer serving a
+    /// transfer — not necessarily the leader (recovery is peer-served, §5).
+    /// Unlike [`Self::note_leader_contact`] this never asserts leadership on
+    /// behalf of the sender: a same-term leader receiving a chunk stays
+    /// leader, and no `leader_id` hint is planted. It still suppresses
+    /// elections on followers — a node mid-catch-up gets no AppendEntries
+    /// (nothing can be built for it below the serving peer's horizon) and
+    /// must not depose a healthy leader while the stream runs.
+    pub fn note_peer_contact(&mut self, term: Term, now: u64) -> Vec<Action<C>> {
+        let mut out = Vec::new();
+        if term < self.term {
+            return out;
+        }
+        if term > self.term {
+            self.become_follower(term, None, now, &mut out);
+        }
+        if self.role == Role::Follower {
+            self.last_leader_contact = now;
+            self.reset_election_deadline(now);
+        }
+        out
+    }
+
+    /// Driver hook: the leader heard a current-term control message (e.g. a
+    /// snapshot-chunk ack) from `peer`. Feeds check-quorum, which would
+    /// otherwise depose a leader spending many election timeouts streaming
+    /// a large snapshot to its only reachable follower.
+    pub fn note_peer_heard(&mut self, peer: RaftId, now: u64) {
+        if let Some(p) = self.progress.get_mut(&peer) {
+            p.last_heard = now;
+        }
     }
 
     /// HovercRaft++ hook (§4): a follower advances its commit index on an
@@ -627,6 +768,22 @@ impl<C: Clone + std::fmt::Debug> RaftNode<C> {
             // of the original sends are harmless.
             next = p.matched + 1;
         }
+        if next < self.log.first_index() {
+            // The retransmit start is below the compaction horizon (e.g. a
+            // peer with no acks this term resets to `matched + 1 == 1`).
+            // The explicit check matters: `term_at(0)` is the sentinel
+            // `Some(0)` even on a compacted log, which would otherwise let
+            // this degenerate into an empty-AppendEntries loop that never
+            // ships an entry and never detects the horizon. Park and ask
+            // the driver to stream the snapshot instead.
+            if let Some(p) = self.progress.get_mut(&peer) {
+                if !p.pending_snapshot {
+                    p.pending_snapshot = true;
+                    out.push(Action::NeedsSnapshot { to: peer });
+                }
+            }
+            return;
+        }
         let hi = if has_new {
             target.min(next + self.cfg.max_batch as u64 - 1)
         } else {
@@ -634,9 +791,16 @@ impl<C: Clone + std::fmt::Debug> RaftNode<C> {
         };
         let prev = next - 1;
         let Some(prev_term) = self.log.term_at(prev) else {
-            // Peer is behind the compaction horizon; a full implementation
-            // would send InstallSnapshot here. The testbed never compacts
-            // below a live follower's match index.
+            // Peer is behind the compaction horizon: no AppendEntries can
+            // be built, so ask the driver to stream the snapshot. Emitted
+            // once per transfer; replication to this peer parks until
+            // `on_snapshot_installed` lifts the flag.
+            if let Some(p) = self.progress.get_mut(&peer) {
+                if !p.pending_snapshot {
+                    p.pending_snapshot = true;
+                    out.push(Action::NeedsSnapshot { to: peer });
+                }
+            }
             return;
         };
         let entries: Vec<Entry<C>> = if has_new {

@@ -21,6 +21,10 @@ pub struct Progress {
     /// When the leader last heard *anything* current-term from this
     /// follower, in driver-clock ns; consumed by check-quorum.
     pub last_heard: u64,
+    /// True while a snapshot transfer to this follower is pending: the
+    /// leader has emitted [`crate::Action::NeedsSnapshot`] and not yet seen
+    /// the install acknowledged. Dedups the action and parks replication.
+    pub pending_snapshot: bool,
 }
 
 impl Progress {
@@ -34,6 +38,7 @@ impl Progress {
             applied: 0,
             commit_told: 0,
             last_heard: now,
+            pending_snapshot: false,
         }
     }
 

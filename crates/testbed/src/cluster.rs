@@ -90,6 +90,15 @@ pub struct ClusterOpts {
     /// Client retransmission policy (None → clients never retry; chaos
     /// tests turn this on so requests survive faults).
     pub retry: Option<RetryPolicy>,
+    /// Snapshot every this many applied entries (0 = never; the
+    /// pre-snapshot behavior). Enables log compaction and snapshot-based
+    /// follower state transfer.
+    pub snapshot_interval: u64,
+    /// Snapshot state-transfer chunk size override, bytes (0 = the
+    /// [`HcConfig`] default). Chaos tests shrink it so even a small
+    /// state-machine blob crosses the wire in many chunks, widening the
+    /// window in which faults can interrupt a transfer.
+    pub snap_chunk_bytes: usize,
     /// Master seed.
     pub seed: u64,
 }
@@ -118,6 +127,8 @@ impl ClusterOpts {
             warmup: SimDur::millis(100),
             measure: SimDur::millis(500),
             retry: None,
+            snapshot_interval: 0,
+            snap_chunk_bytes: 0,
             seed: 42,
         }
     }
@@ -210,6 +221,10 @@ impl Cluster {
                     }
                     cfg.agg_addr = (mode == Mode::HovercraftPp).then_some(addrs::AGG.0);
                     cfg.flowctl_addr = opts.flow_cap.map(|_| addrs::VIP.0);
+                    cfg.snapshot_interval = opts.snapshot_interval;
+                    if opts.snap_chunk_bytes > 0 {
+                        cfg.snap_chunk_bytes = opts.snap_chunk_bytes;
+                    }
                     Box::new(ServerAgent::new(cfg, build_service(&opts)))
                 }
             };
@@ -227,28 +242,36 @@ impl Cluster {
                 sim.agent_mut::<ServerAgent>(s).set_tracer(tracer.clone());
             }
             // Crash–restart rejoin: rebuild the agent from the crashed
-            // node's durable Raft state (term, vote, log); everything else
-            // — pool, ledger, apply cursor, service state — restarts empty
-            // and is reconstructed by re-applying the log, with missing
-            // bodies re-fetched via the recovery protocol (§5).
+            // node's durable state (term, vote, log suffix, snapshot,
+            // incarnation epoch); everything else — pool, ledger, commit
+            // index — restarts empty and is reconstructed by re-applying
+            // the log above the snapshot, with missing bodies re-fetched
+            // via the recovery protocol (§5). The epoch check makes a
+            // restore from a stale incarnation a traced, fatal error
+            // instead of a silent reinitialization.
             let hook_opts = opts.clone();
             let hook_tracer = tracer.clone();
-            sim.set_restart_hook(Box::new(move |_node, now, old| {
+            sim.set_restart_hook(Box::new(move |node, now, old| {
                 let crashed = old
                     .as_any()
                     .downcast_ref::<ServerAgent>()
                     .expect("restart hook only handles server nodes")
                     .node();
-                let log = crashed.raft().log();
-                let entries = log.range(log.first_index(), log.last_index()).to_vec();
+                let durable = crashed.durable_state();
+                let new_epoch = crashed.epoch() + 1;
                 let restored = HcNode::restore(
                     crashed.config().clone(),
                     build_service(&hook_opts),
                     now.as_nanos(),
-                    crashed.raft().term(),
-                    crashed.raft().voted_for(),
-                    entries,
-                );
+                    durable,
+                    new_epoch,
+                )
+                .unwrap_or_else(|rej| {
+                    let ev = rej.event();
+                    let (render, a, b, c) = ev.detail_parts();
+                    hook_tracer.record_lazy(now, node, ev.kind(), ev.key(), render, a, b, c);
+                    panic!("n{node}: {rej}");
+                });
                 let mut agent = ServerAgent::from_node(restored);
                 agent.set_tracer(hook_tracer.clone());
                 Box::new(agent)

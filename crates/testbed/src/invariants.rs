@@ -37,13 +37,26 @@
 //!    incarnation (a restarted replier re-executing its log).
 //! 7. **Flow-control conservation** — at the middlebox,
 //!    `admitted − (feedback − spurious) − reclaimed == in_flight`.
+//! 8. **Snapshot bounds** — `snapshot_index ≤ applied ≤ commit` on every
+//!    node: compaction never outruns execution (no entry is discarded
+//!    before it has been applied, so nothing is ever applied *below* the
+//!    snapshot), and the snapshot watermark itself never regresses within
+//!    one incarnation.
+//! 9. **Transfer-resume monotonicity** — scanning the protocol trace, a
+//!    node's cumulative snapshot-chunk acknowledgement (`chunk_acked`
+//!    `next` offset) never regresses for a given `(node, snapshot index)`
+//!    within one incarnation, with one carve-out: a rewind to exactly 0
+//!    *before* the snapshot installs is a legitimate from-scratch restart
+//!    of the stream (peer-served failover drops the reassembly buffer). A
+//!    partial rewind, a rewind after `snapshot_installed`, or a rewind in
+//!    a fresh incarnation claiming old progress is a protocol bug.
 //!
 //! The checker is stateful (watermarks, first-seen replier stamps, reply
 //! set, trace cursor); create one per cluster and feed it every step.
 
 use std::fmt;
 
-use fxhash::FxHashMap;
+use fxhash::{FxHashMap, FxHashSet};
 
 use raft::LogIndex;
 use simnet::NodeId;
@@ -108,6 +121,16 @@ pub struct InvariantChecker {
     /// is legal only from the *same* node at a *strictly higher*
     /// incarnation — a restarted replier re-executing its log.
     replied: FxHashMap<u64, (NodeId, u64)>,
+    /// Per-node snapshot-index high-water mark (invariant 8); reset on
+    /// restart like the other watermarks.
+    last_snap: FxHashMap<NodeId, LogIndex>,
+    /// Highest cumulative chunk-ack offset per
+    /// `(node, snapshot index, incarnation)` (invariant 9).
+    ack_progress: FxHashMap<(NodeId, u64, u64), u64>,
+    /// Transfers sealed by a `snapshot_installed` event (invariant 9): once
+    /// installed, any further chunk ack for that snapshot must report it
+    /// complete — a rewind past an install means `applied` regressed.
+    installed: FxHashSet<(NodeId, u64, u64)>,
     /// Per-node restart count as last seen via [`simnet::Sim::restarts`];
     /// a change resets that node's monotonicity watermarks (a restarted
     /// node legitimately regresses to commit = applied = 0).
@@ -146,6 +169,7 @@ impl InvariantChecker {
                 *seen = inc;
                 self.last_commit.remove(&s);
                 self.last_applied.remove(&s);
+                self.last_snap.remove(&s);
             }
         }
 
@@ -153,7 +177,8 @@ impl InvariantChecker {
         self.check_log_matching(cl, &alive)?;
         self.check_replier_immutability(cl, &alive)?;
         self.check_bounded_queues(cl)?;
-        self.check_reply_uniqueness(cl)?;
+        self.check_snapshot_bounds(cl, &alive)?;
+        self.check_trace_invariants(cl)?;
         self.check_flow_conservation(cl)?;
         Ok(())
     }
@@ -349,23 +374,77 @@ impl InvariantChecker {
         Ok(())
     }
 
-    /// Invariant 6: no request id is replied to twice — except by the same
-    /// node at a strictly higher incarnation (a restarted replier
-    /// re-executes its log and may legitimately re-answer; any *other*
-    /// duplicate still fires). A reply is attributed to the incarnation
-    /// live at its timestamp via [`simnet::Sim::restart_times`] — exact
-    /// even when a restart's own trace marker has been evicted from the
-    /// bounded ring by a re-execution burst in the same check window.
-    fn check_reply_uniqueness(&mut self, cl: &Cluster) -> Result<(), Violation> {
+    /// Invariant 8: compaction never outruns execution. The log's
+    /// snapshot boundary stays at or below `applied` (applied ≤ commit is
+    /// invariant 1, so the full chain `snapshot ≤ applied ≤ commit`
+    /// holds), and the snapshot watermark is monotone per incarnation.
+    fn check_snapshot_bounds(&mut self, cl: &Cluster, alive: &[NodeId]) -> Result<(), Violation> {
+        for &s in alive {
+            let node = cl.sim.agent::<ServerAgent>(s).node();
+            let applied = node.applied_index();
+            let log_snap = node.raft().log().snapshot_index();
+            if log_snap > applied {
+                return violation(
+                    "snapshot_le_applied",
+                    s,
+                    format!("log snapshot boundary {log_snap} > applied={applied}"),
+                );
+            }
+            // The node-level snapshot (the blob it would serve to a lagging
+            // peer) must also describe a prefix it has actually executed.
+            let hc_snap = node.snapshot_index();
+            if hc_snap > applied {
+                return violation(
+                    "snapshot_le_applied",
+                    s,
+                    format!("held snapshot at {hc_snap} > applied={applied}"),
+                );
+            }
+            let ls = self.last_snap.entry(s).or_insert(0);
+            if log_snap < *ls {
+                return violation(
+                    "snapshot_monotone",
+                    s,
+                    format!("snapshot boundary regressed {} -> {log_snap}", *ls),
+                );
+            }
+            *ls = log_snap;
+        }
+        Ok(())
+    }
+
+    /// Invariants 6 and 9, one incremental pass over the protocol trace
+    /// (they share the cursor, so both must be checked in the same scan).
+    ///
+    /// **6 — exactly-one reply**: no request id is replied to twice —
+    /// except by the same node at a strictly higher incarnation (a
+    /// restarted replier re-executes its log and may legitimately
+    /// re-answer; any *other* duplicate still fires). A reply is
+    /// attributed to the incarnation live at its timestamp via
+    /// [`simnet::Sim::restart_times`] — exact even when a restart's own
+    /// trace marker has been evicted from the bounded ring by a
+    /// re-execution burst in the same check window.
+    ///
+    /// **9 — transfer-resume monotonicity**: a node's cumulative
+    /// `chunk_acked` offset for one snapshot never regresses within an
+    /// incarnation, except a pre-install rewind to exactly 0 (from-scratch
+    /// failover to a competing serving peer). A partial rewind means the
+    /// protocol lost buffered chunks; a post-install rewind means the
+    /// `applied` cursor itself regressed.
+    fn check_trace_invariants(&mut self, cl: &Cluster) -> Result<(), Violation> {
         // Borrow-only incremental scan: the checker runs every simulated
         // millisecond, so it visits only events newer than its cursor,
         // in place in the ring — no per-tick clone of the event window.
         let replied = &mut self.replied;
+        let acks = &mut self.ack_progress;
+        let installed = &mut self.installed;
         let mut cursor = self.trace_cursor;
         let mut found: Option<Violation> = None;
         cl.tracer().for_each_since(cursor, |e| {
             cursor = e.seq + 1;
-            if found.is_some() || e.kind != "reply" {
+            if found.is_some()
+                || (e.kind != "reply" && e.kind != "chunk_acked" && e.kind != "snapshot_installed")
+            {
                 return;
             }
             let inc = if (e.node as usize) < cl.sim.num_nodes() {
@@ -377,6 +456,39 @@ impl InvariantChecker {
             } else {
                 0
             };
+            if e.kind == "snapshot_installed" {
+                installed.insert((e.node, e.key, inc));
+                return;
+            }
+            if e.kind == "chunk_acked" {
+                // Lazily recorded as (index, next, _); `key` is the index.
+                let simnet::Detail::Lazy {
+                    args: (_, next, _), ..
+                } = e.detail
+                else {
+                    return;
+                };
+                let high = acks.entry((e.node, e.key, inc)).or_insert(next);
+                // A rewind to exactly 0 before the install is a legitimate
+                // from-scratch restart of the stream: with peer-served
+                // transfers, the receiver fails over to a competing server
+                // (and drops its buffer) when the preferred stream stalls.
+                // Any *partial* rewind, or any rewind after the snapshot
+                // installed, means the protocol corrupted or lost state.
+                if next < *high && (next > 0 || installed.contains(&(e.node, e.key, inc))) {
+                    found = Some(Violation {
+                        invariant: "transfer_resume_monotone",
+                        node: Some(e.node),
+                        detail: format!(
+                            "snapshot {} incarnation {inc}: cumulative ack \
+                             regressed {} -> {next}",
+                            e.key, *high
+                        ),
+                    });
+                }
+                *high = next;
+                return;
+            }
             match replied.get(&e.key) {
                 None => {
                     replied.insert(e.key, (e.node, inc));

@@ -108,6 +108,8 @@ impl ServerAgent {
                         }
                         WireMsg::RecoveryReq { .. }
                         | WireMsg::RecoveryRep { .. }
+                        | WireMsg::SnapChunk { .. }
+                        | WireMsg::SnapAck { .. }
                         | WireMsg::VoteProbe { .. } => {
                             ctx.send_from(Addr(dst), size, msg, simnet::ThreadClass::Net);
                         }

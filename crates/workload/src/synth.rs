@@ -83,6 +83,24 @@ pub struct SynthService {
     pub ops: u64,
     /// Mutating operations executed (used by replication tests).
     pub writes: u64,
+    /// FNV-1a digest folded over the bodies of mutating operations, in
+    /// apply order. Replicas with the same mutation prefix agree on it
+    /// exactly, so recovery tests can compare a restored/transferred node
+    /// bit-exactly against a replaying reference.
+    pub state_hash: u64,
+}
+
+/// 64-bit FNV-1a offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// 64-bit FNV-1a prime.
+const FNV_PRIME: u64 = 0x1000_0000_01b3;
+
+fn fnv1a64_fold(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
 }
 
 impl Service for SynthService {
@@ -90,11 +108,33 @@ impl Service for SynthService {
         self.ops += 1;
         if !read_only {
             self.writes += 1;
+            if self.state_hash == 0 {
+                self.state_hash = FNV_OFFSET;
+            }
+            self.state_hash = fnv1a64_fold(self.state_hash, body);
         }
         let (cost_ns, reply_size) = decode_request(body).unwrap_or((1_000, 8));
         Executed {
             reply: Bytes::from(vec![0u8; reply_size as usize]),
             cost_ns,
+        }
+    }
+
+    /// Snapshot = `(writes, state_hash)`, little-endian. `ops` is
+    /// deliberately excluded: it counts read-only executions too, which
+    /// diverge per node under replier-only read execution (§3.5), so it is
+    /// not replicated state.
+    fn snapshot(&self) -> Bytes {
+        let mut b = Vec::with_capacity(16);
+        b.extend_from_slice(&self.writes.to_le_bytes());
+        b.extend_from_slice(&self.state_hash.to_le_bytes());
+        Bytes::from(b)
+    }
+
+    fn restore(&mut self, snap: &[u8]) {
+        if snap.len() == 16 {
+            self.writes = u64::from_le_bytes(snap[..8].try_into().expect("8 bytes"));
+            self.state_hash = u64::from_le_bytes(snap[8..16].try_into().expect("8 bytes"));
         }
     }
 }
@@ -128,6 +168,24 @@ mod tests {
         assert_eq!(s.writes, 1);
         s.execute(&encode_request(1, 8, 24), true);
         assert_eq!(s.writes, 1, "read-only not counted as write");
+    }
+
+    #[test]
+    fn snapshot_carries_writes_and_hash_but_not_ops() {
+        let mut a = SynthService::default();
+        a.execute(&encode_request(1, 8, 24), false);
+        a.execute(&encode_request(2, 8, 24), false);
+        a.execute(&encode_request(3, 8, 24), true); // RO: no state change
+        let mut b = SynthService::default();
+        b.restore(&a.snapshot());
+        assert_eq!(b.writes, 2);
+        assert_eq!(b.state_hash, a.state_hash);
+        assert_eq!(b.ops, 0, "ops is per-node, not replicated state");
+        // Divergent mutation order ⇒ different hash (order-sensitive fold).
+        let mut c = SynthService::default();
+        c.execute(&encode_request(2, 8, 24), false);
+        c.execute(&encode_request(1, 8, 24), false);
+        assert_ne!(c.state_hash, a.state_hash);
     }
 
     #[test]

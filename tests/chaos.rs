@@ -32,6 +32,26 @@ fn chaos_opts(seed: u64) -> ClusterOpts {
     o
 }
 
+/// The snapshot chaos point: the standard chaos cluster plus an aggressive
+/// compaction horizon (snapshot every 64 applied entries ≈ every 2.5 ms at
+/// this load) and deliberately small transfer chunks, so the framed blob
+/// (service state plus the covered-id dedupe set) still crosses the wire
+/// in several stop-and-wait round trips. Any node that falls behind by
+/// more than a couple of milliseconds finds the bodies it needs compacted
+/// everywhere and must take the snapshot state-transfer path — which the
+/// fault window then kills, partitions, and pauses mid-stream.
+fn snap_chaos_opts(seed: u64) -> ClusterOpts {
+    let mut o = chaos_opts(seed);
+    o.snapshot_interval = 64;
+    // Small enough that every transfer takes several stop-and-wait round
+    // trips (so chaos can hit it mid-stream), large enough that a full
+    // transfer finishes well inside one 64-entry compaction period at
+    // 25 krps — the blob carries the covered-id set, so a byte-sized chunk
+    // would make transfers slower than compaction and livelock catch-up.
+    o.snap_chunk_bytes = 256;
+    o
+}
+
 fn term_of(cluster: &Cluster, node: u32) -> u64 {
     cluster.sim.agent::<ServerAgent>(node).node().raft().term()
 }
@@ -58,6 +78,30 @@ fn assert_converged(cluster: &Cluster) {
         applied.windows(2).all(|w| w[0] == w[1]),
         "live replicas diverged after drain: {applied:?}"
     );
+}
+
+/// Every live replica's state-machine content is bit-identical — the
+/// "restored/transferred node equals a replaying reference" check: the
+/// nodes that never crashed *are* the replaying reference, so a node that
+/// rejoined via snapshot transfer must serialize the exact same state.
+fn assert_state_identical(cluster: &Cluster) {
+    let states: Vec<(u32, Vec<u8>)> = cluster
+        .servers
+        .iter()
+        .copied()
+        .filter(|&s| cluster.sim.is_alive(s))
+        .map(|s| {
+            let n = cluster.sim.agent::<ServerAgent>(s).node();
+            (s, n.service().snapshot().to_vec())
+        })
+        .collect();
+    let (ref_node, ref_state) = &states[0];
+    for (s, state) in &states[1..] {
+        assert_eq!(
+            state, ref_state,
+            "n{s} state diverges from replaying reference n{ref_node}"
+        );
+    }
 }
 
 #[test]
@@ -218,6 +262,87 @@ fn restarted_follower_rejoins_and_catches_up() {
     assert_converged(&cluster);
 }
 
+/// The tentpole recovery scenario, pinned deterministically: a follower
+/// fail-stops long enough that the leader's compaction horizon passes its
+/// entire log (rejoin *must* go through chunked snapshot state transfer,
+/// not log catch-up), and is then crashed again mid-stream — between two
+/// cumulative chunk acks. The transfer must rewind across the incarnation
+/// boundary and still converge to a state bit-identical to the replaying
+/// replicas.
+#[test]
+fn state_transfer_resumes_after_midstream_crash() {
+    let mut cluster = Cluster::build(snap_chaos_opts(404));
+    cluster.settle();
+    let leader = cluster.leader().expect("settled leader");
+    let victim = cluster
+        .servers
+        .iter()
+        .copied()
+        .find(|&s| s != leader)
+        .expect("a follower");
+
+    // 70 ms down at 25 krps with a 64-entry snapshot horizon: the leader
+    // compacts ~27 intervals past the victim's log end while it is dark.
+    cluster.sim.kill_at(victim, ms(250));
+    cluster.sim.restart_at(victim, ms(320));
+    cluster.run_until_checked(ms(320));
+
+    // Step at 10 µs granularity until the transfer is streaming (the
+    // victim cumulatively acks chunks), then crash it again mid-stream.
+    let mut cursor = 0u64;
+    let mut crash_at: Option<SimTime> = None;
+    let deadline = ms(360);
+    'hunt: while cluster.sim.now() < deadline {
+        cluster.sim.run_for(SimDur::micros(10));
+        for e in cluster.tracer().events_since(cursor) {
+            cursor = e.seq + 1;
+            if e.kind == "chunk_acked" && e.node == victim {
+                let t = cluster.sim.now() + SimDur::micros(10);
+                cluster.sim.restart_at(victim, t);
+                crash_at = Some(t);
+                break 'hunt;
+            }
+        }
+        cluster.assert_invariants();
+    }
+    let crash_at = crash_at.expect("state transfer never started streaming after rejoin");
+
+    // Harvest the rest of the run incrementally (the trace ring is
+    // bounded) under invariant checking.
+    let mut harvested: Vec<TraceEvent> = Vec::new();
+    let end = cluster.opts().load_end() + SimDur::millis(20);
+    while cluster.sim.now() < end {
+        let next = (cluster.sim.now() + SimDur::millis(5)).min(end);
+        cluster.run_until_checked(next);
+        let events = cluster.tracer().events_since(cursor);
+        if let Some(last) = events.last() {
+            cursor = last.seq + 1;
+        }
+        harvested.extend(events);
+    }
+    cluster.run_checked(SimDur::millis(200));
+    harvested.extend(cluster.tracer().events_since(cursor));
+
+    assert_eq!(
+        cluster.sim.restarts(victim),
+        2,
+        "rejoin restart plus the mid-stream crash"
+    );
+    assert!(
+        harvested
+            .iter()
+            .any(|e| e.kind == "snapshot_installed" && e.node == victim && e.at > crash_at),
+        "the victim's final incarnation must complete a snapshot install"
+    );
+    let vstats = cluster.sim.agent::<ServerAgent>(victim).node().stats();
+    assert!(
+        vstats.installs >= 1,
+        "rejoined follower must install a transferred snapshot: {vstats:?}"
+    );
+    assert_converged(&cluster);
+    assert_state_identical(&cluster);
+}
+
 /// Runs one randomized chaos case end to end: draw a survivable fault plan
 /// from the seed, inject it, and require the PR-1 invariants plus
 /// convergence and bounded client-visible loss.
@@ -239,6 +364,51 @@ fn run_chaos_case(seed: u64) {
     cluster.run_until_checked(end);
     cluster.run_checked(SimDur::millis(200));
     assert_converged(&cluster);
+
+    let r = cluster.client_results();
+    let lost = r.sent.saturating_sub(r.responses + r.nacks);
+    let budget = (episodes * cluster.opts().bound + 64) as u64;
+    assert!(
+        lost <= budget,
+        "seed {seed}: lost {lost} replies > budget {budget} ({r:?})"
+    );
+}
+
+/// One randomized snapshot chaos case: the same survivable fault plan as
+/// [`run_chaos_case`], but at the snapshot chaos point where compaction is
+/// continuous — so restarts and partitions inside the fault window land
+/// before, inside, and after snapshot state transfers. On top of the
+/// standard invariants and convergence, the state machines of all live
+/// replicas must end bit-identical (a transferred node equals a replaying
+/// reference), and compaction must actually have run.
+fn run_snapshot_chaos_case(seed: u64) {
+    let opts = snap_chaos_opts(seed);
+    let episodes = 3usize;
+    let mut cluster = Cluster::build(opts);
+    cluster.settle();
+    let plan = FaultPlan::generate(&FaultPlanConfig {
+        nodes: cluster.servers.clone(),
+        window_start: ms(210),
+        window_end: ms(460),
+        episodes,
+        seed,
+    });
+    cluster.sim.apply_fault_plan(&plan);
+
+    let end = cluster.opts().load_end() + SimDur::millis(20);
+    cluster.run_until_checked(end);
+    cluster.run_checked(SimDur::millis(200));
+    assert_converged(&cluster);
+    assert_state_identical(&cluster);
+
+    let snapshots: u64 = cluster
+        .servers
+        .iter()
+        .copied()
+        .filter(|&s| cluster.sim.is_alive(s))
+        .map(|s| cluster.sim.agent::<ServerAgent>(s).node().stats().snapshots)
+        .sum();
+    assert!(snapshots > 0, "seed {seed}: compaction never ran");
 
     let r = cluster.client_results();
     let lost = r.sent.saturating_sub(r.responses + r.nacks);
@@ -275,22 +445,51 @@ fn random_fault_plans_preserve_invariants_and_liveness() {
     hovercraft_bench::sweep::par_map(seeds, run_chaos_case);
 }
 
+/// Fresh seeded fault plans at the snapshot chaos point — the CI chaos job
+/// runs this with `CHAOS_CASES=64`, so every CI run explores ≥ 64 new
+/// kill/partition/pause schedules against in-flight state transfers. The
+/// seed stream is offset from the plain sweep's so the two families never
+/// replay the same plans.
+#[test]
+fn random_snapshot_fault_plans_converge_with_identical_state() {
+    let cases = env_u64("CHAOS_CASES", 3);
+    let base = env_u64("CHAOS_SEED", 0xc0ffee).wrapping_add(0x5eed_0000);
+    let seeds: Vec<u64> = (0..cases)
+        .map(|i| base.wrapping_add(i.wrapping_mul(6007)))
+        .collect();
+    hovercraft_bench::sweep::par_map(seeds, run_snapshot_chaos_case);
+}
+
 /// Every seed in the committed corpus replays a fault mix that once ran in
-/// CI; keeping them green makes past chaos runs regression tests.
+/// CI; keeping them green makes past chaos runs regression tests. Bare
+/// lines run at the standard chaos point; `snap:<seed>` lines run at the
+/// snapshot chaos point (continuous compaction + chunked state transfer).
 #[test]
 fn committed_fault_plan_corpus_stays_green() {
-    let seeds: Vec<u64> = include_str!("chaos_corpus.txt")
+    let mut plain: Vec<u64> = Vec::new();
+    let mut snap: Vec<u64> = Vec::new();
+    for line in include_str!("chaos_corpus.txt")
         .lines()
         .map(str::trim)
         .filter(|line| !line.is_empty() && !line.starts_with('#'))
-        .map(|line| line.parse().expect("corpus lines are bare seeds"))
-        .collect();
+    {
+        match line.strip_prefix("snap:") {
+            Some(s) => snap.push(s.trim().parse().expect("snap: lines carry a seed")),
+            None => plain.push(line.parse().expect("corpus lines are bare seeds")),
+        }
+    }
     assert!(
-        seeds.len() >= 4,
+        plain.len() >= 4,
         "corpus unexpectedly small: {} seeds",
-        seeds.len()
+        plain.len()
     );
-    hovercraft_bench::sweep::par_map(seeds, run_chaos_case);
+    assert!(
+        snap.len() >= 4,
+        "snapshot corpus unexpectedly small: {} seeds",
+        snap.len()
+    );
+    hovercraft_bench::sweep::par_map(plain, run_chaos_case);
+    hovercraft_bench::sweep::par_map(snap, run_snapshot_chaos_case);
 }
 
 #[test]

@@ -123,6 +123,54 @@ proptest! {
         .. ProptestConfig::default()
     })]
 
+    /// Arbitrary (snapshot horizon, run length, fault plan) triples: log
+    /// compaction plus chunked state transfer under randomized chaos —
+    /// crash–restarts included, so transfers resume or restart across
+    /// incarnation epochs — must preserve `applied ≤ commit`, the snapshot
+    /// bound chain, and exactly-one-reply (all enforced continuously by
+    /// the invariant checker inside the `*_checked` runners), and leave
+    /// every live replica on an identical applied prefix.
+    #[test]
+    fn snapshot_horizons_preserve_invariants_under_chaos(
+        interval in prop_oneof![Just(16u64), Just(64u64), Just(256u64)],
+        measure_ms in 120u64..240,
+        episodes in 1usize..=3,
+        plan_seed in 0u64..10_000,
+        seed in 0u64..1_000,
+    ) {
+        let mut o = quick(Setup::Hovercraft(PolicyKind::Jbsq), 5, 20_000.0, seed);
+        o.warmup = SimDur::millis(40);
+        o.measure = SimDur::millis(measure_ms);
+        o.bound = 64;
+        o.retry = Some(RetryPolicy::default());
+        o.snapshot_interval = interval;
+        o.snap_chunk_bytes = 256;
+        let mut cluster = Cluster::build(o);
+        cluster.settle();
+        let plan = FaultPlan::generate(&FaultPlanConfig {
+            nodes: cluster.servers.clone(),
+            window_start: SimTime::ZERO + SimDur::millis(190),
+            window_end: cluster.opts().load_end(),
+            episodes,
+            seed: plan_seed,
+        });
+        cluster.sim.apply_fault_plan(&plan);
+        cluster.run_to_completion_checked();
+        cluster.run_checked(SimDur::millis(250));
+        let applied: Vec<u64> = cluster
+            .servers
+            .clone()
+            .into_iter()
+            .filter(|&s| cluster.sim.is_alive(s))
+            .map(|s| cluster.sim.agent::<ServerAgent>(s).node().applied_index())
+            .collect();
+        prop_assert!(applied.len() >= 3, "a majority survived {plan:?}");
+        prop_assert!(
+            applied.windows(2).all(|w| w[0] == w[1]),
+            "diverged at horizon {interval} after {plan:?}: {applied:?}"
+        );
+    }
+
     /// Arbitrary survivable fault plans (partitions, pauses, restarts,
     /// link faults — never cutting a majority) leave the cluster
     /// convergent, invariant-clean, and within the bounded-loss budget
