@@ -46,7 +46,9 @@ pub struct AggStats {
     pub flushes: u64,
 }
 
-/// The in-network aggregation program.
+/// The in-network aggregation program. `Clone` supports explicit-state
+/// model checking (the checker snapshots whole system states).
+#[derive(Clone)]
 pub struct Aggregator {
     /// All group members (node addresses double as Raft ids).
     members: Vec<RaftId>,
@@ -98,6 +100,41 @@ impl Aggregator {
     /// Current aggregated commit index.
     pub fn commit(&self) -> LogIndex {
         self.commit
+    }
+
+    /// Feeds the aggregator's soft state into `h` for model-checker state
+    /// fingerprints: node ids pass through `rename`, register maps are
+    /// hashed as vectors sorted by the renamed id. `stats` is excluded
+    /// (observability only).
+    pub fn hash_state(&self, h: &mut dyn std::hash::Hasher, rename: &dyn Fn(RaftId) -> RaftId) {
+        let mut members: Vec<RaftId> = self.members.iter().map(|&n| rename(n)).collect();
+        members.sort_unstable();
+        h.write_usize(members.len());
+        for n in members {
+            h.write_u32(n);
+        }
+        h.write_usize(self.quorum);
+        h.write_u64(self.term);
+        match self.leader {
+            Some(l) => {
+                h.write_u8(1);
+                h.write_u32(rename(l));
+            }
+            None => h.write_u8(0),
+        }
+        for regs in [&self.match_idx, &self.completed] {
+            let mut rows: Vec<(RaftId, LogIndex)> =
+                regs.iter().map(|(&n, &i)| (rename(n), i)).collect();
+            rows.sort_unstable();
+            h.write_usize(rows.len());
+            for (n, i) in rows {
+                h.write_u32(n);
+                h.write_u64(i);
+            }
+        }
+        h.write_u64(self.commit);
+        h.write_u8(self.pending as u8);
+        h.write_u64(self.last_target);
     }
 
     /// Flushes all soft state (device replacement / term change).

@@ -73,6 +73,28 @@ pub struct Cmd {
     pub body: Option<Bytes>,
 }
 
+impl raft::HashState for Cmd {
+    fn hash_state(&self, h: &mut dyn std::hash::Hasher, rename: &dyn Fn(RaftId) -> RaftId) {
+        h.write_u64(self.desc.id.as_u64());
+        h.write_u64(self.desc.hash);
+        h.write_u8(self.desc.kind as u8);
+        match self.desc.replier {
+            Some(r) => {
+                h.write_u8(1);
+                h.write_u32(rename(r));
+            }
+            None => h.write_u8(0),
+        }
+        match &self.body {
+            Some(b) => {
+                h.write_u8(1);
+                h.write(b);
+            }
+            None => h.write_u8(0),
+        }
+    }
+}
+
 impl Cmd {
     /// A metadata-only command (HovercRaft mode).
     pub fn meta(desc: EntryDesc) -> Cmd {

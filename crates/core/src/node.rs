@@ -215,6 +215,7 @@ fn decode_snapshot_blob(data: &Bytes) -> (Bytes, Vec<ReqId>) {
 }
 
 /// Leader side of one in-flight snapshot transfer (stop-and-wait).
+#[derive(Clone)]
 struct OutXfer {
     /// The snapshot being streamed (pinned for the transfer's lifetime,
     /// even if a newer snapshot is taken meanwhile — `Bytes` is refcounted).
@@ -226,6 +227,7 @@ struct OutXfer {
 }
 
 /// Follower side of one in-flight snapshot transfer.
+#[derive(Clone)]
 struct InXfer {
     snap_index: LogIndex,
     snap_term: u64,
@@ -236,6 +238,7 @@ struct InXfer {
     last_progress: u64,
 }
 
+#[derive(Clone)]
 struct PendingReply {
     client: u32,
     id: ReqId,
@@ -243,7 +246,10 @@ struct PendingReply {
     respond: bool,
 }
 
-/// A full HovercRaft (or VanillaRaft) server node.
+/// A full HovercRaft (or VanillaRaft) server node. `Clone` (for `S:
+/// Clone` services) supports explicit-state model checking, which snapshots
+/// and branches whole system states.
+#[derive(Clone)]
 pub struct HcNode<S> {
     cfg: HcConfig,
     raft: RaftNode<Cmd>,
@@ -349,6 +355,103 @@ impl<S: Service> HcNode<S> {
             entries: log.range(log.first_index(), log.last_index()).to_vec(),
             epoch: self.epoch,
         }
+    }
+
+    /// Feeds the node's full protocol state into `h` for model-checker
+    /// state fingerprints. Conventions: node ids pass through `rename`
+    /// (identity for plain hashing, a permutation for symmetry reduction),
+    /// id-keyed maps are hashed as vectors sorted by the renamed key,
+    /// timestamps are hashed relative to `now`, and the rng's raw state
+    /// words are included (the seeded stream is part of the deterministic
+    /// system definition). Excluded as trace/observability-only: `stats`,
+    /// `events`, `last_election_term`, `last_prevote_term`,
+    /// `stalled_members`; `cfg` is static per model scope.
+    pub fn hash_state(
+        &self,
+        now: u64,
+        h: &mut dyn std::hash::Hasher,
+        rename: &dyn Fn(RaftId) -> RaftId,
+    ) {
+        self.raft.hash_state(now, h, rename);
+        self.pool.hash_state(now, h);
+        self.ledger.hash_state(now, h, rename);
+        let snap = self.service.snapshot();
+        h.write_usize(snap.len());
+        h.write(&snap);
+        for w in self.rng.state_words() {
+            h.write_u64(w);
+        }
+        h.write_u64(self.next_apply);
+        h.write_u64(self.applied);
+        let mut pend: Vec<(&LogIndex, &PendingReply)> = self.pending.iter().collect();
+        pend.sort_unstable_by_key(|&(&i, _)| i);
+        h.write_usize(pend.len());
+        for (&idx, p) in pend {
+            h.write_u64(idx);
+            h.write_u32(p.client);
+            h.write_u64(p.id.as_u64());
+            match &p.reply {
+                Some(b) => {
+                    h.write_u8(1);
+                    h.write(b);
+                }
+                None => h.write_u8(0),
+            }
+            h.write_u8(p.respond as u8);
+        }
+        let mut miss: Vec<(u64, u64)> = self
+            .missing
+            .iter()
+            .map(|(&id, &t)| (id.as_u64(), now.saturating_sub(t)))
+            .collect();
+        miss.sort_unstable();
+        h.write_usize(miss.len());
+        for (id, age) in miss {
+            h.write_u64(id);
+            h.write_u64(age);
+        }
+        let mut rec: Vec<RaftId> = self.recovering.iter().map(|&n| rename(n)).collect();
+        rec.sort_unstable();
+        h.write_usize(rec.len());
+        for n in rec {
+            h.write_u32(n);
+        }
+        h.write_u8(self.agg_confirmed as u8);
+        h.write_u8(self.last_ae_via_agg as u8);
+        let hash_snap = |h: &mut dyn std::hash::Hasher, s: &Option<Snapshot>| match s {
+            Some(s) => {
+                h.write_u8(1);
+                h.write_u64(s.index);
+                h.write_u64(s.term);
+                h.write(&s.data);
+            }
+            None => h.write_u8(0),
+        };
+        hash_snap(h, &self.last_snapshot);
+        hash_snap(h, &self.pending_snap);
+        let mut xf: Vec<(RaftId, &OutXfer)> =
+            self.xfers.iter().map(|(&n, x)| (rename(n), x)).collect();
+        xf.sort_unstable_by_key(|&(n, _)| n);
+        h.write_usize(xf.len());
+        for (n, x) in xf {
+            h.write_u32(n);
+            h.write_u64(x.snap.index);
+            h.write_u64(x.snap.term);
+            h.write_u64(x.acked);
+            h.write_u64(now.saturating_sub(x.last_sent));
+        }
+        match &self.incoming {
+            Some(x) => {
+                h.write_u8(1);
+                h.write_u64(x.snap_index);
+                h.write_u64(x.snap_term);
+                h.write_u64(x.total);
+                h.write(&x.buf);
+                h.write_u64(now.saturating_sub(x.last_progress));
+            }
+            None => h.write_u8(0),
+        }
+        h.write_u64(self.epoch);
     }
 
     /// Rebuilds a node after a crash–restart from its durable state.
@@ -1354,10 +1457,16 @@ impl<S: Service> HcNode<S> {
 
     /// Serializes the state machine immediately at the applied index — only
     /// sound when the app pipeline is drained (the service holds the effects
-    /// of every *issued* entry, which runs ahead of `applied`). Fallback for
-    /// restored nodes that own a compacted log without a snapshot in memory;
-    /// the steady-state path captures at issue time instead (`try_apply`).
-    fn take_snapshot(&mut self, now: u64) {
+    /// of every *issued* entry, which runs ahead of `applied`; with issues
+    /// outstanding this refuses rather than capture a blob that is ahead of
+    /// its claimed index). Fallback for restored nodes that own a compacted
+    /// log without a snapshot in memory, and for drivers that want a
+    /// snapshot at a quiescent point (e.g. before persisting
+    /// [`HcNode::durable_state`]); the steady-state path captures at issue
+    /// time instead (`try_apply`). A no-op when there is nothing to
+    /// snapshot: an empty log, an applied cursor still at 0, or a horizon
+    /// at or below the existing snapshot boundary.
+    pub fn take_snapshot(&mut self, now: u64) {
         if self.next_apply != self.applied + 1 {
             return;
         }

@@ -35,7 +35,7 @@ pub enum PolicyKind {
 /// node was last heard from — a node silent for longer than the stall
 /// timeout is excluded from selection outright instead of being drip-fed
 /// work until its bounded queue fills.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct ReplierLedger {
     queues: FxHashMap<RaftId, VecDeque<LogIndex>>,
     last_heard: FxHashMap<RaftId, u64>,
@@ -89,6 +89,39 @@ impl ReplierLedger {
     pub fn reset(&mut self) {
         self.queues.clear();
         self.last_heard.clear();
+    }
+
+    /// Feeds the ledger into `h` for model-checker state fingerprints:
+    /// queues and last-heard marks as vectors sorted by the *renamed* node
+    /// id, times as ages relative to `now`.
+    pub fn hash_state(
+        &self,
+        now: u64,
+        h: &mut dyn std::hash::Hasher,
+        rename: &dyn Fn(RaftId) -> RaftId,
+    ) {
+        let mut qs: Vec<(RaftId, &VecDeque<LogIndex>)> =
+            self.queues.iter().map(|(&n, q)| (rename(n), q)).collect();
+        qs.sort_unstable_by_key(|&(n, _)| n);
+        h.write_usize(qs.len());
+        for (n, q) in qs {
+            h.write_u32(n);
+            h.write_usize(q.len());
+            for &idx in q {
+                h.write_u64(idx);
+            }
+        }
+        let mut heard: Vec<(RaftId, u64)> = self
+            .last_heard
+            .iter()
+            .map(|(&n, &t)| (rename(n), now.saturating_sub(t)))
+            .collect();
+        heard.sort_unstable();
+        h.write_usize(heard.len());
+        for (n, age) in heard {
+            h.write_u32(n);
+            h.write_u64(age);
+        }
     }
 
     /// Picks a replier for the next entry among `candidates`, honouring the

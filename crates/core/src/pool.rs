@@ -30,7 +30,7 @@ pub struct PooledReq {
 }
 
 /// The unordered set plus the ordered-body archive.
-#[derive(Default)]
+#[derive(Clone, Default)]
 pub struct UnorderedPool {
     unordered: FxHashMap<ReqId, PooledReq>,
     archive: FxHashMap<ReqId, PooledReq>,
@@ -174,6 +174,37 @@ impl UnorderedPool {
             self.compacted.entry(*id).or_insert(now);
         }
         dropped
+    }
+
+    /// Feeds the pool's full content into `h` for model-checker state
+    /// fingerprints: all three maps as id-sorted vectors, arrival times as
+    /// ages relative to `now` (only age drives GC behaviour).
+    pub fn hash_state(&self, now: u64, h: &mut dyn std::hash::Hasher) {
+        fn side(map: &FxHashMap<ReqId, PooledReq>, now: u64, h: &mut dyn std::hash::Hasher) {
+            let mut reqs: Vec<(u64, &PooledReq)> =
+                map.iter().map(|(id, r)| (id.as_u64(), r)).collect();
+            reqs.sort_unstable_by_key(|&(id, _)| id);
+            h.write_usize(reqs.len());
+            for (id, r) in reqs {
+                h.write_u64(id);
+                h.write_u8(r.kind as u8);
+                h.write(&r.body);
+                h.write_u64(now.saturating_sub(r.arrived));
+            }
+        }
+        side(&self.unordered, now, h);
+        side(&self.archive, now, h);
+        let mut tombs: Vec<(u64, u64)> = self
+            .compacted
+            .iter()
+            .map(|(id, &t)| (id.as_u64(), now.saturating_sub(t)))
+            .collect();
+        tombs.sort_unstable();
+        h.write_usize(tombs.len());
+        for (id, age) in tombs {
+            h.write_u64(id);
+            h.write_u64(age);
+        }
     }
 
     /// Drops the archived bodies of the given ordered requests, leaving

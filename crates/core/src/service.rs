@@ -64,7 +64,7 @@ impl Service for Box<dyn Service> {
 }
 
 /// A trivial echo service with a fixed per-op cost; used by tests.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct EchoService {
     /// Cost charged per operation, ns.
     pub cost_ns: u64,

@@ -1,0 +1,102 @@
+//! The `mc:` corpus family: replayable model-checker traces.
+//!
+//! The chaos corpus (`tests/chaos_corpus.txt`) carries `mc:` lines next
+//! to the chaos fault-plan seeds:
+//!
+//! ```text
+//! mc:<scope>:<a1.a2.a3...>              # must replay clean
+//! mc:<scope>+mut-replier:<a1.a2...>     # must replay to a violation
+//! ```
+//!
+//! Actions use the compact [`McAction`] display form (`q`, `d3`, `u1`,
+//! `x0`, `t2`, `c1`, `r1`). A line with a `+mut-<name>` tag replays
+//! under that predicate mutation and is *expected* to end in a reported
+//! violation at the final action — these lines pin the
+//! counterexample-extraction machinery itself; untagged lines are
+//! regression traces that must stay green.
+
+use testbed::invariants::predicates::Mutation;
+
+use crate::explore::replay;
+use crate::model::McAction;
+use crate::scope::Scope;
+
+/// One parsed `mc:` corpus line.
+#[derive(Clone, Debug)]
+pub struct CorpusSeed {
+    /// The scope the trace runs in.
+    pub scope: Scope,
+    /// Predicate mutation active during replay.
+    pub mutation: Mutation,
+    /// The recorded action trace.
+    pub trace: Vec<McAction>,
+}
+
+impl CorpusSeed {
+    /// Parses a single `mc:` line (comments already stripped). Returns
+    /// `None` for lines that are not `mc:` seeds.
+    pub fn parse(line: &str) -> Option<Result<CorpusSeed, String>> {
+        let rest = line.strip_prefix("mc:")?;
+        Some(Self::parse_body(rest))
+    }
+
+    fn parse_body(rest: &str) -> Result<CorpusSeed, String> {
+        let (scope_part, trace_part) = rest
+            .split_once(':')
+            .ok_or_else(|| format!("mc seed missing ':' separator: {rest:?}"))?;
+        let (scope_name, mutation) = match scope_part.split_once('+') {
+            Some((s, "mut-replier")) => (s, Mutation::BreakReplierImmutability),
+            Some((_, m)) => return Err(format!("unknown mutation tag {m:?}")),
+            None => (scope_part, Mutation::None),
+        };
+        let scope =
+            Scope::by_name(scope_name).ok_or_else(|| format!("unknown mc scope {scope_name:?}"))?;
+        let mut trace = Vec::new();
+        for tok in trace_part.split('.').filter(|t| !t.is_empty()) {
+            trace.push(McAction::parse(tok).ok_or_else(|| format!("bad mc action token {tok:?}"))?);
+        }
+        if trace.is_empty() {
+            return Err("empty mc trace".into());
+        }
+        Ok(CorpusSeed {
+            scope,
+            mutation,
+            trace,
+        })
+    }
+
+    /// Replays the seed and checks it against its expectation: untagged
+    /// seeds must stay green, `+mut-` seeds must end in a violation at
+    /// the final recorded action.
+    pub fn verify(&self) -> Result<(), String> {
+        let outcome = replay(&self.scope, self.mutation, &self.trace);
+        match (self.mutation, outcome) {
+            (Mutation::None, Ok(())) => Ok(()),
+            (Mutation::None, Err((i, v))) => Err(format!(
+                "green mc seed violated invariant at action {i}: {v}"
+            )),
+            (_, Err((i, _))) if i == self.trace.len() - 1 => Ok(()),
+            (_, Err((i, v))) => Err(format!(
+                "mutation seed violated early (action {i} of {}): {v}",
+                self.trace.len() - 1
+            )),
+            (_, Ok(())) => Err("mutation seed replayed clean; checker did not fire".into()),
+        }
+    }
+}
+
+/// Extracts every `mc:` seed from corpus text (full-line `#` comments
+/// and trailing comments stripped, like the chaos corpus parser).
+pub fn parse_corpus(text: &str) -> Result<Vec<CorpusSeed>, String> {
+    let mut seeds = Vec::new();
+    for line in text.lines() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(parsed) = CorpusSeed::parse(line) {
+            seeds.push(parsed?);
+        }
+    }
+    Ok(seeds)
+}

@@ -1,0 +1,122 @@
+//! Structural state fingerprints for explicit-state model checking.
+//!
+//! The `mc` crate deduplicates explored states by a canonical hash. Every
+//! layer that owns protocol state implements [`HashState`]: feed the
+//! hasher a deterministic rendering of the fields that define future
+//! behaviour, mapping every embedded node id through `rename` so the
+//! checker can canonicalize over node-id permutations (symmetry
+//! reduction). Conventions:
+//!
+//! * **Ids** — any field holding a `RaftId` (own id, votes, leader hints,
+//!   progress keys, replier stamps) is hashed as `rename(id)`.
+//! * **Collections keyed by id** — hashed as a vector sorted by the
+//!   *renamed* key, so two states identical up to a permutation hash
+//!   equally.
+//! * **Timestamps** — hashed relative to the owner's clock (deadlines as
+//!   `deadline - now`, last-contact marks as `now - t`), so two states
+//!   that differ only by a uniform time shift coincide.
+//! * **RNG** — the raw generator words are included: the seeded stream is
+//!   part of the deterministic system definition (tie-breaks, jitter),
+//!   so states with different generator positions may behave differently
+//!   and must not merge.
+//!
+//! Implementations live next to the private fields they read; this module
+//! only defines the trait and the leaf impl for [`Message`].
+
+use std::hash::Hasher;
+
+use crate::log::Entry;
+use crate::message::Message;
+use crate::types::RaftId;
+
+/// Deterministic structural hashing with node-id renaming (see module
+/// docs). Unlike `std::hash::Hash`, implementations must define *which*
+/// fields are behaviourally relevant and must route ids through `rename`.
+pub trait HashState {
+    /// Feeds this value's behaviour-relevant state into `h`.
+    fn hash_state(&self, h: &mut dyn Hasher, rename: &dyn Fn(RaftId) -> RaftId);
+}
+
+impl<C: HashState> HashState for Entry<C> {
+    fn hash_state(&self, h: &mut dyn Hasher, rename: &dyn Fn(RaftId) -> RaftId) {
+        h.write_u64(self.term);
+        h.write_u64(self.index);
+        self.cmd.hash_state(h, rename);
+    }
+}
+
+impl<C: HashState> HashState for Message<C> {
+    fn hash_state(&self, h: &mut dyn Hasher, rename: &dyn Fn(RaftId) -> RaftId) {
+        match self {
+            Message::RequestVote {
+                term,
+                candidate,
+                last_log_index,
+                last_log_term,
+            } => {
+                h.write_u8(0);
+                h.write_u64(*term);
+                h.write_u32(rename(*candidate));
+                h.write_u64(*last_log_index);
+                h.write_u64(*last_log_term);
+            }
+            Message::RequestVoteReply { term, granted } => {
+                h.write_u8(1);
+                h.write_u64(*term);
+                h.write_u8(*granted as u8);
+            }
+            Message::PreVote {
+                term,
+                candidate,
+                last_log_index,
+                last_log_term,
+            } => {
+                h.write_u8(2);
+                h.write_u64(*term);
+                h.write_u32(rename(*candidate));
+                h.write_u64(*last_log_index);
+                h.write_u64(*last_log_term);
+            }
+            Message::PreVoteReply { term, granted } => {
+                h.write_u8(3);
+                h.write_u64(*term);
+                h.write_u8(*granted as u8);
+            }
+            Message::AppendEntries {
+                term,
+                leader,
+                prev_log_index,
+                prev_log_term,
+                entries,
+                leader_commit,
+            } => {
+                h.write_u8(4);
+                h.write_u64(*term);
+                h.write_u32(rename(*leader));
+                h.write_u64(*prev_log_index);
+                h.write_u64(*prev_log_term);
+                h.write_u64(*leader_commit);
+                h.write_usize(entries.len());
+                for e in entries {
+                    e.hash_state(h, rename);
+                }
+            }
+            Message::AppendEntriesReply {
+                term,
+                success,
+                match_index,
+                conflict_index,
+                applied_index,
+                from,
+            } => {
+                h.write_u8(5);
+                h.write_u64(*term);
+                h.write_u8(*success as u8);
+                h.write_u64(*match_index);
+                h.write_u64(*conflict_index);
+                h.write_u64(*applied_index);
+                h.write_u32(rename(*from));
+            }
+        }
+    }
+}

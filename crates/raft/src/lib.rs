@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 
 mod config;
+mod fingerprint;
 mod log;
 mod message;
 mod node;
@@ -51,6 +52,7 @@ mod progress;
 mod types;
 
 pub use config::Config;
+pub use fingerprint::HashState;
 pub use log::{Entry, RaftLog};
 pub use message::Message;
 pub use node::{Action, NotLeader, RaftNode};

@@ -90,6 +90,11 @@ impl std::fmt::Display for NotLeader {
 impl std::error::Error for NotLeader {}
 
 /// A deterministic, sans-io Raft node.
+///
+/// `Clone` supports explicit-state model checking: the `mc` crate forks a
+/// node per explored branch. All state (including the seeded generator) is
+/// plain data, so a clone behaves bit-identically to the original.
+#[derive(Clone)]
 pub struct RaftNode<C> {
     cfg: Config,
     log: RaftLog<C>,
@@ -118,8 +123,13 @@ impl<C: Clone + std::fmt::Debug> RaftNode<C> {
     pub fn new(cfg: Config, now: u64) -> Self {
         cfg.validate();
         let mut rng = SmallRng::seed_from_u64(cfg.seed);
-        let election_deadline =
-            now + rng.gen_range(cfg.election_timeout_min..cfg.election_timeout_max);
+        // Width-1 jitter windows skip the draw (see reset_election_deadline).
+        let election_deadline = now
+            + if cfg.election_timeout_max - cfg.election_timeout_min == 1 {
+                cfg.election_timeout_min
+            } else {
+                rng.gen_range(cfg.election_timeout_min..cfg.election_timeout_max)
+            };
         RaftNode {
             cfg,
             log: RaftLog::new(),
@@ -233,6 +243,87 @@ impl<C: Clone + std::fmt::Debug> RaftNode<C> {
     /// The static configuration.
     pub fn config(&self) -> &Config {
         &self.cfg
+    }
+
+    /// Feeds the node's full behavioural state into `h` for model-checker
+    /// fingerprinting (see [`crate::HashState`]). `now` is the owning
+    /// driver's logical clock: deadlines hash as time-to-fire and contact
+    /// marks as age, so states that differ only by a uniform clock shift
+    /// coincide. The generator words are included — the seeded stream
+    /// decides tie-breaks, so it is part of the behavioural state.
+    pub fn hash_state(
+        &self,
+        now: u64,
+        h: &mut dyn std::hash::Hasher,
+        rename: &dyn Fn(RaftId) -> RaftId,
+    ) where
+        C: crate::HashState,
+    {
+        fn opt_id(
+            h: &mut dyn std::hash::Hasher,
+            rename: &dyn Fn(RaftId) -> RaftId,
+            v: Option<RaftId>,
+        ) {
+            match v {
+                Some(id) => {
+                    h.write_u8(1);
+                    h.write_u32(rename(id));
+                }
+                None => h.write_u8(0),
+            }
+        }
+        h.write_u32(rename(self.cfg.id));
+        h.write_u8(match self.role {
+            Role::Follower => 0,
+            Role::PreCandidate => 1,
+            Role::Candidate => 2,
+            Role::Leader => 3,
+        });
+        h.write_u64(self.term);
+        opt_id(h, rename, self.voted_for);
+        opt_id(h, rename, self.leader_id);
+        h.write_u64(self.commit);
+        h.write_u64(self.applied);
+        h.write_u64(self.ceiling);
+        h.write_u64(self.announced);
+        h.write_u64(self.log.snapshot_index());
+        h.write_u64(self.log.snapshot_term());
+        h.write_usize(self.log.len());
+        for e in self
+            .log
+            .range(self.log.first_index(), self.log.last_index())
+        {
+            use crate::HashState as _;
+            e.hash_state(h, rename);
+        }
+        let mut prog: Vec<(RaftId, Progress)> = self
+            .progress
+            .iter()
+            .map(|(&id, p)| (rename(id), *p))
+            .collect();
+        prog.sort_by_key(|&(id, _)| id);
+        h.write_usize(prog.len());
+        for (id, p) in prog {
+            h.write_u32(id);
+            h.write_u64(p.next);
+            h.write_u64(p.matched);
+            h.write_u64(p.applied);
+            h.write_u64(p.commit_told);
+            h.write_u64(now.saturating_sub(p.last_heard));
+            h.write_u8(p.pending_snapshot as u8);
+        }
+        h.write_usize(self.votes);
+        let mut voters: Vec<RaftId> = self.voters.iter().map(|&v| rename(v)).collect();
+        voters.sort_unstable();
+        for v in voters {
+            h.write_u32(v);
+        }
+        h.write_u64(self.election_deadline.saturating_sub(now));
+        h.write_u64(self.heartbeat_due.saturating_sub(now));
+        h.write_u64(now.saturating_sub(self.last_leader_contact));
+        for w in self.rng.state_words() {
+            h.write_u64(w);
+        }
     }
 
     /// Sets the replication ceiling: the leader will not ship entries above
@@ -566,10 +657,17 @@ impl<C: Clone + std::fmt::Debug> RaftNode<C> {
     // ---- internals -------------------------------------------------------
 
     fn reset_election_deadline(&mut self, now: u64) {
-        self.election_deadline = now
-            + self
-                .rng
-                .gen_range(self.cfg.election_timeout_min..self.cfg.election_timeout_max);
+        // A degenerate jitter window (width 1) draws nothing: the outcome
+        // is forced, and skipping the draw keeps the generator stream — and
+        // with it the model checker's state fingerprints — independent of
+        // how many times the deadline was reset.
+        let jitter = if self.cfg.election_timeout_max - self.cfg.election_timeout_min == 1 {
+            self.cfg.election_timeout_min
+        } else {
+            self.rng
+                .gen_range(self.cfg.election_timeout_min..self.cfg.election_timeout_max)
+        };
+        self.election_deadline = now + jitter;
     }
 
     fn become_follower(

@@ -161,6 +161,15 @@ pub mod rngs {
         z ^ (z >> 31)
     }
 
+    impl SmallRng {
+        /// The raw xoshiro256++ state words. The entire future stream is a
+        /// pure function of these, so they are exactly what a state
+        /// fingerprint (model checking, replay digests) must capture.
+        pub fn state_words(&self) -> [u64; 4] {
+            self.s
+        }
+    }
+
     impl SeedableRng for SmallRng {
         fn seed_from_u64(state: u64) -> SmallRng {
             let mut sm = state;

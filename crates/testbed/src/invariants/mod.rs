@@ -7,6 +7,13 @@
 //! [`InvariantChecker::check`] after every step and turns the first
 //! [`Violation`] into a panic plus a replayable trace bundle.
 //!
+//! The checker is a *sampler*: it reduces the cluster to plain
+//! observations (watermarks, log entries, queue depths, trace events) and
+//! delegates every verdict to the pure predicates in [`predicates`] — the
+//! same functions the `mc` explicit-state model checker evaluates on
+//! every reachable state at small scope. One definition, two enforcement
+//! densities.
+//!
 //! Invariants (all scoped to *live* nodes; killed nodes keep arbitrary
 //! stale state):
 //!
@@ -54,6 +61,8 @@
 //! The checker is stateful (watermarks, first-seen replier stamps, reply
 //! set, trace cursor); create one per cluster and feed it every step.
 
+pub mod predicates;
+
 use std::fmt;
 
 use fxhash::{FxHashMap, FxHashSet};
@@ -65,6 +74,8 @@ use crate::cluster::Cluster;
 use crate::programs::FcProgram;
 use crate::server::ServerAgent;
 use crate::setup::Setup;
+
+use predicates::{Mutation, ReplierStep};
 
 /// How far below the cluster-wide applied floor the replier-immutability
 /// window reaches. Mutations of entries older than this (already applied
@@ -192,7 +203,7 @@ impl InvariantChecker {
             let node = cl.sim.agent::<ServerAgent>(s).node();
             let commit = node.raft().commit_index();
             let applied = node.applied_index();
-            if applied > commit {
+            if !predicates::apply_bound_ok(applied, commit) {
                 return violation(
                     "applied_le_commit",
                     s,
@@ -200,7 +211,7 @@ impl InvariantChecker {
                 );
             }
             let lc = self.last_commit.entry(s).or_insert(0);
-            if commit < *lc {
+            if !predicates::monotone_ok(*lc, commit) {
                 return violation(
                     "commit_monotone",
                     s,
@@ -209,7 +220,7 @@ impl InvariantChecker {
             }
             *lc = commit;
             let la = self.last_applied.entry(s).or_insert(0);
-            if applied < *la {
+            if !predicates::monotone_ok(*la, applied) {
                 return violation(
                     "applied_monotone",
                     s,
@@ -239,20 +250,20 @@ impl InvariantChecker {
             let Some(want) = ref_log.get(idx) else {
                 continue; // compacted on the reference; nothing to compare
             };
-            let (want_term, want_cmd) = (want.term, want.cmd.clone());
+            let want = want.clone();
             for &s in &alive[1..] {
                 let log = cl.sim.agent::<ServerAgent>(s).node().raft().log();
                 let Some(got) = log.get(idx) else {
                     continue; // compacted here
                 };
-                if got.term != want_term || got.cmd != want_cmd {
+                if !predicates::committed_prefix_ok(got, &want) {
                     return violation(
                         "committed_prefix_agreement",
                         s,
                         format!(
                             "index {idx}: n{s} has (term {}, {:?}), n{reference} has \
                              (term {}, {:?})",
-                            got.term, got.cmd.desc, want_term, want_cmd.desc
+                            got.term, got.cmd.desc, want.term, want.cmd.desc
                         ),
                     );
                 }
@@ -274,7 +285,7 @@ impl InvariantChecker {
                     let (Some(ea), Some(eb)) = (log_a.get(idx), log_b.get(idx)) else {
                         continue;
                     };
-                    if ea.term == eb.term && ea.cmd != eb.cmd {
+                    if !predicates::log_matching_ok(ea, eb) {
                         return violation(
                             "log_matching",
                             a,
@@ -309,34 +320,23 @@ impl InvariantChecker {
             for idx in lo..=log.last_index() {
                 let Some(e) = log.get(idx) else { continue };
                 let cur = (e.term, e.cmd.desc.replier);
-                match self.repliers.get(&(s, idx)) {
-                    None => {
+                let seen = self.repliers.get(&(s, idx)).copied();
+                match predicates::replier_step(seen, cur, Mutation::None) {
+                    ReplierStep::Track => {
                         self.repliers.insert((s, idx), cur);
                     }
-                    Some(&(term, seen)) if term == cur.0 => match (seen, cur.1) {
-                        (Some(old), new) if new != Some(old) => {
-                            return violation(
-                                "replier_immutable",
-                                s,
-                                format!(
-                                    "index {idx} term {term}: replier changed \
-                                     {old:?} -> {:?}",
-                                    cur.1
-                                ),
-                            );
-                        }
-                        (None, Some(_)) => {
-                            // First stamp (None -> Some): the one legal
-                            // transition.
-                            self.repliers.insert((s, idx), cur);
-                        }
-                        _ => {}
-                    },
-                    Some(_) => {
-                        // The entry was replaced by one from a newer term
-                        // (uncommitted suffix truncation) — track the
-                        // replacement from scratch.
-                        self.repliers.insert((s, idx), cur);
+                    ReplierStep::Keep => {}
+                    ReplierStep::Violation => {
+                        let (term, old) = seen.expect("violations need a prior stamp");
+                        return violation(
+                            "replier_immutable",
+                            s,
+                            format!(
+                                "index {idx} term {term}: replier changed \
+                                 {old:?} -> {:?}",
+                                cur.1
+                            ),
+                        );
                     }
                 }
             }
@@ -359,8 +359,7 @@ impl InvariantChecker {
         for &m in &cl.servers {
             let depth = node.queue_depth(m);
             let baseline = *self.depth_baseline.entry((term, m)).or_insert(depth);
-            let allowed = bound.max(baseline);
-            if depth > allowed {
+            if !predicates::queue_depth_ok(depth, bound, baseline) {
                 return violation(
                     "bounded_queue",
                     leader,
@@ -383,7 +382,7 @@ impl InvariantChecker {
             let node = cl.sim.agent::<ServerAgent>(s).node();
             let applied = node.applied_index();
             let log_snap = node.raft().log().snapshot_index();
-            if log_snap > applied {
+            if !predicates::snapshot_bound_ok(log_snap, applied) {
                 return violation(
                     "snapshot_le_applied",
                     s,
@@ -393,7 +392,7 @@ impl InvariantChecker {
             // The node-level snapshot (the blob it would serve to a lagging
             // peer) must also describe a prefix it has actually executed.
             let hc_snap = node.snapshot_index();
-            if hc_snap > applied {
+            if !predicates::snapshot_bound_ok(hc_snap, applied) {
                 return violation(
                     "snapshot_le_applied",
                     s,
@@ -401,7 +400,7 @@ impl InvariantChecker {
                 );
             }
             let ls = self.last_snap.entry(s).or_insert(0);
-            if log_snap < *ls {
+            if !predicates::monotone_ok(*ls, log_snap) {
                 return violation(
                     "snapshot_monotone",
                     s,
@@ -469,13 +468,8 @@ impl InvariantChecker {
                     return;
                 };
                 let high = acks.entry((e.node, e.key, inc)).or_insert(next);
-                // A rewind to exactly 0 before the install is a legitimate
-                // from-scratch restart of the stream: with peer-served
-                // transfers, the receiver fails over to a competing server
-                // (and drops its buffer) when the preferred stream stalls.
-                // Any *partial* rewind, or any rewind after the snapshot
-                // installed, means the protocol corrupted or lost state.
-                if next < *high && (next > 0 || installed.contains(&(e.node, e.key, inc))) {
+                let sealed = installed.contains(&(e.node, e.key, inc));
+                if !predicates::transfer_resume_ok(*high, next, sealed) {
                     found = Some(Violation {
                         invariant: "transfer_resume_monotone",
                         node: Some(e.node),
@@ -493,7 +487,9 @@ impl InvariantChecker {
                 None => {
                     replied.insert(e.key, (e.node, inc));
                 }
-                Some(&(node0, inc0)) if e.node == node0 && inc > inc0 => {
+                Some(&(node0, inc0))
+                    if predicates::duplicate_reply_ok(node0, inc0, e.node, inc) =>
+                {
                     replied.insert(e.key, (e.node, inc));
                 }
                 Some(&(node0, inc0)) => {
@@ -523,10 +519,16 @@ impl InvariantChecker {
         };
         let fc = &cl.sim.switch_program_mut::<FcProgram>(idx).fc;
         let s = fc.stats();
-        let outstanding = s.admitted as i128
-            - (s.feedback as i128 - s.spurious_feedback as i128)
-            - s.reclaimed as i128;
-        if outstanding != fc.in_flight() as i128 {
+        if !predicates::flow_conservation_ok(
+            s.admitted,
+            s.feedback,
+            s.spurious_feedback,
+            s.reclaimed,
+            fc.in_flight() as u64,
+        ) {
+            let outstanding = s.admitted as i128
+                - (s.feedback as i128 - s.spurious_feedback as i128)
+                - s.reclaimed as i128;
             return violation(
                 "flow_conservation",
                 None,

@@ -16,7 +16,7 @@
 mod client;
 mod cluster;
 mod digest;
-mod invariants;
+pub mod invariants;
 mod programs;
 mod runner;
 mod server;

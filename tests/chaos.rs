@@ -13,6 +13,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use hovercraft::PolicyKind;
 use simnet::{FaultPlan, FaultPlanConfig, SimDur, SimTime, TraceEvent};
+use testbed::invariants::predicates;
 use testbed::{Cluster, ClusterOpts, RetryPolicy, ServerAgent, Setup};
 
 fn ms(x: u64) -> SimTime {
@@ -75,7 +76,7 @@ fn assert_converged(cluster: &Cluster) {
         .map(|s| cluster.sim.agent::<ServerAgent>(s).node().applied_index())
         .collect();
     assert!(
-        applied.windows(2).all(|w| w[0] == w[1]),
+        predicates::converged_ok(&applied),
         "live replicas diverged after drain: {applied:?}"
     );
 }
@@ -95,12 +96,14 @@ fn assert_state_identical(cluster: &Cluster) {
             (s, n.service().snapshot().to_vec())
         })
         .collect();
-    let (ref_node, ref_state) = &states[0];
-    for (s, state) in &states[1..] {
-        assert_eq!(
-            state, ref_state,
-            "n{s} state diverges from replaying reference n{ref_node}"
-        );
+    let blobs: Vec<Vec<u8>> = states.iter().map(|(_, b)| b.clone()).collect();
+    if !predicates::states_identical_ok(&blobs) {
+        let (ref_node, ref_state) = &states[0];
+        let (s, _) = states[1..]
+            .iter()
+            .find(|(_, b)| b != ref_state)
+            .expect("a diverging replica");
+        panic!("n{s} state diverges from replaying reference n{ref_node}");
     }
 }
 
@@ -343,6 +346,117 @@ fn state_transfer_resumes_after_midstream_crash() {
     assert_state_identical(&cluster);
 }
 
+// ---------------------------------------------------------------------
+// Chaos-found bugs, promoted to named regression tests. Each replays,
+// unchanged, the seeded fault plan that first exposed the bug during the
+// snapshot/compaction work (the same seeds stay in tests/chaos_corpus.txt
+// for the sweep; the named anchors keep the diagnosis greppable next to
+// the code that fixes it). All run at the snapshot chaos point and
+// inherit `run_snapshot_chaos_case`'s asserts: the full invariant set at
+// every sampled millisecond, convergence, bit-identical state machines,
+// compaction actually running, and bounded client-visible reply loss.
+// ---------------------------------------------------------------------
+
+/// snap:8 — stale-completion applied regression. A restart of n1 at
+/// 228 ms plus a delay spike into the rejoiner during catch-up left an
+/// entry executing on the app thread while a snapshot install jumped the
+/// applied cursor past it; the entry's late completion then moved
+/// `applied` *backwards* (tripping monotonicity and re-answering a voided
+/// reply duty). Fixed by the `index <= self.applied` guard in
+/// `HcNode::on_exec_done`: completions at or below the cursor are
+/// subsumed by the restored snapshot and dropped.
+#[test]
+fn regression_snap8_stale_completion_must_not_regress_applied() {
+    run_snapshot_chaos_case(8);
+}
+
+/// snap:13 — unhealable rejoined node. A follower mid-state-transfer
+/// receives no AppendEntries (nothing can be built for it below the
+/// serving peer's compaction horizon), so its election timer fired and it
+/// called an election against a healthy leader from a log still behind
+/// the horizon — deposing progress it could not replace. Fixed by
+/// `RaftNode::note_peer_contact`: a snapshot chunk from *any* serving
+/// peer resets the follower's election deadline (without planting a
+/// leader hint or asserting leadership on the sender's behalf).
+#[test]
+fn regression_snap13_rejoiner_mid_transfer_must_not_depose_leader() {
+    run_snapshot_chaos_case(13);
+}
+
+/// snap:34 — two bugs in one plan (pause + partition + a 33% duplicate
+/// window). First, issue-cursor/applied skew: snapshot blobs are captured
+/// at issue time while the service executes ahead of `applied`, so
+/// promoting or installing against `applied` could wipe the effects of
+/// entries already executing; installs now guard on the issue cursor
+/// (`next_apply`) instead. Second, the `term_at(0)` sentinel wedge: a
+/// retransmit reset below the compaction horizon saw `term_at(0) ==
+/// Some(0)` on a compacted log and degenerated into an empty
+/// AppendEntries loop that never shipped an entry and never requested a
+/// snapshot; replication now checks `next < log.first_index()` explicitly
+/// and parks the peer behind a `NeedsSnapshot`.
+#[test]
+fn regression_snap34_install_guards_issue_cursor_and_compacted_sentinel() {
+    run_snapshot_chaos_case(34);
+}
+
+/// snap:55 — double execution across a snapshot install. A node that
+/// installed a snapshot held parked unordered copies of requests the
+/// snapshot had already ordered and executed (its own log could not
+/// enumerate them); when it later won an election it re-proposed one,
+/// executing it twice. Fixed by framing the covered request-id set into
+/// the snapshot blob: installers seed those ids as dedupe tombstones and
+/// purge the parked copies, so a later leadership change cannot resurrect
+/// a covered request.
+#[test]
+fn regression_snap55_install_seeds_dedupe_tombstones_for_covered_ids() {
+    run_snapshot_chaos_case(55);
+}
+
+/// The transfer-livelock regression, pinned as a deterministic scenario
+/// rather than a seed: with chunking slow enough that streaming one
+/// snapshot takes longer than one compaction interval, the serving side
+/// used to abandon the stream at every new horizon — no transfer ever
+/// completed and the rejoiner never caught up. The fix pins the outgoing
+/// blob for the lifetime of a transfer (`OutXfer.snap`): a started
+/// stream runs to completion at its original horizon even as the sender
+/// compacts past it, the install jumps the rejoiner forward, and a
+/// follow-up transfer (or plain log catch-up once load stops) covers the
+/// remainder. Chunks here are 8 bytes against the standard 256, so a
+/// full blob takes hundreds of stop-and-wait round trips — several
+/// compaction intervals' worth while load is running.
+#[test]
+fn regression_transfer_slower_than_compaction_still_converges() {
+    let mut opts = snap_chaos_opts(909);
+    opts.snap_chunk_bytes = 8;
+    let mut cluster = Cluster::build(opts);
+    cluster.settle();
+    let leader = cluster.leader().expect("settled leader");
+    let victim = cluster
+        .servers
+        .iter()
+        .copied()
+        .find(|&s| s != leader)
+        .expect("a follower");
+    // 70 ms dark at 25 krps with a 64-entry horizon: rejoin must go
+    // through state transfer, and at 8-byte chunks the stream cannot
+    // finish inside one compaction interval.
+    cluster.sim.kill_at(victim, ms(250));
+    cluster.sim.restart_at(victim, ms(320));
+
+    let end = cluster.opts().load_end() + SimDur::millis(20);
+    cluster.run_until_checked(end);
+    // Generous drain: the final transfer plus log catch-up must land.
+    cluster.run_checked(SimDur::millis(300));
+
+    let vstats = cluster.sim.agent::<ServerAgent>(victim).node().stats();
+    assert!(
+        vstats.installs >= 1,
+        "rejoin must complete at least one snapshot install: {vstats:?}"
+    );
+    assert_converged(&cluster);
+    assert_state_identical(&cluster);
+}
+
 /// Runs one randomized chaos case end to end: draw a survivable fault plan
 /// from the seed, inject it, and require the PR-1 invariants plus
 /// convergence and bounded client-visible loss.
@@ -475,6 +589,10 @@ fn committed_fault_plan_corpus_stays_green() {
     {
         match line.strip_prefix("snap:") {
             Some(s) => snap.push(s.trim().parse().expect("snap: lines carry a seed")),
+            // `mc:` lines are model-checker action traces, not fault-plan
+            // seeds; tests/mc.rs::committed_mc_corpus_seeds_verify replays
+            // them.
+            None if line.starts_with("mc:") => {}
             None => plain.push(line.parse().expect("corpus lines are bare seeds")),
         }
     }
