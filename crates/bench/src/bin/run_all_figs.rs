@@ -267,9 +267,10 @@ fn main() {
     }
     if let Some(sim) = &sim_stats {
         println!(
-            "sim: {} jobs, {} sched ops, {} tracer locks, {:.1} MB in {} allocs",
+            "sim: {} jobs, {} sched ops, {} wheel cascades, {} tracer locks, {:.1} MB in {} allocs",
             sim.tasks,
             sim.sched_ops,
+            sim.wheel_cascades,
             sim.tracer_locks,
             sim.alloc_bytes as f64 / 1e6,
             sim.alloc_calls,
@@ -326,6 +327,7 @@ fn main() {
                 ("sim_stats_tracer_locks", sim.tracer_locks),
                 ("sim_stats_alloc_calls", sim.alloc_calls),
                 ("sim_stats_alloc_bytes", sim.alloc_bytes),
+                ("sim_stats_wheel_cascades", sim.wheel_cascades),
             ] {
                 updates.push((k.into(), v.to_string()));
             }

@@ -33,12 +33,25 @@ use std::time::Instant;
 use hovercraft::PolicyKind;
 use hovercraft_bench::bench_json::{self, lookup, lookup_f64};
 use hovercraft_bench::fast;
-use simnet::{FaultPlan, FaultPlanConfig, SimDur, SimTime};
+use simnet::{FaultPlan, FaultPlanConfig, ProfileSnapshot, SimDur, SimTime};
 use testbed::{chaos_digest_opts, Cluster, ClusterOpts, Setup, TraceDigest};
+
+// Light up the per-thread allocator counters: `allocs_per_event` is the
+// number the arena work optimizes, so the bench that gates it must
+// measure it. One thread-local increment per allocation; the events/sec
+// gate bounds the overhead.
+#[global_allocator]
+static ALLOC: simnet::CountingAlloc = simnet::CountingAlloc;
 
 /// Tolerated events/sec drop vs the committed baseline before the gate
 /// fails (the CI perf job's contract).
 const MAX_REGRESSION: f64 = 0.25;
+
+/// Tolerated allocations-per-event growth vs the committed baseline.
+/// Allocator traffic is deterministic for a fixed workload — unlike
+/// events/sec it does not depend on the machine — so the tolerance is
+/// tight: a >10% regression means a hot path started heap-allocating.
+const MAX_ALLOC_REGRESSION: f64 = 0.10;
 
 struct Metrics {
     /// Engine events dispatched.
@@ -49,6 +62,9 @@ struct Metrics {
     sim_ns: u64,
     /// Protocol trace events recorded.
     trace_events: u64,
+    /// Profiling deltas (allocator calls/bytes, scheduler ops, timer-wheel
+    /// cascades) accumulated on the thread that ran the world.
+    prof: ProfileSnapshot,
 }
 
 impl Metrics {
@@ -57,6 +73,9 @@ impl Metrics {
     }
     fn sim_ns_per_wall_s(&self) -> f64 {
         self.sim_ns as f64 / self.wall_s
+    }
+    fn allocs_per_event(&self) -> f64 {
+        self.prof.alloc_calls as f64 / self.events.max(1) as f64
     }
 }
 
@@ -78,15 +97,18 @@ fn fig7_opts() -> ClusterOpts {
 fn run_fig7() -> Metrics {
     let mut cluster = Cluster::build(fig7_opts());
     let end = cluster.opts().load_end() + SimDur::millis(20);
+    let p0 = ProfileSnapshot::now();
     let t0 = Instant::now();
     cluster.settle();
     cluster.sim.run_until(end);
     let wall_s = t0.elapsed().as_secs_f64();
+    let prof = ProfileSnapshot::now().delta_since(&p0);
     Metrics {
         events: cluster.sim.events_processed(),
         wall_s,
         sim_ns: cluster.sim.now().as_nanos(),
         trace_events: cluster.tracer().total_recorded(),
+        prof,
     }
 }
 
@@ -96,6 +118,7 @@ fn run_chaos(seed: u64) -> (Metrics, TraceDigest) {
     // comparable between a CI smoke run and a full local run.
     let opts = chaos_digest_opts(seed);
     let mut cluster = Cluster::build(opts);
+    let p0 = ProfileSnapshot::now();
     let t0 = Instant::now();
     cluster.settle();
     let plan = FaultPlan::generate(&FaultPlanConfig {
@@ -115,11 +138,13 @@ fn run_chaos(seed: u64) -> (Metrics, TraceDigest) {
     }
     digest.absorb(cluster.tracer());
     let wall_s = t0.elapsed().as_secs_f64();
+    let prof = ProfileSnapshot::now().delta_since(&p0);
     let m = Metrics {
         events: cluster.sim.events_processed(),
         wall_s,
         sim_ns: cluster.sim.now().as_nanos(),
         trace_events: cluster.tracer().total_recorded(),
+        prof,
     };
     (m, digest)
 }
@@ -149,6 +174,22 @@ fn render_report(fig7: &Metrics, chaos: &Metrics, digest: &TraceDigest) -> Strin
             m.sim_ns_per_wall_s()
         ));
         s.push_str(&format!("  \"{name}_trace_events\": {},\n", m.trace_events));
+        s.push_str(&format!(
+            "  \"{name}_alloc_calls\": {},\n",
+            m.prof.alloc_calls
+        ));
+        s.push_str(&format!(
+            "  \"{name}_alloc_bytes\": {},\n",
+            m.prof.alloc_bytes
+        ));
+        s.push_str(&format!(
+            "  \"{name}_allocs_per_event\": {:.4},\n",
+            m.allocs_per_event()
+        ));
+        s.push_str(&format!(
+            "  \"{name}_wheel_cascades\": {},\n",
+            m.prof.wheel_cascades
+        ));
     };
     section(&mut s, "fig7", fig7);
     section(&mut s, "chaos", chaos);
@@ -193,6 +234,34 @@ fn check_baseline(baseline: &str, report: &str) -> Vec<String> {
         } else {
             println!("  {key}: {cur:.0} vs baseline {base:.0} (floor {floor:.0}) — ok");
         }
+    }
+    // Allocations-per-event is machine-independent (a deterministic world
+    // allocates identically everywhere), so the tolerance is tight. The
+    // comparison only runs in full-window mode: HC_FAST shrinks the fig7
+    // measurement window, which shifts the warmup-allocation share of the
+    // ratio, and the committed baseline is always full-window.
+    if !fast() {
+        for name in ["fig7", "chaos"] {
+            let key = format!("{name}_allocs_per_event");
+            let (Some(base), Some(cur)) = (lookup_f64(baseline, &key), lookup_f64(report, &key))
+            else {
+                println!("  {key}: no baseline value — not compared");
+                continue;
+            };
+            let ceil = base * (1.0 + MAX_ALLOC_REGRESSION);
+            if cur > ceil {
+                failures.push(format!(
+                    "{key} regressed: {cur:.4} > {ceil:.4} \
+                     (baseline {base:.4}, tolerance {:.0}%) \
+                     — a hot path started heap-allocating",
+                    MAX_ALLOC_REGRESSION * 100.0
+                ));
+            } else {
+                println!("  {key}: {cur:.4} vs baseline {base:.4} (ceiling {ceil:.4}) — ok");
+            }
+        }
+    } else {
+        println!("  (allocs_per_event not compared: HC_FAST windows shift the ratio)");
     }
     // Digests are exact and machine-independent; the chaos run ignores
     // HC_FAST precisely so they compare across smoke and full runs. Only a
@@ -300,6 +369,14 @@ fn main() {
         fig7.sim_ns_per_wall_s(),
         fig7.trace_events,
     );
+    println!(
+        "   {} allocs ({:.1} MB) -> {:.3} allocs/event; {} sched ops, {} wheel cascades",
+        fig7.prof.alloc_calls,
+        fig7.prof.alloc_bytes as f64 / 1e6,
+        fig7.allocs_per_event(),
+        fig7.prof.sched_ops,
+        fig7.prof.wheel_cascades,
+    );
     println!("-- chaos workload (5-node, fault plan, 1ms invariant checking + digest) --");
     println!(
         "   {} events in {:.2}s  ->  {:.0} events/s, {:.0} sim-ns/wall-s, digest {:#018x} over {} events",
@@ -309,6 +386,14 @@ fn main() {
         chaos.sim_ns_per_wall_s(),
         digest.value(),
         digest.count(),
+    );
+    println!(
+        "   {} allocs ({:.1} MB) -> {:.3} allocs/event; {} sched ops, {} wheel cascades",
+        chaos.prof.alloc_calls,
+        chaos.prof.alloc_bytes as f64 / 1e6,
+        chaos.allocs_per_event(),
+        chaos.prof.sched_ops,
+        chaos.prof.wheel_cascades,
     );
 
     let report = merge_into_existing(&out, &render_report(&fig7, &chaos, &digest));

@@ -57,6 +57,7 @@ pub mod sim_profile {
     static SCHED_OPS: AtomicU64 = AtomicU64::new(0);
     static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
     static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+    static WHEEL_CASCADES: AtomicU64 = AtomicU64::new(0);
 
     /// Totals accumulated across all swept jobs since [`enable`].
     #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -72,6 +73,9 @@ pub mod sim_profile {
         pub alloc_calls: u64,
         /// Bytes requested from the allocator inside swept jobs.
         pub alloc_bytes: u64,
+        /// Timer-wheel cascade moves inside swept jobs (0 under
+        /// `HC_SCHED=heap`).
+        pub wheel_cascades: u64,
     }
 
     /// Starts collecting (and zeroes any previous totals).
@@ -81,6 +85,7 @@ pub mod sim_profile {
         SCHED_OPS.store(0, Ordering::Relaxed);
         ALLOC_CALLS.store(0, Ordering::Relaxed);
         ALLOC_BYTES.store(0, Ordering::Relaxed);
+        WHEEL_CASCADES.store(0, Ordering::Relaxed);
         ENABLED.store(true, Ordering::Release);
     }
 
@@ -97,6 +102,7 @@ pub mod sim_profile {
             sched_ops: SCHED_OPS.load(Ordering::Relaxed),
             alloc_calls: ALLOC_CALLS.load(Ordering::Relaxed),
             alloc_bytes: ALLOC_BYTES.load(Ordering::Relaxed),
+            wheel_cascades: WHEEL_CASCADES.load(Ordering::Relaxed),
         }
     }
 
@@ -106,6 +112,7 @@ pub mod sim_profile {
         SCHED_OPS.fetch_add(delta.sched_ops, Ordering::Relaxed);
         ALLOC_CALLS.fetch_add(delta.alloc_calls, Ordering::Relaxed);
         ALLOC_BYTES.fetch_add(delta.alloc_bytes, Ordering::Relaxed);
+        WHEEL_CASCADES.fetch_add(delta.wheel_cascades, Ordering::Relaxed);
     }
 }
 

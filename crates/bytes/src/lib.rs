@@ -13,6 +13,9 @@ use std::hash::{Hash, Hasher};
 use std::ops::Deref;
 use std::sync::Arc;
 
+mod arena;
+pub use arena::ByteArena;
+
 /// A cheaply clonable, immutable contiguous slice of memory.
 #[derive(Clone)]
 pub struct Bytes(Repr);
@@ -41,6 +44,12 @@ impl Bytes {
     /// Copies the given slice into a new shared allocation.
     pub fn copy_from_slice(data: &[u8]) -> Bytes {
         Bytes(Repr::Shared(Arc::from(data)))
+    }
+
+    /// Wraps the first `len` bytes of a pooled chunk ([`ByteArena`])
+    /// without copying; the `Bytes` keeps the chunk alive.
+    pub(crate) fn pooled(chunk: Arc<[u8]>, len: usize) -> Bytes {
+        Bytes(Repr::Sliced(chunk, 0, len))
     }
 
     /// Length in bytes.

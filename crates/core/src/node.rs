@@ -26,7 +26,7 @@ use std::fmt;
 
 use fxhash::{FxHashMap, FxHashSet};
 
-use bytes::Bytes;
+use bytes::{ByteArena, Bytes};
 use r2p2::{body_hash, ReqId};
 use raft::{Action, LogIndex, Message, RaftId, RaftNode, Role};
 use rand::rngs::SmallRng;
@@ -302,6 +302,9 @@ pub struct HcNode<S> {
     /// successful [`HcNode::restore`]. Guards against restoring from a
     /// stale incarnation's durable state.
     epoch: u64,
+    /// Reusable raft-action scratch for [`HcNode::with_raft`]: steady-state
+    /// message handling produces actions without allocating a `Vec` each.
+    acts: Vec<Action<Cmd>>,
 }
 
 impl<S: Service> HcNode<S> {
@@ -334,6 +337,7 @@ impl<S: Service> HcNode<S> {
             xfers: FxHashMap::default(),
             incoming: None,
             epoch: 0,
+            acts: Vec::new(),
         }
     }
 
@@ -600,13 +604,22 @@ impl<S: Service> HcNode<S> {
     // ---- entry points ------------------------------------------------------
 
     /// Handles one incoming message; `src` is the sender's network address.
-    pub fn on_message(&mut self, src: u32, msg: WireMsg, now: u64) -> Vec<Output> {
-        let mut out = Vec::new();
+    /// Handles one incoming message; `src` is the sender's network address.
+    /// Outputs are appended to `out`, a caller-owned scratch buffer reused
+    /// across calls so the steady state never allocates for outputs.
+    pub fn on_message(
+        &mut self,
+        src: u32,
+        msg: WireMsg,
+        now: u64,
+        out: &mut Vec<Output>,
+        arena: &mut ByteArena,
+    ) {
         match msg {
             WireMsg::Request { id, kind, body } => {
-                self.on_request(id, kind, body, now, &mut out);
+                self.on_request(id, kind, body, now, out, arena);
             }
-            WireMsg::Raft(m) => self.on_raft(src, m, now, &mut out),
+            WireMsg::Raft(m) => self.on_raft(src, m, now, out, arena),
             WireMsg::RecoveryReq { id } => {
                 if let Some((kind, body)) = self.pool.get(id).map(|r| (r.kind, r.body.clone())) {
                     self.stats.recoveries_served += 1;
@@ -632,7 +645,7 @@ impl<S: Service> HcNode<S> {
                     // bodies; only its peers can heal it). A requester that
                     // turns out to be already caught up acks the transfer
                     // complete immediately.
-                    self.ensure_transfer(src, now, &mut out);
+                    self.ensure_transfer(src, now, out);
                 }
             }
             WireMsg::RecoveryRep { id, kind, body } => {
@@ -640,13 +653,13 @@ impl<S: Service> HcNode<S> {
                     self.push_event(ProtoEvent::RecoveryCompleted { id });
                 }
                 self.pool.insert_recovered(id, kind, body, now);
-                self.try_apply(now, &mut out);
+                self.try_apply(now, out, arena);
             }
             WireMsg::AggCommit {
                 term,
                 commit,
                 status,
-            } => self.on_agg_commit(term, commit, status, now, &mut out),
+            } => self.on_agg_commit(term, commit, status, now, out, arena),
             WireMsg::VoteProbeRep { term } => {
                 if self.is_leader() && term == self.raft.term() {
                     self.agg_confirmed = true;
@@ -662,7 +675,7 @@ impl<S: Service> HcNode<S> {
                 data,
             } => {
                 self.on_snap_chunk(
-                    term, from, snap_index, snap_term, offset, total, data, now, &mut out,
+                    term, from, snap_index, snap_term, offset, total, data, now, out, arena,
                 );
             }
             WireMsg::SnapAck {
@@ -671,7 +684,7 @@ impl<S: Service> HcNode<S> {
                 next_offset,
                 from,
             } => {
-                self.on_snap_ack(term, snap_index, next_offset, from, now, &mut out);
+                self.on_snap_ack(term, snap_index, next_offset, from, now, out, arena);
             }
             // Servers are not the audience for these.
             WireMsg::Response { .. }
@@ -679,19 +692,16 @@ impl<S: Service> HcNode<S> {
             | WireMsg::Feedback
             | WireMsg::VoteProbe { .. } => {}
         }
-        out
     }
 
     /// Periodic maintenance: Raft ticks (elections/heartbeats), pool GC,
     /// recovery retries, and announcement retries. Call a few times per
     /// Raft heartbeat interval.
-    pub fn tick(&mut self, now: u64) -> Vec<Output> {
-        let mut out = Vec::new();
-        let actions = self.raft.tick(now);
-        self.drain(actions, now, &mut out);
+    pub fn tick(&mut self, now: u64, out: &mut Vec<Output>, arena: &mut ByteArena) {
+        self.with_raft(|r, a| r.tick_into(now, a), now, out, arena);
         self.pool.gc(now, self.cfg.gc_timeout_ns);
-        self.retry_recoveries(now, &mut out);
-        self.retry_transfers(now, &mut out);
+        self.retry_recoveries(now, out);
+        self.retry_transfers(now, out);
         // An inbound transfer overtaken by ordinary replication (we applied
         // past its horizon) will never install; drop the buffer.
         if self
@@ -701,27 +711,32 @@ impl<S: Service> HcNode<S> {
         {
             self.incoming = None;
         }
-        self.try_announce(now, &mut out);
-        out
+        self.try_announce(now, out, arena);
     }
 
-    /// The application thread finished executing entry `index`.
-    pub fn on_exec_done(&mut self, index: LogIndex, now: u64) -> Vec<Output> {
-        let mut out = Vec::new();
+    /// The application thread finished executing entry `index`. Outputs are
+    /// appended to `out` (see [`HcNode::on_message`]).
+    pub fn on_exec_done(
+        &mut self,
+        index: LogIndex,
+        now: u64,
+        out: &mut Vec<Output>,
+        arena: &mut ByteArena,
+    ) {
         if index <= self.applied {
             // A snapshot install jumped the applied cursor past this
             // execution while it sat on the app thread. Its effects are
             // subsumed by the restored snapshot and its reply duty was
             // voided by the install; completing it must not regress
             // `applied` (or re-answer).
-            return out;
+            return;
         }
         debug_assert_eq!(index, self.applied + 1, "app thread must be FIFO");
         self.applied = index;
         self.raft.set_applied(index);
         if self.is_leader() {
             self.ledger.observe_applied(self.id(), index);
-            self.try_announce(now, &mut out);
+            self.try_announce(now, out, arena);
         }
         if let Some(p) = self.pending.remove(&index) {
             if p.respond {
@@ -748,7 +763,6 @@ impl<S: Service> HcNode<S> {
             }
         }
         self.maybe_snapshot(now);
-        out
     }
 
     // ---- client requests ---------------------------------------------------
@@ -760,6 +774,7 @@ impl<S: Service> HcNode<S> {
         body: Bytes,
         now: u64,
         out: &mut Vec<Output>,
+        arena: &mut ByteArena,
     ) {
         self.stats.requests += 1;
         let hash = body_hash(&body);
@@ -787,8 +802,7 @@ impl<S: Service> HcNode<S> {
                     self.push_event(ProtoEvent::Proposed { index, id });
                     self.pool.insert(id, kind, body, now);
                     self.pool.mark_ordered(id);
-                    let actions = self.raft.pump(now);
-                    self.drain(actions, now, out);
+                    self.with_raft(|r, a| r.pump_into(now, a), now, out, arena);
                 }
             }
             Mode::Hovercraft | Mode::HovercraftPp => {
@@ -805,7 +819,7 @@ impl<S: Service> HcNode<S> {
                     if let Ok(index) = self.raft.propose(Cmd::meta(desc)) {
                         self.push_event(ProtoEvent::Proposed { index, id });
                         self.pool.mark_ordered(id);
-                        self.try_announce(now, out);
+                        self.try_announce(now, out, arena);
                     }
                 }
             }
@@ -814,7 +828,14 @@ impl<S: Service> HcNode<S> {
 
     // ---- raft plumbing ------------------------------------------------------
 
-    fn on_raft(&mut self, src: u32, m: Message<Cmd>, now: u64, out: &mut Vec<Output>) {
+    fn on_raft(
+        &mut self,
+        src: u32,
+        m: Message<Cmd>,
+        now: u64,
+        out: &mut Vec<Output>,
+        arena: &mut ByteArena,
+    ) {
         // Guard: ignore echoes of our own AppendEntries (safety against any
         // reflected copy of a message we originated).
         if let Message::AppendEntries { leader, .. } = &m {
@@ -875,9 +896,8 @@ impl<S: Service> HcNode<S> {
             }
         }
         let from = Self::raft_peer_of(src, &m);
-        let actions = self.raft.step(from, m, now);
-        self.drain(actions, now, out);
-        self.try_announce(now, out);
+        self.with_raft(|r, a| r.step_into(from, m, now, a), now, out, arena);
+        self.try_announce(now, out, arena);
     }
 
     /// The Raft-level peer a message is from. Replies carry an explicit
@@ -900,6 +920,7 @@ impl<S: Service> HcNode<S> {
         status: Vec<AggStatus>,
         now: u64,
         out: &mut Vec<Output>,
+        arena: &mut ByteArena,
     ) {
         if term != self.raft.term() {
             return;
@@ -924,22 +945,50 @@ impl<S: Service> HcNode<S> {
                     applied_index: s.applied_index,
                     from: s.node,
                 };
-                let actions = self.raft.step(s.node, synthetic, now);
-                self.drain(actions, now, out);
+                self.with_raft(
+                    |r, a| r.step_into(s.node, synthetic, now, a),
+                    now,
+                    out,
+                    arena,
+                );
             }
-            self.try_announce(now, out);
+            self.try_announce(now, out, arena);
         } else {
-            let actions = self.raft.observe_commit(commit);
-            self.drain(actions, now, out);
+            self.with_raft(|r, a| r.observe_commit_into(commit, a), now, out, arena);
         }
+    }
+
+    /// Runs `f` against the raft core with the node's reusable action
+    /// scratch, then drains the produced actions. Re-entrant paths
+    /// (drain → became-leader → announce → pump) see an empty buffer via
+    /// `std::mem::take` and fall back to a fresh allocation — rare enough
+    /// (role changes only) that steady state never allocates here.
+    fn with_raft(
+        &mut self,
+        f: impl FnOnce(&mut RaftNode<Cmd>, &mut Vec<Action<Cmd>>),
+        now: u64,
+        out: &mut Vec<Output>,
+        arena: &mut ByteArena,
+    ) {
+        let mut acts = std::mem::take(&mut self.acts);
+        f(&mut self.raft, &mut acts);
+        self.drain(&mut acts, now, out, arena);
+        acts.clear();
+        self.acts = acts;
     }
 
     /// Applies raft actions: routes sends (aggregator vs point-to-point),
     /// reacts to commits and role changes.
-    fn drain(&mut self, actions: Vec<Action<Cmd>>, now: u64, out: &mut Vec<Output>) {
+    fn drain(
+        &mut self,
+        actions: &mut Vec<Action<Cmd>>,
+        now: u64,
+        out: &mut Vec<Output>,
+        arena: &mut ByteArena,
+    ) {
         // Collect AppendEntries so HC++ can deduplicate the fan-out.
         let mut appends: Vec<(RaftId, Message<Cmd>)> = Vec::new();
-        for a in actions {
+        for a in actions.drain(..) {
             match a {
                 Action::Send { to, msg } => {
                     match &msg {
@@ -985,11 +1034,11 @@ impl<S: Service> HcNode<S> {
                 }
                 Action::Commit { upto } => {
                     self.push_event(ProtoEvent::CommitAdvanced { to: upto });
-                    self.try_apply(now, out);
+                    self.try_apply(now, out, arena);
                 }
                 Action::BecameLeader { term } => {
                     self.push_event(ProtoEvent::BecameLeader { term });
-                    self.on_became_leader(now, out);
+                    self.on_became_leader(now, out, arena);
                 }
                 Action::BecameFollower { term } => {
                     self.push_event(ProtoEvent::BecameFollower { term });
@@ -1088,7 +1137,7 @@ impl<S: Service> HcNode<S> {
         }
     }
 
-    fn on_became_leader(&mut self, now: u64, out: &mut Vec<Output>) {
+    fn on_became_leader(&mut self, now: u64, out: &mut Vec<Output>, arena: &mut ByteArena) {
         self.ledger.reset();
         self.stalled_members.clear();
         self.xfers.clear();
@@ -1140,7 +1189,7 @@ impl<S: Service> HcNode<S> {
                 });
             }
         }
-        self.try_announce(now, out);
+        self.try_announce(now, out, arena);
     }
 
     /// Highest contiguous log index whose replier is already assigned.
@@ -1157,14 +1206,13 @@ impl<S: Service> HcNode<S> {
 
     /// §3.3–3.4: stamp repliers into fresh entries (bounded queues + policy)
     /// and raise the replication ceiling over them, then ship.
-    fn try_announce(&mut self, now: u64, out: &mut Vec<Output>) {
+    fn try_announce(&mut self, now: u64, out: &mut Vec<Output>, arena: &mut ByteArena) {
         if !self.is_leader() {
             return;
         }
         if !self.cfg.mode.is_hovercraft() {
             // Vanilla mode replicates unconditionally (infinite ceiling).
-            let actions = self.raft.pump(now);
-            self.drain(actions, now, out);
+            self.with_raft(|r, a| r.pump_into(now, a), now, out, arena);
             return;
         }
         let last = self.raft.log().last_index();
@@ -1215,8 +1263,7 @@ impl<S: Service> HcNode<S> {
             self.raft.set_ceiling(ceiling);
             self.push_event(ProtoEvent::Announced { upto: ceiling });
         }
-        let actions = self.raft.pump(now);
-        self.drain(actions, now, out);
+        self.with_raft(|r, a| r.pump_into(now, a), now, out, arena);
     }
 
     /// Emits one [`ProtoEvent::ReplierStalled`] / [`ProtoEvent::ReplierRecovered`]
@@ -1237,7 +1284,7 @@ impl<S: Service> HcNode<S> {
 
     /// Hands committed entries to the application thread in log order,
     /// stopping at the first entry whose body is still missing.
-    fn try_apply(&mut self, now: u64, out: &mut Vec<Output>) {
+    fn try_apply(&mut self, now: u64, out: &mut Vec<Output>, arena: &mut ByteArena) {
         while self.next_apply <= self.raft.commit_index() {
             let idx = self.next_apply;
             let Some(entry) = self.raft.log().get(idx) else {
@@ -1287,7 +1334,7 @@ impl<S: Service> HcNode<S> {
                     index: idx,
                     id: desc.id,
                 });
-                let r = self.service.execute(&body, desc.kind.is_read_only());
+                let r = self.service.execute(&body, desc.kind.is_read_only(), arena);
                 (Some(r.reply), r.cost_ns)
             } else {
                 self.stats.ro_skipped += 1;
@@ -1616,6 +1663,7 @@ impl<S: Service> HcNode<S> {
         data: Bytes,
         now: u64,
         out: &mut Vec<Output>,
+        arena: &mut ByteArena,
     ) {
         if term < self.raft.term() {
             return;
@@ -1626,8 +1674,8 @@ impl<S: Service> HcNode<S> {
         // horizon. Peer contact, not leader contact: the sender may be a
         // follower healing us (§5), and a leader receiving a chunk must not
         // depose itself.
-        let actions = self.raft.note_peer_contact(term, now);
-        self.drain(actions, now, out);
+        let mut actions = self.raft.note_peer_contact(term, now);
+        self.drain(&mut actions, now, out, arena);
         let me = self.id();
         if snap_index < self.next_apply {
             // Already at or past this horizon (e.g. a duplicate of the
@@ -1694,7 +1742,14 @@ impl<S: Service> HcNode<S> {
         });
         if complete {
             let x = self.incoming.take().expect("present");
-            self.finish_install(x.snap_index, x.snap_term, Bytes::from(x.buf), now, out);
+            self.finish_install(
+                x.snap_index,
+                x.snap_term,
+                Bytes::from(x.buf),
+                now,
+                out,
+                arena,
+            );
         }
         out.push(Output::Send {
             dst: from,
@@ -1708,6 +1763,7 @@ impl<S: Service> HcNode<S> {
     }
 
     /// Serving side: a cumulative transfer ack arrived.
+    #[allow(clippy::too_many_arguments)]
     fn on_snap_ack(
         &mut self,
         term: u64,
@@ -1716,6 +1772,7 @@ impl<S: Service> HcNode<S> {
         from: RaftId,
         now: u64,
         out: &mut Vec<Output>,
+        arena: &mut ByteArena,
     ) {
         if term != self.raft.term() {
             return;
@@ -1740,9 +1797,9 @@ impl<S: Service> HcNode<S> {
                 to: from,
                 index: snap_index,
             });
-            let actions = self.raft.on_snapshot_installed(from, snap_index, now);
-            self.drain(actions, now, out);
-            self.try_announce(now, out);
+            let mut actions = self.raft.on_snapshot_installed(from, snap_index, now);
+            self.drain(&mut actions, now, out, arena);
+            self.try_announce(now, out, arena);
         } else {
             // Cumulative: a lower-than-acked offset legitimately rewinds
             // the stream (the follower restarted and lost its buffer).
@@ -1761,6 +1818,7 @@ impl<S: Service> HcNode<S> {
         data: Bytes,
         now: u64,
         out: &mut Vec<Output>,
+        arena: &mut ByteArena,
     ) {
         // Guard on the issue cursor, not `applied`: entries in
         // `(applied, next_apply)` have already executed against the service
@@ -1782,7 +1840,7 @@ impl<S: Service> HcNode<S> {
         let (service_blob, covered) = decode_snapshot_blob(&data);
         dropped += self.pool.seed_tombstones(&covered, now);
         self.service.restore(&service_blob);
-        let actions = self.raft.install_snapshot(snap_index, snap_term);
+        let mut actions = self.raft.install_snapshot(snap_index, snap_term);
         self.applied = snap_index;
         self.next_apply = self.next_apply.max(snap_index + 1);
         // Any unpublished capture predates the install horizon (installs
@@ -1814,8 +1872,8 @@ impl<S: Service> HcNode<S> {
                 dropped: dropped as u64,
             });
         }
-        self.drain(actions, now, out);
-        self.try_apply(now, out);
+        self.drain(&mut actions, now, out, arena);
+        self.try_apply(now, out, arena);
     }
 }
 

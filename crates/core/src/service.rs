@@ -12,7 +12,7 @@
 //! service reports the CPU cost of each operation so the testbed can charge
 //! it to the simulated application thread.
 
-use bytes::Bytes;
+use bytes::{ByteArena, Bytes};
 
 /// Result of executing one request.
 #[derive(Clone, Debug, PartialEq)]
@@ -30,7 +30,12 @@ pub trait Service: 'static {
     /// client's POLICY claim; a well-behaved service must not mutate state
     /// when it is set (§3.5: a wrong claim is a catastrophic application
     /// bug, not a protocol failure).
-    fn execute(&mut self, body: &[u8], read_only: bool) -> Executed;
+    ///
+    /// `arena` is the world's recycling buffer pool; services should build
+    /// reply payloads through it (`arena.alloc*`) so steady-state execution
+    /// does not hit the global allocator per request. Determinism is
+    /// unaffected: pooled and fresh buffers are byte-identical.
+    fn execute(&mut self, body: &[u8], read_only: bool, arena: &mut ByteArena) -> Executed;
 
     /// Serializes the full state machine into a snapshot blob, enabling
     /// log compaction and follower state transfer. Must be deterministic:
@@ -52,8 +57,8 @@ pub trait Service: 'static {
 }
 
 impl Service for Box<dyn Service> {
-    fn execute(&mut self, body: &[u8], read_only: bool) -> Executed {
-        (**self).execute(body, read_only)
+    fn execute(&mut self, body: &[u8], read_only: bool, arena: &mut ByteArena) -> Executed {
+        (**self).execute(body, read_only, arena)
     }
     fn snapshot(&self) -> Bytes {
         (**self).snapshot()
@@ -74,12 +79,12 @@ pub struct EchoService {
 }
 
 impl Service for EchoService {
-    fn execute(&mut self, body: &[u8], read_only: bool) -> Executed {
+    fn execute(&mut self, body: &[u8], read_only: bool, arena: &mut ByteArena) -> Executed {
         if !read_only {
             self.writes += 1;
         }
         Executed {
-            reply: Bytes::copy_from_slice(body),
+            reply: arena.alloc(body),
             cost_ns: self.cost_ns,
         }
     }
@@ -99,22 +104,24 @@ mod tests {
 
     #[test]
     fn echo_reflects_body_and_counts_writes() {
+        let mut arena = ByteArena::new();
         let mut s = EchoService {
             cost_ns: 100,
             writes: 0,
         };
-        let r = s.execute(b"ping", false);
+        let r = s.execute(b"ping", false, &mut arena);
         assert_eq!(&r.reply[..], b"ping");
         assert_eq!(r.cost_ns, 100);
-        s.execute(b"ro", true);
+        s.execute(b"ro", true, &mut arena);
         assert_eq!(s.writes, 1, "read-only ops do not count as writes");
     }
 
     #[test]
     fn echo_snapshot_round_trips() {
+        let mut arena = ByteArena::new();
         let mut a = EchoService::default();
-        a.execute(b"w", false);
-        a.execute(b"w", false);
+        a.execute(b"w", false, &mut arena);
+        a.execute(b"w", false, &mut arena);
         let snap = a.snapshot();
         let mut b = EchoService::default();
         b.restore(&snap);

@@ -59,6 +59,7 @@ struct Cluster {
     responses: Vec<(ReqId, Bytes)>,
     nacks: u64,
     alloc: ReqIdAlloc,
+    arena: bytes::ByteArena,
 }
 
 impl Cluster {
@@ -86,6 +87,7 @@ impl Cluster {
             responses: Vec::new(),
             nacks: 0,
             alloc: ReqIdAlloc::new(CLIENT, 1000),
+            arena: bytes::ByteArena::new(),
         }
     }
 
@@ -96,7 +98,13 @@ impl Cluster {
                 Output::Execute { index, .. } => {
                     // Logical harness: app work completes instantly and in
                     // order.
-                    let outs = self.nodes[node as usize].on_exec_done(index, self.now);
+                    let mut outs = Vec::new();
+                    self.nodes[node as usize].on_exec_done(
+                        index,
+                        self.now,
+                        &mut outs,
+                        &mut self.arena,
+                    );
                     self.handle_outputs(node, outs);
                 }
             }
@@ -110,7 +118,8 @@ impl Cluster {
         if (node as usize) < self.bus.rx.len() {
             self.bus.rx[node as usize] += 1;
         }
-        let outs = self.nodes[node as usize].on_message(src, msg, self.now);
+        let mut outs = Vec::new();
+        self.nodes[node as usize].on_message(src, msg, self.now, &mut outs, &mut self.arena);
         self.handle_outputs(node, outs);
     }
 
@@ -120,7 +129,8 @@ impl Cluster {
             if !self.alive[id] {
                 continue;
             }
-            let outs = self.nodes[id].tick(self.now);
+            let mut outs = Vec::new();
+            self.nodes[id].tick(self.now, &mut outs, &mut self.arena);
             self.handle_outputs(id as u32, outs);
         }
         let mut due = Vec::new();
@@ -585,6 +595,7 @@ fn drained_only_take_snapshot_fallback_edges() {
     rc.seed = 11;
     let cfg = HcConfig::new(rc, Mode::Hovercraft);
     let mut node = HcNode::new(cfg, EchoService::default(), 0);
+    let mut arena = bytes::ByteArena::new();
 
     // Edge: empty log, nothing applied. No snapshot, no boundary change.
     node.take_snapshot(0);
@@ -605,7 +616,8 @@ fn drained_only_take_snapshot_fallback_edges() {
     }
     while !node.is_leader() {
         now += 1_000_000;
-        let outs = node.tick(now);
+        let mut outs = Vec::new();
+        node.tick(now, &mut outs, &mut arena);
         park(outs, &mut execs);
         assert!(now < 10_000_000_000, "single node must elect itself");
     }
@@ -613,7 +625,8 @@ fn drained_only_take_snapshot_fallback_edges() {
     // Order one request but leave it executing on the app thread.
     let mut alloc = ReqIdAlloc::new(CLIENT, 500);
     let id = alloc.allocate();
-    let outs = node.on_message(
+    let mut outs = Vec::new();
+    node.on_message(
         CLIENT,
         WireMsg::Request {
             id,
@@ -621,6 +634,8 @@ fn drained_only_take_snapshot_fallback_edges() {
             body: Bytes::from_static(b"snap-edge"),
         },
         now,
+        &mut outs,
+        &mut arena,
     );
     park(outs, &mut execs);
     assert_eq!(execs, vec![1], "the request is issued to the app thread");
@@ -634,7 +649,8 @@ fn drained_only_take_snapshot_fallback_edges() {
     assert_eq!(node.stats().snapshots, 0);
 
     // Drain, then the fallback works at the applied index.
-    let outs = node.on_exec_done(1, now);
+    let mut outs = Vec::new();
+    node.on_exec_done(1, now, &mut outs, &mut arena);
     park(outs, &mut execs);
     assert_eq!(node.applied_index(), 1);
     node.take_snapshot(now);
@@ -654,7 +670,8 @@ fn drained_only_take_snapshot_fallback_edges() {
     // One more entry, drain, snapshot again: a fresh boundary one entry
     // past the old one (horizons may be arbitrarily close).
     let id2 = alloc.allocate();
-    let outs = node.on_message(
+    let mut outs = Vec::new();
+    node.on_message(
         CLIENT,
         WireMsg::Request {
             id: id2,
@@ -662,9 +679,12 @@ fn drained_only_take_snapshot_fallback_edges() {
             body: Bytes::from_static(b"snap-edge-2"),
         },
         now,
+        &mut outs,
+        &mut arena,
     );
     park(outs, &mut execs);
-    let outs = node.on_exec_done(2, now);
+    let mut outs = Vec::new();
+    node.on_exec_done(2, now, &mut outs, &mut arena);
     park(outs, &mut execs);
     node.take_snapshot(now);
     assert_eq!(node.snapshot_index(), 2, "back-to-back horizon advances");

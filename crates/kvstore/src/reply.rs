@@ -1,6 +1,6 @@
 //! Replies and their wire encoding.
 
-use bytes::{BufMut, Bytes, BytesMut};
+use bytes::{BufMut, ByteArena, Bytes, BytesMut};
 
 /// A command's result.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -30,6 +30,62 @@ impl Reply {
         let mut b = BytesMut::with_capacity(16);
         self.encode_into(&mut b);
         b.freeze()
+    }
+
+    /// Exact wire size of [`Reply::encode`]'s output.
+    pub fn encoded_len(&self) -> usize {
+        match self {
+            Reply::Ok | Reply::Nil => 1,
+            Reply::Int(_) => 1 + 8,
+            Reply::Bulk(body) => 1 + 4 + body.len(),
+            Reply::Array(items) => 1 + 4 + items.iter().map(Reply::encoded_len).sum::<usize>(),
+            Reply::Err(msg) => 1 + 4 + msg.len(),
+        }
+    }
+
+    /// [`Reply::encode`], but written directly into a pooled buffer from
+    /// `arena` — no staging `Vec`, no per-reply heap allocation once the
+    /// pool is warm. Output is byte-identical to `encode`.
+    pub fn encode_in(&self, arena: &mut ByteArena) -> Bytes {
+        let len = self.encoded_len();
+        arena.alloc_with(len, |buf| {
+            let mut cur = buf;
+            self.encode_into_slice(&mut cur);
+            debug_assert!(cur.is_empty(), "encoded_len mismatch");
+        })
+    }
+
+    fn encode_into_slice(&self, out: &mut &mut [u8]) {
+        fn put(out: &mut &mut [u8], src: &[u8]) {
+            let (head, tail) = std::mem::take(out).split_at_mut(src.len());
+            head.copy_from_slice(src);
+            *out = tail;
+        }
+        match self {
+            Reply::Ok => put(out, b"+"),
+            Reply::Nil => put(out, b"_"),
+            Reply::Int(i) => {
+                put(out, b":");
+                put(out, &i.to_be_bytes());
+            }
+            Reply::Bulk(body) => {
+                put(out, b"$");
+                put(out, &(body.len() as u32).to_be_bytes());
+                put(out, body);
+            }
+            Reply::Array(items) => {
+                put(out, b"*");
+                put(out, &(items.len() as u32).to_be_bytes());
+                for it in items {
+                    it.encode_into_slice(out);
+                }
+            }
+            Reply::Err(msg) => {
+                put(out, b"-");
+                put(out, &(msg.len() as u32).to_be_bytes());
+                put(out, msg.as_bytes());
+            }
+        }
     }
 
     fn encode_into(&self, b: &mut BytesMut) {
@@ -125,6 +181,31 @@ mod tests {
         for r in replies {
             assert_eq!(Reply::decode(&r.encode()), Some(r.clone()), "{r:?}");
         }
+    }
+
+    #[test]
+    fn pooled_encode_matches_vec_encode() {
+        let mut arena = ByteArena::new();
+        let replies = vec![
+            Reply::Ok,
+            Reply::Nil,
+            Reply::Int(i64::MIN),
+            Reply::Bulk(Bytes::from_static(b"payload")),
+            Reply::Err("ERR oops".to_string()),
+            Reply::Array(vec![
+                Reply::Bulk(Bytes::from_static(b"nested")),
+                Reply::Array(vec![Reply::Int(1), Reply::Ok]),
+            ]),
+        ];
+        for r in &replies {
+            let fresh = r.encode();
+            assert_eq!(r.encoded_len(), fresh.len(), "{r:?}");
+            // Twice, so the second pass exercises a recycled buffer.
+            for _ in 0..2 {
+                assert_eq!(r.encode_in(&mut arena), fresh, "{r:?}");
+            }
+        }
+        assert!(arena.hits() > 0, "second passes must recycle");
     }
 
     #[test]

@@ -49,7 +49,7 @@ impl KvService {
 }
 
 impl Service for KvService {
-    fn execute(&mut self, body: &[u8], read_only: bool) -> Executed {
+    fn execute(&mut self, body: &[u8], read_only: bool, arena: &mut bytes::ByteArena) -> Executed {
         match Command::decode(body) {
             Ok(cmd) => {
                 debug_assert!(
@@ -58,14 +58,14 @@ impl Service for KvService {
                 );
                 let (reply, metrics) = self.store.execute(&cmd);
                 Executed {
-                    reply: reply.encode(),
+                    reply: reply.encode_in(arena),
                     cost_ns: self.cost.cost_ns(&metrics),
                 }
             }
             Err(e) => {
                 self.decode_errors += 1;
                 Executed {
-                    reply: Reply::Err(format!("ERR {e}")).encode(),
+                    reply: Reply::Err(format!("ERR {e}")).encode_in(arena),
                     cost_ns: 500,
                 }
             }
@@ -92,20 +92,22 @@ mod tests {
 
     #[test]
     fn executes_encoded_commands() {
+        let mut arena = bytes::ByteArena::new();
         let mut svc = KvService::default();
         let set = Command::Set(b("k"), b("v")).encode();
-        let r = svc.execute(&set, false);
+        let r = svc.execute(&set, false, &mut arena);
         assert_eq!(Reply::decode(&r.reply), Some(Reply::Ok));
         assert!(r.cost_ns > 0);
         let get = Command::Get(b("k")).encode();
-        let r = svc.execute(&get, true);
+        let r = svc.execute(&get, true, &mut arena);
         assert_eq!(Reply::decode(&r.reply), Some(Reply::Bulk(b("v"))));
     }
 
     #[test]
     fn decode_errors_are_reported_not_fatal() {
+        let mut arena = bytes::ByteArena::new();
         let mut svc = KvService::default();
-        let r = svc.execute(&[0xff, 0x00], false);
+        let r = svc.execute(&[0xff, 0x00], false, &mut arena);
         assert!(Reply::decode(&r.reply).unwrap().is_err());
         assert_eq!(svc.decode_errors, 1);
     }
@@ -113,28 +115,34 @@ mod tests {
     #[test]
     fn service_snapshot_round_trips_through_trait() {
         use hovercraft::Service as _;
+        let mut arena = bytes::ByteArena::new();
         let mut a = KvService::default();
-        a.execute(&Command::Set(b("k"), b("v")).encode(), false);
-        a.execute(&Command::SAdd(b("s"), b("m")).encode(), false);
+        a.execute(&Command::Set(b("k"), b("v")).encode(), false, &mut arena);
+        a.execute(&Command::SAdd(b("s"), b("m")).encode(), false, &mut arena);
         let snap = a.snapshot();
         let mut restored = KvService::default();
         restored.restore(&snap);
-        let r = restored.execute(&Command::Get(b("k")).encode(), true);
+        let r = restored.execute(&Command::Get(b("k")).encode(), true, &mut arena);
         assert_eq!(Reply::decode(&r.reply), Some(Reply::Bulk(b("v"))));
         assert_eq!(restored.snapshot(), snap, "deterministic re-encode");
     }
 
     #[test]
     fn scan_cost_exceeds_point_read_cost() {
+        let mut arena = bytes::ByteArena::new();
         let mut svc = KvService::default();
         for i in 0..20 {
             let key = format!("user{i:04}");
             let rec = vec![0u8; 1000];
             let cmd = Command::Insert(b("t"), b(&key), Bytes::from(rec)).encode();
-            svc.execute(&cmd, false);
+            svc.execute(&cmd, false, &mut arena);
         }
-        let scan = svc.execute(&Command::Scan(b("t"), b("user0000"), 10).encode(), true);
-        let get = svc.execute(&Command::Exists(b("t/user0000")).encode(), true);
+        let scan = svc.execute(
+            &Command::Scan(b("t"), b("user0000"), 10).encode(),
+            true,
+            &mut arena,
+        );
+        let get = svc.execute(&Command::Exists(b("t/user0000")).encode(), true, &mut arena);
         assert!(scan.cost_ns > 3 * get.cost_ns);
     }
 }

@@ -25,12 +25,25 @@
 
 use std::fmt;
 
-use bytes::Bytes;
+use bytes::{ByteArena, Bytes};
 use hovercraft::{Aggregator, DurableState, EchoService, HcNode, Mode, OpKind, Output, WireMsg};
 use r2p2::ReqId;
 use testbed::invariants::predicates::{self, Mutation, ReplierStep};
 
 use crate::scope::{Scope, AGG_ADDR, CLIENT_ADDR, N_NODES, TICK_QUANTUM};
+
+// Node entry points want the world's buffer arena; the checker has no world,
+// and `ModelState` must stay a cheap Clone (the explorer stores millions).
+// One per-thread scratch arena serves every transition instead — replies are
+// tiny EchoService bodies, and determinism does not depend on pooling.
+thread_local! {
+    static SCRATCH_ARENA: std::cell::RefCell<ByteArena> =
+        std::cell::RefCell::new(ByteArena::new());
+}
+
+fn with_arena<R>(f: impl FnOnce(&mut ByteArena) -> R) -> R {
+    SCRATCH_ARENA.with(|a| f(&mut a.borrow_mut()))
+}
 
 /// One schedulable step of the model.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -280,15 +293,21 @@ impl ModelState {
                 for n in 0..N_NODES as usize {
                     if self.nodes[n].is_some() {
                         let now = self.clock[n];
-                        let outs = self.nodes[n].as_mut().expect("live").on_message(
-                            CLIENT_ADDR,
-                            WireMsg::Request {
-                                id,
-                                kind,
-                                body: body.clone(),
-                            },
-                            now,
-                        );
+                        let outs = with_arena(|arena| {
+                            let mut outs = Vec::new();
+                            self.nodes[n].as_mut().expect("live").on_message(
+                                CLIENT_ADDR,
+                                WireMsg::Request {
+                                    id,
+                                    kind,
+                                    body: body.clone(),
+                                },
+                                now,
+                                &mut outs,
+                                arena,
+                            );
+                            outs
+                        });
                         self.run_outputs(n as u32, outs)?;
                     }
                 }
@@ -314,7 +333,14 @@ impl ModelState {
                 self.clock[n] += TICK_QUANTUM;
                 let now = self.clock[n];
                 if self.nodes[n].is_some() {
-                    let outs = self.nodes[n].as_mut().expect("live").tick(now);
+                    let outs = with_arena(|arena| {
+                        let mut outs = Vec::new();
+                        self.nodes[n]
+                            .as_mut()
+                            .expect("live")
+                            .tick(now, &mut outs, arena);
+                        outs
+                    });
                     self.run_outputs(n as u32, outs)?;
                 }
                 let _ = mutation;
@@ -366,10 +392,14 @@ impl ModelState {
             return Ok(());
         }
         let now = self.clock[n];
-        let outs = self.nodes[n]
-            .as_mut()
-            .expect("live")
-            .on_message(env.src, env.msg, now);
+        let outs = with_arena(|arena| {
+            let mut outs = Vec::new();
+            self.nodes[n]
+                .as_mut()
+                .expect("live")
+                .on_message(env.src, env.msg, now, &mut outs, arena);
+            outs
+        });
         self.run_outputs(env.dst, outs)
     }
 
@@ -393,10 +423,14 @@ impl ModelState {
                 Output::Execute { index, .. } => {
                     let n = src as usize;
                     let now = self.clock[n];
-                    let more = self.nodes[n]
-                        .as_mut()
-                        .expect("executing node is live")
-                        .on_exec_done(index, now);
+                    let more = with_arena(|arena| {
+                        let mut more = Vec::new();
+                        self.nodes[n]
+                            .as_mut()
+                            .expect("executing node is live")
+                            .on_exec_done(index, now, &mut more, arena);
+                        more
+                    });
                     // FIFO: effects of this completion run before any
                     // later queued execution.
                     for (k, o) in more.into_iter().enumerate() {

@@ -774,7 +774,7 @@ mod tests {
 
     #[test]
     fn scope_tasks_can_borrow_env() {
-        let data = vec![1u64, 2, 3, 4];
+        let data = [1u64, 2, 3, 4];
         let sum = AtomicUsize::new(0);
         Pool::new(2).scope(|s| {
             for chunk in data.chunks(2) {

@@ -32,7 +32,7 @@ mod header;
 mod id;
 mod wire;
 
-pub use chunk::{packetize, Fragment, Reassembled, Reassembler};
+pub use chunk::{packetize, packetize_in, Fragment, Reassembled, Reassembler};
 pub use header::{Header, MsgType, Policy, FLAG_FIRST, FLAG_LAST, HEADER_LEN, MAGIC};
 pub use id::{body_hash, ReqId, ReqIdAlloc};
 pub use wire::{control_wire_size, msg_wire_size};

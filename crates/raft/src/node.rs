@@ -114,6 +114,9 @@ pub struct RaftNode<C> {
     /// When a valid AppendEntries from the current leader last arrived;
     /// Pre-Vote leader stickiness refuses probes while this is fresh.
     last_leader_contact: u64,
+    /// `cfg.peers()` precomputed: membership is fixed for a node's
+    /// lifetime, and the replication paths walk this every pump/heartbeat.
+    peer_ids: Vec<RaftId>,
     rng: SmallRng,
 }
 
@@ -130,6 +133,7 @@ impl<C: Clone + std::fmt::Debug> RaftNode<C> {
             } else {
                 rng.gen_range(cfg.election_timeout_min..cfg.election_timeout_max)
             };
+        let peer_ids: Vec<RaftId> = cfg.peers().collect();
         RaftNode {
             cfg,
             log: RaftLog::new(),
@@ -147,6 +151,7 @@ impl<C: Clone + std::fmt::Debug> RaftNode<C> {
             ceiling: LogIndex::MAX,
             announced: 0,
             last_leader_contact: 0,
+            peer_ids,
             rng,
         }
     }
@@ -467,15 +472,21 @@ impl<C: Clone + std::fmt::Debug> RaftNode<C> {
     /// on a leader (its commit comes from quorum accounting).
     pub fn observe_commit(&mut self, upto: LogIndex) -> Vec<Action<C>> {
         let mut out = Vec::new();
+        self.observe_commit_into(upto, &mut out);
+        out
+    }
+
+    /// [`RaftNode::observe_commit`] appending into a caller-owned buffer
+    /// (drivers on the hot path reuse one scratch `Vec` across calls).
+    pub fn observe_commit_into(&mut self, upto: LogIndex, out: &mut Vec<Action<C>>) {
         if self.is_leader() {
-            return out;
+            return;
         }
         let new = upto.min(self.log.last_index());
         if new > self.commit {
             self.commit = new;
             out.push(Action::Commit { upto: new });
         }
-        out
     }
 
     // ---- client interface --------------------------------------------------
@@ -497,21 +508,27 @@ impl<C: Clone + std::fmt::Debug> RaftNode<C> {
     /// and on a single-node cluster advances the commit index directly.
     pub fn pump(&mut self, now: u64) -> Vec<Action<C>> {
         let mut out = Vec::new();
+        self.pump_into(now, &mut out);
+        out
+    }
+
+    /// [`RaftNode::pump`] appending into a caller-owned buffer.
+    pub fn pump_into(&mut self, now: u64, out: &mut Vec<Action<C>>) {
         if !self.is_leader() {
-            return out;
+            return;
         }
         let target = self.log.last_index().min(self.ceiling);
-        for peer in self.cfg.peers().collect::<Vec<_>>() {
-            self.send_append(peer, target, false, &mut out);
+        for i in 0..self.peer_ids.len() {
+            let peer = self.peer_ids[i];
+            self.send_append(peer, target, false, out);
         }
         if target > self.announced {
             self.announced = target;
         }
         if self.cfg.cluster_size() == 1 {
-            self.maybe_commit(&mut out);
+            self.maybe_commit(out);
         }
         let _ = now;
-        out
     }
 
     // ---- time --------------------------------------------------------------
@@ -520,10 +537,16 @@ impl<C: Clone + std::fmt::Debug> RaftNode<C> {
     /// heartbeat interval.
     pub fn tick(&mut self, now: u64) -> Vec<Action<C>> {
         let mut out = Vec::new();
+        self.tick_into(now, &mut out);
+        out
+    }
+
+    /// [`RaftNode::tick`] appending into a caller-owned buffer.
+    pub fn tick_into(&mut self, now: u64, out: &mut Vec<Action<C>>) {
         match self.role {
             Role::Follower | Role::PreCandidate | Role::Candidate => {
                 if now >= self.election_deadline {
-                    self.start_election(now, &mut out);
+                    self.start_election(now, out);
                 }
             }
             Role::Leader => {
@@ -540,14 +563,15 @@ impl<C: Clone + std::fmt::Debug> RaftNode<C> {
                             .filter(|p| now.saturating_sub(p.last_heard) < grace)
                             .count();
                         if heard < self.cfg.quorum() {
-                            self.become_follower(self.term, None, now, &mut out);
-                            return out;
+                            self.become_follower(self.term, None, now, out);
+                            return;
                         }
                     }
                     self.heartbeat_due = now + self.cfg.heartbeat_interval;
                     let target = self.log.last_index().min(self.ceiling);
-                    for peer in self.cfg.peers().collect::<Vec<_>>() {
-                        self.send_append(peer, target, true, &mut out);
+                    for i in 0..self.peer_ids.len() {
+                        let peer = self.peer_ids[i];
+                        self.send_append(peer, target, true, out);
                     }
                     if target > self.announced {
                         self.announced = target;
@@ -555,7 +579,6 @@ impl<C: Clone + std::fmt::Debug> RaftNode<C> {
                 }
             }
         }
-        out
     }
 
     // ---- message handling ----------------------------------------------------
@@ -563,6 +586,12 @@ impl<C: Clone + std::fmt::Debug> RaftNode<C> {
     /// Processes one incoming message from `from`.
     pub fn step(&mut self, from: RaftId, msg: Message<C>, now: u64) -> Vec<Action<C>> {
         let mut out = Vec::new();
+        self.step_into(from, msg, now, &mut out);
+        out
+    }
+
+    /// [`RaftNode::step`] appending into a caller-owned buffer.
+    pub fn step_into(&mut self, from: RaftId, msg: Message<C>, now: u64, out: &mut Vec<Action<C>>) {
         // Pre-Vote traffic never adjusts terms: a probe's term is
         // speculative (the sender has not actually bumped its own), so the
         // generic "higher term ⇒ become follower" rule must not see it.
@@ -573,19 +602,12 @@ impl<C: Clone + std::fmt::Debug> RaftNode<C> {
                 last_log_index,
                 last_log_term,
             } => {
-                self.on_pre_vote(
-                    *term,
-                    *candidate,
-                    *last_log_index,
-                    *last_log_term,
-                    now,
-                    &mut out,
-                );
-                return out;
+                self.on_pre_vote(*term, *candidate, *last_log_index, *last_log_term, now, out);
+                return;
             }
             Message::PreVoteReply { term, granted } => {
-                self.on_pre_vote_reply(from, *term, *granted, now, &mut out);
-                return out;
+                self.on_pre_vote_reply(from, *term, *granted, now, out);
+                return;
             }
             _ => {}
         }
@@ -594,7 +616,7 @@ impl<C: Clone + std::fmt::Debug> RaftNode<C> {
                 Message::AppendEntries { leader, .. } => Some(*leader),
                 _ => None,
             };
-            self.become_follower(msg.term(), leader, now, &mut out);
+            self.become_follower(msg.term(), leader, now, out);
         }
         match msg {
             Message::RequestVote {
@@ -602,16 +624,9 @@ impl<C: Clone + std::fmt::Debug> RaftNode<C> {
                 candidate,
                 last_log_index,
                 last_log_term,
-            } => self.on_request_vote(
-                term,
-                candidate,
-                last_log_index,
-                last_log_term,
-                now,
-                &mut out,
-            ),
+            } => self.on_request_vote(term, candidate, last_log_index, last_log_term, now, out),
             Message::RequestVoteReply { term, granted } => {
-                self.on_vote_reply(from, term, granted, now, &mut out)
+                self.on_vote_reply(from, term, granted, now, out)
             }
             Message::AppendEntries {
                 term,
@@ -628,7 +643,7 @@ impl<C: Clone + std::fmt::Debug> RaftNode<C> {
                 entries,
                 leader_commit,
                 now,
-                &mut out,
+                out,
             ),
             Message::AppendEntriesReply {
                 term,
@@ -645,13 +660,12 @@ impl<C: Clone + std::fmt::Debug> RaftNode<C> {
                 conflict_index,
                 applied_index,
                 now,
-                &mut out,
+                out,
             ),
             Message::PreVote { .. } | Message::PreVoteReply { .. } => {
                 unreachable!("pre-vote traffic is routed before the term check")
             }
         }
-        out
     }
 
     // ---- internals -------------------------------------------------------
@@ -719,7 +733,8 @@ impl<C: Clone + std::fmt::Debug> RaftNode<C> {
             last_log_index: self.log.last_index(),
             last_log_term: self.log.last_term(),
         };
-        for peer in self.cfg.peers().collect::<Vec<_>>() {
+        for i in 0..self.peer_ids.len() {
+            let peer = self.peer_ids[i];
             out.push(Action::Send {
                 to: peer,
                 msg: msg.clone(),
@@ -750,7 +765,8 @@ impl<C: Clone + std::fmt::Debug> RaftNode<C> {
             last_log_index: self.log.last_index(),
             last_log_term: self.log.last_term(),
         };
-        for peer in self.cfg.peers().collect::<Vec<_>>() {
+        for i in 0..self.peer_ids.len() {
+            let peer = self.peer_ids[i];
             out.push(Action::Send {
                 to: peer,
                 msg: msg.clone(),
@@ -973,7 +989,8 @@ impl<C: Clone + std::fmt::Debug> RaftNode<C> {
         if self.votes >= self.cfg.quorum() {
             self.become_leader(now, out);
             // Announce immediately with empty appends.
-            for peer in self.cfg.peers().collect::<Vec<_>>() {
+            for i in 0..self.peer_ids.len() {
+                let peer = self.peer_ids[i];
                 self.send_append(peer, 0, true, out);
             }
             self.heartbeat_due = now + self.cfg.heartbeat_interval;
@@ -1158,7 +1175,8 @@ impl<C: Clone + std::fmt::Debug> RaftNode<C> {
                 // AppendEntries anyway, and forcing empty appends at high
                 // load would double the leader's packet rate.
                 let target = self.log.last_index().min(self.ceiling);
-                for peer in self.cfg.peers().collect::<Vec<_>>() {
+                for i in 0..self.peer_ids.len() {
+                    let peer = self.peer_ids[i];
                     let caught_up = self
                         .progress
                         .get(&peer)

@@ -19,6 +19,7 @@
 
 use std::any::Any;
 
+use bytes::ByteArena;
 use rand::rngs::SmallRng;
 
 use crate::packet::{Addr, NodeId, Packet};
@@ -75,6 +76,7 @@ pub struct Ctx<'a, M> {
     pub(crate) effects: &'a mut Vec<Effect<M>>,
     pub(crate) rng: &'a mut SmallRng,
     pub(crate) next_timer: &'a mut u64,
+    pub(crate) arena: &'a mut ByteArena,
 }
 
 impl<'a, M> Ctx<'a, M> {
@@ -100,6 +102,15 @@ impl<'a, M> Ctx<'a, M> {
     #[inline]
     pub fn rng(&mut self) -> &mut SmallRng {
         self.rng
+    }
+
+    /// The world's byte-buffer arena. Message bodies, framed payloads, and
+    /// service replies built through it recycle per-world chunks instead
+    /// of hitting the global allocator per packet (see
+    /// [`bytes::ByteArena`]).
+    #[inline]
+    pub fn arena(&mut self) -> &mut ByteArena {
+        self.arena
     }
 
     /// Transmits a message of `size` bytes to `dst` (a node or a multicast

@@ -28,6 +28,7 @@
 use std::collections::{BinaryHeap, VecDeque};
 use std::fmt::Debug;
 
+use bytes::ByteArena;
 use fxhash::{FxHashMap, FxHashSet};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -40,6 +41,7 @@ use crate::params::{FabricParams, NicParams};
 use crate::switch::{GroupTable, SwitchEmit, SwitchProgram, Verdict};
 use crate::time::{SimDur, SimTime};
 use crate::trace::Tracer;
+use crate::wheel::TimerWheel;
 
 /// Predicate deciding whether a particular delivered copy is dropped;
 /// used by tests to inject targeted, deterministic loss.
@@ -111,18 +113,32 @@ impl Ord for Scheduled {
 }
 
 /// Slab storage for scheduled events: stable `u32` slots handed to the
-/// heap, with freed slots recycled LIFO. Grows but never shrinks — at a
-/// steady state the event loop allocates nothing per event.
+/// scheduler, with freed slots recycled LIFO. At a steady state the event
+/// loop allocates nothing per event; after a burst subsides, capacity is
+/// reclaimed (see [`EventSlab::maybe_shrink`]) instead of being
+/// high-watermarked for the rest of the run.
 struct EventSlab<M> {
     slots: Vec<Option<Ev<M>>>,
     free: Vec<u32>,
+    /// Free-list length at which the next shrink attempt triggers; bumped
+    /// past the current length after every attempt so attempts stay at
+    /// least [`SLAB_SHRINK_MIN`] removals apart. A failed attempt (live
+    /// slot pinning the tail) costs O(1): the tail scan starts from the
+    /// end and stops at the first live slot.
+    next_shrink: usize,
 }
+
+/// Free-list length below which shrinking is never attempted.
+const SLAB_SHRINK_MIN: usize = 8192;
+/// Slot count a shrunken slab keeps, mirroring the initial capacity.
+const SLAB_FLOOR: usize = 256;
 
 impl<M> EventSlab<M> {
     fn new() -> Self {
         EventSlab {
-            slots: Vec::with_capacity(256),
-            free: Vec::with_capacity(256),
+            slots: Vec::with_capacity(SLAB_FLOOR),
+            free: Vec::with_capacity(SLAB_FLOOR),
+            next_shrink: SLAB_SHRINK_MIN,
         }
     }
 
@@ -146,8 +162,71 @@ impl<M> EventSlab<M> {
     fn remove(&mut self, slot: u32) -> Ev<M> {
         let ev = self.slots[slot as usize].take().expect("live slab slot");
         self.free.push(slot);
+        // Two triggers: mostly-free (≥ 7/8) past the rate-limit threshold,
+        // or a large slab going *completely* idle — the moment a
+        // same-instant storm has fully drained, which threshold crossings
+        // can miss when the storm's tail slots are the last ones freed.
+        let free = self.free.len();
+        if (free >= self.next_shrink && free * 8 >= self.slots.len() * 7)
+            || (free == self.slots.len() && free >= SLAB_SHRINK_MIN)
+        {
+            self.maybe_shrink();
+        }
         ev
     }
+
+    /// Releases capacity after a same-instant storm: once ≥ 7/8 of a
+    /// large slab is free, truncate the all-free tail, drop the stale free
+    /// entries, and return the backing memory. Slots below the last live
+    /// one cannot move (the scheduler holds their indices), so a pinned
+    /// tail makes this a no-op — the doubled `next_shrink` then backs off
+    /// exponentially.
+    fn maybe_shrink(&mut self) {
+        let tail = self
+            .slots
+            .iter()
+            .rposition(|s| s.is_some())
+            .map_or(0, |i| i + 1);
+        let new_len = tail.max(SLAB_FLOOR);
+        if new_len * 2 <= self.slots.len() {
+            self.slots.truncate(new_len);
+            self.slots.shrink_to_fit();
+            self.free.retain(|&s| (s as usize) < new_len);
+            self.free.shrink_to_fit();
+        }
+        self.next_shrink = self.free.len() + SLAB_SHRINK_MIN;
+    }
+}
+
+/// Which ordering structure schedules future events.
+///
+/// Both produce the identical `(time, seq)` dispatch order — the
+/// determinism digests are bit-equal under either — so the choice is pure
+/// performance. The wheel is the default; the heap remains selectable
+/// (`HC_SCHED=heap`) as the reference implementation for equivalence
+/// checks.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum SchedulerKind {
+    /// Hierarchical timer wheel ([`TimerWheel`]): O(1) amortized.
+    #[default]
+    Wheel,
+    /// `BinaryHeap` ordered by `(time, seq)`: O(log n), the original.
+    Heap,
+}
+
+impl SchedulerKind {
+    /// Reads `HC_SCHED` (`wheel` | `heap`), defaulting to the wheel.
+    fn from_env() -> SchedulerKind {
+        match std::env::var("HC_SCHED").as_deref() {
+            Ok("heap") => SchedulerKind::Heap,
+            _ => SchedulerKind::Wheel,
+        }
+    }
+}
+
+enum EventQueue {
+    Heap(BinaryHeap<Scheduled>),
+    Wheel(TimerWheel),
 }
 
 struct AppState {
@@ -194,7 +273,7 @@ pub struct Sim<M> {
     nodes: Vec<NodeSlot<M>>,
     groups: GroupTable,
     programs: Vec<Box<dyn SwitchProgram<M>>>,
-    queue: BinaryHeap<Scheduled>,
+    queue: EventQueue,
     /// Event payloads, indexed by the heap/bucket slot.
     slab: EventSlab<M>,
     /// Events scheduled for exactly the current instant, kept out of the
@@ -215,13 +294,25 @@ pub struct Sim<M> {
     link_faults: Vec<LinkFault>,
     restart_hook: Option<RestartHook<M>>,
     tracer: Option<Tracer>,
+    /// Per-world buffer pool handed to agents via [`Ctx::arena`]; message
+    /// bodies built through it recycle chunks instead of allocating.
+    arena: ByteArena,
     seed: u64,
 }
 
 impl<M: Clone + Debug + 'static> Sim<M> {
     /// Creates an empty simulation with the given fabric parameters and
     /// master seed. All per-node RNGs derive deterministically from the seed.
+    /// The event scheduler defaults to the timer wheel; set `HC_SCHED=heap`
+    /// to select the reference binary heap (identical dispatch order).
     pub fn new(fabric: FabricParams, seed: u64) -> Self {
+        Self::new_with_scheduler(fabric, seed, SchedulerKind::from_env())
+    }
+
+    /// Like [`Sim::new`] with an explicit scheduler choice, ignoring the
+    /// `HC_SCHED` environment variable (used by equivalence tests that
+    /// run both schedulers in one process).
+    pub fn new_with_scheduler(fabric: FabricParams, seed: u64, sched: SchedulerKind) -> Self {
         Sim {
             now: SimTime::ZERO,
             seq: 0,
@@ -230,7 +321,10 @@ impl<M: Clone + Debug + 'static> Sim<M> {
             nodes: Vec::new(),
             groups: GroupTable::default(),
             programs: Vec::new(),
-            queue: BinaryHeap::with_capacity(1024),
+            queue: match sched {
+                SchedulerKind::Heap => EventQueue::Heap(BinaryHeap::with_capacity(1024)),
+                SchedulerKind::Wheel => EventQueue::Wheel(TimerWheel::new()),
+            },
             slab: EventSlab::new(),
             now_bucket: VecDeque::with_capacity(64),
             emit_scratch: Vec::new(),
@@ -241,6 +335,7 @@ impl<M: Clone + Debug + 'static> Sim<M> {
             link_faults: Vec::new(),
             restart_hook: None,
             tracer: None,
+            arena: ByteArena::new(),
             seed,
         }
     }
@@ -422,6 +517,13 @@ impl<M: Clone + Debug + 'static> Sim<M> {
         self.processed
     }
 
+    /// The world's byte-buffer arena, for allocations made outside agent
+    /// callbacks (preloading, scripted injection). Agents use
+    /// [`Ctx::arena`].
+    pub fn arena_mut(&mut self) -> &mut ByteArena {
+        &mut self.arena
+    }
+
     /// Number of nodes added so far.
     pub fn num_nodes(&self) -> usize {
         self.nodes.len()
@@ -506,42 +608,96 @@ impl<M: Clone + Debug + 'static> Sim<M> {
         self.seq += 1;
         let slot = self.slab.insert(ev);
         if at == self.now {
-            // Same-instant follow-on event: FIFO bucket, no heap traffic.
-            // Seqs are assigned monotonically, so bucket order *is*
-            // (at, seq) order for this instant.
+            // Same-instant follow-on event: FIFO bucket, no scheduler
+            // traffic. Seqs are assigned monotonically, so bucket order
+            // *is* (at, seq) order for this instant.
             self.now_bucket.push_back((seq, slot));
         } else {
-            self.queue.push(Scheduled { at, seq, slot });
+            match &mut self.queue {
+                EventQueue::Heap(h) => h.push(Scheduled { at, seq, slot }),
+                EventQueue::Wheel(w) => w.insert(at.as_nanos(), seq, slot),
+            }
         }
     }
 
     /// Pops the globally earliest `(at, seq)` event at or before `limit`,
-    /// merging the heap with the exact-now bucket. The bucket drains fully
-    /// before time can advance (its entries sort before any strictly later
-    /// heap entry), preserving the single-queue dispatch order exactly.
+    /// merging the scheduler with the exact-now bucket. The bucket drains
+    /// fully before time can advance (its entries sort before any strictly
+    /// later scheduler entry), preserving the single-queue dispatch order
+    /// exactly.
     fn pop_next(&mut self, limit: SimTime) -> Option<(SimTime, u32)> {
-        let heap_key = self.queue.peek().map(|s| (s.at, s.seq));
-        let bucket_key = self.now_bucket.front().map(|&(seq, _)| (self.now, seq));
-        let take_bucket = match (heap_key, bucket_key) {
-            (None, None) => return None,
-            (Some(_), None) => false,
-            (None, Some(_)) => true,
-            (Some(h), Some(b)) => b < h,
-        };
-        if take_bucket {
-            // Bucket entries are stamped `now <= limit` by construction.
-            let (_, slot) = self.now_bucket.pop_front().expect("checked front");
-            crate::profile::note_sched_op();
-            Some((self.now, slot))
-        } else {
-            let head = *self.queue.peek().expect("checked peek");
-            if head.at > limit {
-                return None;
+        match &mut self.queue {
+            EventQueue::Heap(h) => {
+                let heap_key = h.peek().map(|s| (s.at, s.seq));
+                let bucket_key = self.now_bucket.front().map(|&(seq, _)| (self.now, seq));
+                let take_bucket = match (heap_key, bucket_key) {
+                    (None, None) => return None,
+                    (Some(_), None) => false,
+                    (None, Some(_)) => true,
+                    (Some(hk), Some(b)) => b < hk,
+                };
+                if take_bucket {
+                    // Bucket entries are stamped `now <= limit` by
+                    // construction.
+                    let (_, slot) = self.now_bucket.pop_front().expect("checked front");
+                    crate::profile::note_sched_op();
+                    Self::maybe_shrink_bucket(&mut self.now_bucket);
+                    Some((self.now, slot))
+                } else {
+                    let head = *h.peek().expect("checked peek");
+                    if head.at > limit {
+                        return None;
+                    }
+                    h.pop();
+                    crate::profile::note_sched_op();
+                    Some((head.at, head.slot))
+                }
             }
-            self.queue.pop();
-            crate::profile::note_sched_op();
-            Some((head.at, head.slot))
+            EventQueue::Wheel(w) => {
+                // Mid-instant wheel entries precede everything: they share
+                // the current instant with any bucket entries but carry
+                // strictly smaller seqs (they were scheduled before time
+                // reached this instant; bucket entries are scheduled *at*
+                // it). Otherwise the bucket wins — once time has advanced
+                // to `now`, the wheel holds nothing at or before `now`
+                // (the drain that advanced time took the whole instant).
+                if w.mid_instant() {
+                    let (at, _seq, slot) = w.pop_next(limit.as_nanos()).expect("mid-instant");
+                    crate::profile::note_sched_op();
+                    debug_assert_eq!(at, self.now.as_nanos());
+                    return Some((self.now, slot));
+                }
+                if let Some((_, slot)) = self.now_bucket.pop_front() {
+                    crate::profile::note_sched_op();
+                    Self::maybe_shrink_bucket(&mut self.now_bucket);
+                    return Some((self.now, slot));
+                }
+                let (at, _seq, slot) = w.pop_next(limit.as_nanos())?;
+                crate::profile::note_sched_op();
+                Some((SimTime::from_nanos(at), slot))
+            }
         }
+    }
+
+    /// Releases `now_bucket` capacity once a same-instant storm has fully
+    /// drained (cheap: one capacity compare per empty transition).
+    #[inline]
+    fn maybe_shrink_bucket(bucket: &mut VecDeque<(u64, u32)>) {
+        if bucket.is_empty() && bucket.capacity() > 4096 {
+            bucket.shrink_to(64);
+        }
+    }
+
+    /// Capacity diagnostics of the event storage: `(slab_slots, slab_free,
+    /// now_bucket_capacity)`. Exposed so capacity-reclamation regression
+    /// tests can observe that burst storage is returned, not
+    /// high-watermarked.
+    pub fn sched_footprint(&self) -> (usize, usize, usize) {
+        (
+            self.slab.slots.capacity(),
+            self.slab.free.len(),
+            self.now_bucket.capacity(),
+        )
     }
 
     fn dispatch(&mut self, ev: Ev<M>) {
@@ -728,6 +884,7 @@ impl<M: Clone + Debug + 'static> Sim<M> {
                 effects: &mut effects,
                 rng: &mut slot.rng,
                 next_timer: &mut slot.next_timer,
+                arena: &mut self.arena,
             };
             f(agent.as_mut(), &mut ctx);
         }

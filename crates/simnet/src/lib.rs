@@ -69,10 +69,11 @@ mod profile;
 mod switch;
 mod time;
 mod trace;
+mod wheel;
 
 pub use agent::{Agent, Ctx, ThreadClass, TimerId};
 pub use counters::Counters;
-pub use engine::{DropFilter, RestartHook, Sim};
+pub use engine::{DropFilter, RestartHook, SchedulerKind, Sim};
 pub use fault::{FaultCmd, FaultPlan, FaultPlanConfig, LinkFault};
 pub use packet::{Addr, NodeId, Packet};
 pub use params::{FabricParams, NicParams};
@@ -80,3 +81,4 @@ pub use profile::{CountingAlloc, ProfileSnapshot, SpinGuard, SpinLock};
 pub use switch::{GroupTable, SwitchEmit, SwitchProgram, Verdict};
 pub use time::{SimDur, SimTime};
 pub use trace::{Detail, DetailFn, TraceEvent, Tracer, DEFAULT_TRACE_CAP};
+pub use wheel::TimerWheel;

@@ -35,6 +35,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 thread_local! {
     static TRACER_LOCKS: Cell<u64> = const { Cell::new(0) };
     static SCHED_OPS: Cell<u64> = const { Cell::new(0) };
+    static WHEEL_CASCADES: Cell<u64> = const { Cell::new(0) };
     static ALLOC_CALLS: Cell<u64> = const { Cell::new(0) };
     static ALLOC_BYTES: Cell<u64> = const { Cell::new(0) };
 }
@@ -46,6 +47,11 @@ pub struct ProfileSnapshot {
     pub tracer_locks: u64,
     /// Engine event-queue operations (pushes + pops) on this thread.
     pub sched_ops: u64,
+    /// Timer-wheel cascade entry moves on this thread: each count is one
+    /// pending event redistributed from an overflow level toward the near
+    /// wheel. The ratio `wheel_cascades / sched_ops` says how often the
+    /// workload's delays outrun the near wheel's horizon.
+    pub wheel_cascades: u64,
     /// Global-allocator calls (alloc / realloc / alloc_zeroed) on this
     /// thread. Zero unless the binary installs [`CountingAlloc`].
     pub alloc_calls: u64,
@@ -60,6 +66,7 @@ impl ProfileSnapshot {
         ProfileSnapshot {
             tracer_locks: TRACER_LOCKS.with(Cell::get),
             sched_ops: SCHED_OPS.with(Cell::get),
+            wheel_cascades: WHEEL_CASCADES.with(Cell::get),
             alloc_calls: ALLOC_CALLS.with(Cell::get),
             alloc_bytes: ALLOC_BYTES.with(Cell::get),
         }
@@ -71,6 +78,7 @@ impl ProfileSnapshot {
         ProfileSnapshot {
             tracer_locks: self.tracer_locks - earlier.tracer_locks,
             sched_ops: self.sched_ops - earlier.sched_ops,
+            wheel_cascades: self.wheel_cascades - earlier.wheel_cascades,
             alloc_calls: self.alloc_calls - earlier.alloc_calls,
             alloc_bytes: self.alloc_bytes - earlier.alloc_bytes,
         }
@@ -81,6 +89,7 @@ impl ProfileSnapshot {
     pub fn accumulate(&mut self, other: &ProfileSnapshot) {
         self.tracer_locks += other.tracer_locks;
         self.sched_ops += other.sched_ops;
+        self.wheel_cascades += other.wheel_cascades;
         self.alloc_calls += other.alloc_calls;
         self.alloc_bytes += other.alloc_bytes;
     }
@@ -96,6 +105,13 @@ pub(crate) fn note_tracer_lock() {
 #[inline]
 pub(crate) fn note_sched_op() {
     let _ = SCHED_OPS.try_with(|c| c.set(c.get() + 1));
+}
+
+/// Counts `n` timer-wheel cascade entry moves (one per pending event
+/// redistributed from an overflow level toward the near wheel).
+#[inline]
+pub(crate) fn note_wheel_cascades(n: u64) {
+    let _ = WHEEL_CASCADES.try_with(|c| c.set(c.get() + n));
 }
 
 /// Global allocator wrapper that counts calls and bytes per thread, then

@@ -24,6 +24,13 @@ impl SimTime {
     /// The largest representable instant; used as an "infinitely far" sentinel.
     pub const MAX: SimTime = SimTime(u64::MAX);
 
+    /// The instant `n` nanoseconds after the epoch (inverse of
+    /// [`SimTime::as_nanos`]).
+    #[inline]
+    pub const fn from_nanos(n: u64) -> SimTime {
+        SimTime(n)
+    }
+
     /// Returns the raw nanosecond count.
     #[inline]
     pub fn as_nanos(self) -> u64 {

@@ -5,8 +5,8 @@
 use std::any::Any;
 
 use simnet::{
-    Addr, Agent, Ctx, FabricParams, FaultCmd, LinkFault, NicParams, Packet, Sim, SimDur, SimTime,
-    SwitchEmit, SwitchProgram, ThreadClass, TimerId, Verdict,
+    Addr, Agent, Ctx, FabricParams, FaultCmd, LinkFault, NicParams, Packet, SchedulerKind, Sim,
+    SimDur, SimTime, SwitchEmit, SwitchProgram, ThreadClass, TimerId, Verdict,
 };
 
 #[derive(Clone, Debug, PartialEq)]
@@ -673,5 +673,191 @@ fn delay_link_fault_slows_matching_copies() {
     assert!(
         rtt >= SimDur::micros(300),
         "spike must slow the request: {rtt}"
+    );
+}
+
+/// Arms a huge batch of timers all expiring at the same instant, then goes
+/// quiet — the same-instant storm shape that used to high-watermark the
+/// event slab's free list forever.
+struct TimerStorm {
+    timers: u64,
+    fired: u64,
+}
+impl Agent<Msg> for TimerStorm {
+    fn on_packet(&mut self, _pkt: Packet<Msg>, _ctx: &mut Ctx<'_, Msg>) {}
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        for _ in 0..self.timers {
+            ctx.set_timer(SimDur::millis(1), 0);
+        }
+    }
+    fn on_timer(&mut self, _id: TimerId, _kind: u64, _ctx: &mut Ctx<'_, Msg>) {
+        self.fired += 1;
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[test]
+fn slab_capacity_is_reclaimed_after_a_same_instant_burst() {
+    const STORM: u64 = 1_000_000;
+    let mut sim = Sim::new(FabricParams::default(), 11);
+    let n = sim.add_node(Box::new(TimerStorm {
+        timers: STORM,
+        fired: 0,
+    }));
+    sim.run_for(SimDur::millis(2));
+    assert_eq!(sim.agent::<TimerStorm>(n).fired, STORM);
+    let (slab_cap, free, bucket_cap) = sim.sched_footprint();
+    assert!(
+        slab_cap < STORM as usize / 64,
+        "slab capacity {slab_cap} still holds the 10^6-event burst"
+    );
+    assert!(free <= slab_cap, "free list {free} exceeds slab {slab_cap}");
+    assert!(
+        bucket_cap <= 4096,
+        "now-bucket capacity {bucket_cap} not reclaimed"
+    );
+    // The engine must stay fully usable after the shrink: run a normal
+    // request/reply exchange through the compacted structures.
+    let server = sim.add_node(Box::new(Echo));
+    let c = sim.add_node(Box::new(Pinger::new(
+        Addr::node(server),
+        16,
+        64,
+        SimDur::micros(5),
+    )));
+    sim.run_for(SimDur::millis(2));
+    assert_eq!(sim.agent::<Pinger>(c).replies.len(), 16);
+}
+
+// ---- timer-wheel scheduler behavior (engine level) -------------------------
+
+/// The wheel and the heap are interchangeable schedulers: an identical
+/// world driven under both must produce identical deliveries at identical
+/// instants, event for event. (The chaos-digest CI gate checks the same
+/// property on the full protocol stack; this is the minimal engine-level
+/// version that a scheduler regression would hit first.)
+#[test]
+fn wheel_and_heap_engines_replay_identically() {
+    let run = |sched: SchedulerKind| {
+        let mut s = Sim::new_with_scheduler(FabricParams::default(), 42, sched);
+        let server = s.add_node(Box::new(Echo));
+        // Mixed spacings: some pings land within one level-0 wheel window
+        // of each other, others force the origin across cascade boundaries.
+        let c1 = s.add_node(Box::new(Pinger::new(
+            Addr::node(server),
+            40,
+            200,
+            SimDur::nanos(700),
+        )));
+        let c2 = s.add_node(Box::new(Pinger::new(
+            Addr::node(server),
+            15,
+            1000,
+            SimDur::micros(90),
+        )));
+        s.run_for(SimDur::millis(3));
+        let mut replies = s.agent::<Pinger>(c1).replies.clone();
+        replies.extend(s.agent::<Pinger>(c2).replies.iter().copied());
+        (replies, s.events_processed())
+    };
+    assert_eq!(run(SchedulerKind::Wheel), run(SchedulerKind::Heap));
+}
+
+/// Cancelling a timer must stick even after the wheel has internally
+/// cascaded the entry between levels: the deadline sits several overflow
+/// levels up at arm time, and the cancel happens after enough virtual time
+/// has passed that the entry has been redistributed at least once.
+#[test]
+fn cancelled_timer_cancels_even_after_cascading() {
+    struct T {
+        victim: Option<TimerId>,
+        fired_kinds: Vec<u64>,
+    }
+    impl Agent<Msg> for T {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+            // 500 µs from origin: far above the wheel's near level, so the
+            // entry starts high and cascades as the origin advances.
+            self.victim = Some(ctx.set_timer(SimDur::micros(500), 1));
+            // Intermediate timers march the wheel origin across cascade
+            // boundaries while the victim is still pending.
+            for i in 0..8 {
+                ctx.set_timer(SimDur::micros(50 * (i + 1)), 10 + i);
+            }
+        }
+        fn on_timer(&mut self, _id: TimerId, kind: u64, ctx: &mut Ctx<'_, Msg>) {
+            assert_ne!(kind, 1, "cancelled timer fired");
+            self.fired_kinds.push(kind);
+            // Cancel at the second-to-last intermediate (400 µs), long
+            // after the victim's entry has been moved between levels.
+            if kind == 17 {
+                ctx.cancel_timer(self.victim.take().expect("armed once"));
+            }
+        }
+        fn on_packet(&mut self, _p: Packet<Msg>, _c: &mut Ctx<'_, Msg>) {}
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+    let mut s = sim();
+    let n = s.add_node(Box::new(T {
+        victim: None,
+        fired_kinds: Vec::new(),
+    }));
+    s.run_for(SimDur::millis(2));
+    assert_eq!(
+        s.agent::<T>(n).fired_kinds,
+        (10..18).collect::<Vec<u64>>(),
+        "every intermediate fired in deadline order, the victim never did"
+    );
+}
+
+/// Timers armed for the same instant fire in arming order — the engine's
+/// (time, seq) total order reaches through the wheel's same-instant drain
+/// and the now-bucket alike.
+#[test]
+fn same_instant_timers_fire_in_arming_order() {
+    struct T {
+        fired_kinds: Vec<u64>,
+    }
+    impl Agent<Msg> for T {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+            for kind in 0..6 {
+                ctx.set_timer(SimDur::micros(25), kind);
+            }
+        }
+        fn on_timer(&mut self, _id: TimerId, kind: u64, ctx: &mut Ctx<'_, Msg>) {
+            self.fired_kinds.push(kind);
+            // First firing re-arms two more for the *same* instant: they
+            // route through the engine's now-bucket rather than the wheel
+            // and must still come out in arming order, after the batch.
+            if kind == 0 {
+                ctx.set_timer(SimDur::ZERO, 100);
+                ctx.set_timer(SimDur::ZERO, 101);
+            }
+        }
+        fn on_packet(&mut self, _p: Packet<Msg>, _c: &mut Ctx<'_, Msg>) {}
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+    let mut s = sim();
+    let n = s.add_node(Box::new(T {
+        fired_kinds: Vec::new(),
+    }));
+    s.run_for(SimDur::millis(1));
+    assert_eq!(
+        s.agent::<T>(n).fired_kinds,
+        vec![0, 1, 2, 3, 4, 5, 100, 101]
     );
 }

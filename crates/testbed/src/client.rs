@@ -86,9 +86,9 @@ pub enum ClientWorkload {
 }
 
 impl ClientWorkload {
-    fn next(&mut self, rng: &mut SmallRng) -> (Bytes, bool) {
+    fn next(&mut self, rng: &mut SmallRng, arena: &mut bytes::ByteArena) -> (Bytes, bool) {
         match self {
-            ClientWorkload::Synth(spec) => spec.sample(rng),
+            ClientWorkload::Synth(spec) => spec.sample_in(rng, arena),
             ClientWorkload::Ycsb(g) => {
                 let op = g.next_op();
                 (op.body, op.read_only)
@@ -207,7 +207,7 @@ impl ClientAgent {
             .alloc
             .get_or_insert_with(|| ReqIdAlloc::new(ctx.node_id(), 1000));
         let id = alloc.allocate();
-        let (body, ro) = self.workload.next(&mut self.rng);
+        let (body, ro) = self.workload.next(&mut self.rng, ctx.arena());
         let kind = if ro {
             OpKind::ReadOnly
         } else {

@@ -174,8 +174,10 @@ fn build_service(opts: &ClusterOpts) -> Box<dyn hovercraft::Service> {
     if opts.service == ServiceKind::Kv {
         if let WorkloadKind::Ycsb { records, .. } = &opts.workload {
             let gen = YcsbGen::new(YcsbWorkload::E, *records, RecordSpec::default(), 0);
+            // Preload runs outside simulated time; a throwaway arena is fine.
+            let mut arena = bytes::ByteArena::new();
             for cmd in gen.load_phase() {
-                svc.execute(&cmd.encode(), false);
+                svc.execute(&cmd.encode(), false, &mut arena);
             }
         }
     }

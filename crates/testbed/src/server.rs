@@ -26,6 +26,9 @@ const AE_COPY_PER_BYTE_DECINS: u64 = 14; // 1.4 ns/byte
 pub struct ServerAgent {
     node: HcNode<Box<dyn Service>>,
     tracer: Option<Tracer>,
+    /// Reusable output scratch: entry points append into this and `run`
+    /// drains it, so steady-state handling never allocates for outputs.
+    outs: Vec<Output>,
 }
 
 impl ServerAgent {
@@ -34,6 +37,7 @@ impl ServerAgent {
         ServerAgent {
             node: HcNode::new(cfg, service, 0),
             tracer: None,
+            outs: Vec::new(),
         }
     }
 
@@ -41,7 +45,11 @@ impl ServerAgent {
     /// where the node is rebuilt with [`HcNode::restore`] from the crashed
     /// agent's durable Raft state.
     pub fn from_node(node: HcNode<Box<dyn Service>>) -> ServerAgent {
-        ServerAgent { node, tracer: None }
+        ServerAgent {
+            node,
+            tracer: None,
+            outs: Vec::new(),
+        }
     }
 
     /// Forwards the node's protocol events into `tracer`, stamped with
@@ -75,8 +83,10 @@ impl ServerAgent {
         &mut self.node
     }
 
-    fn run(&mut self, outs: Vec<Output>, ctx: &mut Ctx<'_, WireMsg>) {
-        for o in outs {
+    /// Carries out the outputs accumulated in `self.outs`, draining the
+    /// buffer in place (capacity is retained for the next entry point).
+    fn run(&mut self, ctx: &mut Ctx<'_, WireMsg>) {
+        for o in self.outs.drain(..) {
             match o {
                 Output::Send { dst, msg } => {
                     let size = msg.wire_size();
@@ -130,24 +140,35 @@ impl Agent<WireMsg> for ServerAgent {
     }
 
     fn on_packet(&mut self, pkt: Packet<WireMsg>, ctx: &mut Ctx<'_, WireMsg>) {
-        let outs = self
-            .node
-            .on_message(pkt.src.0, pkt.payload, ctx.now().as_nanos());
-        self.run(outs, ctx);
+        let mut outs = std::mem::take(&mut self.outs);
+        self.node.on_message(
+            pkt.src.0,
+            pkt.payload,
+            ctx.now().as_nanos(),
+            &mut outs,
+            ctx.arena(),
+        );
+        self.outs = outs;
+        self.run(ctx);
         self.flush_events(ctx);
     }
 
     fn on_timer(&mut self, _id: TimerId, kind: u64, ctx: &mut Ctx<'_, WireMsg>) {
         debug_assert_eq!(kind, TICK);
-        let outs = self.node.tick(ctx.now().as_nanos());
-        self.run(outs, ctx);
+        let mut outs = std::mem::take(&mut self.outs);
+        self.node.tick(ctx.now().as_nanos(), &mut outs, ctx.arena());
+        self.outs = outs;
+        self.run(ctx);
         self.flush_events(ctx);
         ctx.set_timer(TICK_INTERVAL, TICK);
     }
 
     fn on_app_done(&mut self, token: u64, ctx: &mut Ctx<'_, WireMsg>) {
-        let outs = self.node.on_exec_done(token, ctx.now().as_nanos());
-        self.run(outs, ctx);
+        let mut outs = std::mem::take(&mut self.outs);
+        self.node
+            .on_exec_done(token, ctx.now().as_nanos(), &mut outs, ctx.arena());
+        self.outs = outs;
+        self.run(ctx);
         self.flush_events(ctx);
     }
 
@@ -191,7 +212,9 @@ impl UnrepAgent {
 impl Agent<WireMsg> for UnrepAgent {
     fn on_packet(&mut self, pkt: Packet<WireMsg>, ctx: &mut Ctx<'_, WireMsg>) {
         if let WireMsg::Request { id, kind, body } = pkt.payload {
-            let r = self.service.execute(&body, kind.is_read_only());
+            let r = self
+                .service
+                .execute(&body, kind.is_read_only(), ctx.arena());
             let token = self.next_token;
             self.next_token += 1;
             self.pending

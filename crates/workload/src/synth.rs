@@ -10,7 +10,7 @@
 //! Body layout (little-endian): `[cost_ns u64][reply_size u32][padding]`,
 //! padded to the configured request size.
 
-use bytes::Bytes;
+use bytes::{ByteArena, Bytes};
 use hovercraft::{Executed, Service};
 use rand::rngs::SmallRng;
 
@@ -23,11 +23,24 @@ pub const SYNTH_MIN_BODY: usize = 12;
 /// to the 12-byte parameter header) encoding the service time and reply
 /// size.
 pub fn encode_request(cost_ns: u64, reply_size: u32, req_size: usize) -> Bytes {
+    let mut arena = ByteArena::new();
+    encode_request_in(cost_ns, reply_size, req_size, &mut arena)
+}
+
+/// [`encode_request`], but building the body in a pooled buffer from
+/// `arena` — the form the open-loop client uses so per-request bodies
+/// recycle instead of hitting the global allocator.
+pub fn encode_request_in(
+    cost_ns: u64,
+    reply_size: u32,
+    req_size: usize,
+    arena: &mut ByteArena,
+) -> Bytes {
     let len = req_size.max(SYNTH_MIN_BODY);
-    let mut b = vec![0u8; len];
-    b[..8].copy_from_slice(&cost_ns.to_le_bytes());
-    b[8..12].copy_from_slice(&reply_size.to_le_bytes());
-    Bytes::from(b)
+    arena.alloc_with(len, |b| {
+        b[..8].copy_from_slice(&cost_ns.to_le_bytes());
+        b[8..12].copy_from_slice(&reply_size.to_le_bytes());
+    })
 }
 
 /// Decodes the parameters from a synthetic request body.
@@ -68,10 +81,19 @@ impl SynthSpec {
 
     /// Draws one request: `(body, read_only)`.
     pub fn sample(&self, rng: &mut SmallRng) -> (Bytes, bool) {
+        let mut arena = ByteArena::new();
+        self.sample_in(rng, &mut arena)
+    }
+
+    /// [`SynthSpec::sample`] with the body built from a pooled buffer.
+    pub fn sample_in(&self, rng: &mut SmallRng, arena: &mut ByteArena) -> (Bytes, bool) {
         use rand::Rng;
         let cost = self.dist.sample(rng);
         let ro = self.ro_fraction > 0.0 && rng.gen::<f64>() < self.ro_fraction;
-        (encode_request(cost, self.reply_size, self.req_size), ro)
+        (
+            encode_request_in(cost, self.reply_size, self.req_size, arena),
+            ro,
+        )
     }
 }
 
@@ -104,7 +126,7 @@ fn fnv1a64_fold(mut h: u64, bytes: &[u8]) -> u64 {
 }
 
 impl Service for SynthService {
-    fn execute(&mut self, body: &[u8], read_only: bool) -> Executed {
+    fn execute(&mut self, body: &[u8], read_only: bool, arena: &mut ByteArena) -> Executed {
         self.ops += 1;
         if !read_only {
             self.writes += 1;
@@ -115,7 +137,7 @@ impl Service for SynthService {
         }
         let (cost_ns, reply_size) = decode_request(body).unwrap_or((1_000, 8));
         Executed {
-            reply: Bytes::from(vec![0u8; reply_size as usize]),
+            reply: arena.alloc_zeroed(reply_size as usize),
             cost_ns,
         }
     }
@@ -159,23 +181,38 @@ mod tests {
     }
 
     #[test]
+    fn pooled_and_fresh_requests_are_byte_identical() {
+        let mut arena = ByteArena::new();
+        // Drop each pooled body so the next one recycles its chunk; a
+        // recycled buffer must still produce the exact same bytes.
+        for i in 0..100u64 {
+            let fresh = encode_request(i, 8, 24);
+            let pooled = encode_request_in(i, 8, 24, &mut arena);
+            assert_eq!(fresh, pooled);
+        }
+        assert!(arena.hits() > 90, "bodies recycled: {} hits", arena.hits());
+    }
+
+    #[test]
     fn service_obeys_encoded_parameters() {
+        let mut arena = ByteArena::new();
         let mut s = SynthService::default();
-        let r = s.execute(&encode_request(7_500, 100, 64), false);
+        let r = s.execute(&encode_request(7_500, 100, 64), false, &mut arena);
         assert_eq!(r.cost_ns, 7_500);
         assert_eq!(r.reply.len(), 100);
         assert_eq!(s.ops, 1);
         assert_eq!(s.writes, 1);
-        s.execute(&encode_request(1, 8, 24), true);
+        s.execute(&encode_request(1, 8, 24), true, &mut arena);
         assert_eq!(s.writes, 1, "read-only not counted as write");
     }
 
     #[test]
     fn snapshot_carries_writes_and_hash_but_not_ops() {
+        let mut arena = ByteArena::new();
         let mut a = SynthService::default();
-        a.execute(&encode_request(1, 8, 24), false);
-        a.execute(&encode_request(2, 8, 24), false);
-        a.execute(&encode_request(3, 8, 24), true); // RO: no state change
+        a.execute(&encode_request(1, 8, 24), false, &mut arena);
+        a.execute(&encode_request(2, 8, 24), false, &mut arena);
+        a.execute(&encode_request(3, 8, 24), true, &mut arena); // RO: no state change
         let mut b = SynthService::default();
         b.restore(&a.snapshot());
         assert_eq!(b.writes, 2);
@@ -183,8 +220,8 @@ mod tests {
         assert_eq!(b.ops, 0, "ops is per-node, not replicated state");
         // Divergent mutation order ⇒ different hash (order-sensitive fold).
         let mut c = SynthService::default();
-        c.execute(&encode_request(2, 8, 24), false);
-        c.execute(&encode_request(1, 8, 24), false);
+        c.execute(&encode_request(2, 8, 24), false, &mut arena);
+        c.execute(&encode_request(1, 8, 24), false, &mut arena);
         assert_ne!(c.state_hash, a.state_hash);
     }
 

@@ -9,7 +9,7 @@
 //!
 //! Run with: `cargo run --release --example custom_service`
 
-use bytes::Bytes;
+use bytes::{ByteArena, Bytes};
 use hovercraft::{Executed, OpKind, PolicyKind, Service, WireMsg};
 use r2p2::ReqIdAlloc;
 use simnet::SimDur;
@@ -26,7 +26,7 @@ struct Bank {
 }
 
 impl Service for Bank {
-    fn execute(&mut self, body: &[u8], read_only: bool) -> Executed {
+    fn execute(&mut self, body: &[u8], read_only: bool, _arena: &mut ByteArena) -> Executed {
         let text = std::str::from_utf8(body).unwrap_or("");
         let parts: Vec<&str> = text.split_whitespace().collect();
         let reply = match parts.as_slice() {
@@ -130,7 +130,11 @@ fn main() {
         let mut view = Vec::new();
         for acct in ["alice", "bob", "carol"] {
             let q = format!("B {acct}");
-            let r = agent.node_mut().service_mut().execute(q.as_bytes(), true);
+            let r =
+                agent
+                    .node_mut()
+                    .service_mut()
+                    .execute(q.as_bytes(), true, &mut ByteArena::new());
             view.push(String::from_utf8_lossy(&r.reply).into_owned());
         }
         states.push(view);

@@ -17,7 +17,7 @@ struct Counter {
 }
 
 impl Service for Counter {
-    fn execute(&mut self, body: &[u8], read_only: bool) -> Executed {
+    fn execute(&mut self, body: &[u8], read_only: bool, _arena: &mut bytes::ByteArena) -> Executed {
         let reply = match body {
             b"INC" if !read_only => {
                 self.value += 1;
@@ -195,7 +195,11 @@ fn replicas_converge_to_identical_state() {
             .into_iter()
             .map(|s| {
                 let agent = cluster.sim.agent_mut::<ServerAgent>(s);
-                let r = agent.node_mut().service_mut().execute(b"GET", true);
+                let r = agent.node_mut().service_mut().execute(
+                    b"GET",
+                    true,
+                    &mut bytes::ByteArena::new(),
+                );
                 u64::from_le_bytes(r.reply[..8].try_into().unwrap())
             })
             .collect();
